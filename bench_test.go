@@ -1,0 +1,522 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§V), one testing.B target per artifact, plus micro-benchmarks of the hot
+// paths and ablation benches for the design choices called out in DESIGN.md.
+//
+// The figure/table benches run the same experiment code as cmd/vcbench at a
+// reduced scale so `go test -bench=. -benchmem` stays fast; the full-scale
+// runs are `go run ./cmd/vcbench -run all`. Domain results (traffic
+// reduction, success rates, optimality gaps) are attached to each bench via
+// b.ReportMetric, so the bench output doubles as a results table.
+package vconf_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vconf"
+	"vconf/internal/agrank"
+	"vconf/internal/assign"
+	"vconf/internal/baseline"
+	"vconf/internal/core"
+	"vconf/internal/cost"
+	"vconf/internal/exact"
+	"vconf/internal/experiments"
+	"vconf/internal/model"
+	"vconf/internal/workload"
+)
+
+// benchWorkload shrinks the Internet-scale workload for bench time budgets.
+func benchWorkload(seed int64) workload.Config {
+	wl := workload.LargeScale(seed)
+	wl.NumUsers = 40
+	wl.NumUserNodes = 64
+	return wl
+}
+
+// ---------------------------------------------------------------------------
+// Figure / table benches
+
+func BenchmarkFig2Motivation(b *testing.B) {
+	var last *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.NearestRep.InterTraffic, "nrst-traffic-mbps")
+	b.ReportMetric(last.OptimalRep.InterTraffic, "opt-traffic-mbps")
+}
+
+func BenchmarkFig3Chain(b *testing.B) {
+	var last *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(400, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.NumStates), "states")
+}
+
+func BenchmarkFig4Evolution(b *testing.B) {
+	var last *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(1, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Beta400.Initial.TrafficMbps, "init-traffic-mbps")
+	b.ReportMetric(last.Beta400.Final.TrafficMbps, "final-traffic-mbps")
+}
+
+func BenchmarkFig5Dynamics(b *testing.B) {
+	var last *experiments.EvolutionResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(1, 120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Moves), "migrations")
+}
+
+func BenchmarkFig6AgRankInit(b *testing.B) {
+	var last *experiments.EvolutionResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(1, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Initial.TrafficMbps, "agrank-init-traffic-mbps")
+	b.ReportMetric(last.Final.TrafficMbps, "final-traffic-mbps")
+}
+
+func BenchmarkFig7PerSession(b *testing.B) {
+	var last *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(1, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(len(last.Sessions)), "sessions-traced")
+}
+
+func BenchmarkTable2AlphaSweep(b *testing.B) {
+	cfg := experiments.SweepConfig{Seed: 1, NumScenarios: 2, DurationS: 60, Workload: benchWorkload}
+	var last *experiments.AlphaSweepResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAlphaSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	nrstInit := meanOf(last.Cell("Nrst", "Init").Traffic)
+	opt := meanOf(last.Cell("AgRank#2", "a1=a2").Traffic)
+	if nrstInit > 0 {
+		b.ReportMetric(100*(1-opt/nrstInit), "traffic-reduction-pct")
+	}
+}
+
+func BenchmarkFig8DelayBoxplot(b *testing.B) {
+	cfg := experiments.SweepConfig{Seed: 2, NumScenarios: 2, DurationS: 60, Workload: benchWorkload}
+	var rows []string
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAlphaSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = res.Fig8Rows()
+	}
+	b.ReportMetric(float64(len(rows)), "boxplots")
+}
+
+func BenchmarkFig9SuccessRate(b *testing.B) {
+	cfg := experiments.Fig9Config{
+		Seed:                1,
+		NumScenarios:        4,
+		BandwidthPointsMbps: []float64{60, 120, 1000},
+		TranscodePoints:     []int{1, 8},
+		Workload:            benchWorkload,
+	}
+	var last *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	// Success share of AgRank#3 at the tightest bandwidth point.
+	b.ReportMetric(100*last.BandwidthSuccess[0][0], "agrank3-success-pct")
+	b.ReportMetric(100*last.BandwidthSuccess[0][2], "nrst-success-pct")
+}
+
+func BenchmarkFig10Nngbr(b *testing.B) {
+	cfg := experiments.Fig10Config{
+		Seed:         1,
+		NumScenarios: 3,
+		NNgbrValues:  []int{1, 2, 4, 7},
+		Workload:     benchWorkload,
+	}
+	var last *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.TrafficMbps[0], "nngbr1-traffic-mbps")
+	b.ReportMetric(last.TrafficMbps[1], "nngbr2-traffic-mbps")
+}
+
+func BenchmarkThm1Gap(b *testing.B) {
+	cfg := experiments.DefaultThm1Config(1)
+	cfg.Betas = []float64{10, 50}
+	cfg.HorizonS = 3000
+	var last *experiments.Thm1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunThm1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Entries[0].AnalyticGap, "gap-beta10")
+	b.ReportMetric(last.Entries[1].AnalyticGap, "gap-beta50")
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the hot paths
+
+func benchScenario(b *testing.B, seed int64) (*cost.Evaluator, *assign.Assignment, *cost.Ledger) {
+	b.Helper()
+	sc, err := workload.Generate(benchWorkload(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := cost.DefaultParams()
+	ev, err := cost.NewEvaluator(sc, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := assign.New(sc)
+	ledger := cost.NewLedger(sc)
+	if err := baseline.Assign(a, p, ledger); err != nil {
+		b.Fatal(err)
+	}
+	return ev, a, ledger
+}
+
+func BenchmarkHopSession(b *testing.B) {
+	ev, a, ledger := benchScenario(b, 1)
+	cfg := core.DefaultConfig(1)
+	rng := rand.New(rand.NewSource(1))
+	sessions := ev.Scenario().NumSessions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.HopSession(a, model.SessionID(i%sessions), ev, ledger, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionLoad(b *testing.B) {
+	ev, a, _ := benchScenario(b, 2)
+	p := ev.Params()
+	sessions := ev.Scenario().NumSessions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.SessionLoadOf(a, model.SessionID(i%sessions))
+	}
+}
+
+func BenchmarkSessionObjective(b *testing.B) {
+	ev, a, _ := benchScenario(b, 3)
+	sessions := ev.Scenario().NumSessions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.SessionObjective(a, model.SessionID(i%sessions))
+	}
+}
+
+func BenchmarkAgRankBootstrap(b *testing.B) {
+	sc, err := workload.Generate(benchWorkload(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := cost.DefaultParams()
+	opts := agrank.DefaultOptions(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := assign.New(sc)
+		ledger := cost.NewLedger(sc)
+		if err := agrank.Bootstrap(a, p, ledger, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNearestBootstrap(b *testing.B) {
+	sc, err := workload.Generate(benchWorkload(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := cost.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := assign.New(sc)
+		ledger := cost.NewLedger(sc)
+		if err := baseline.Assign(a, p, ledger); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateFig3(b *testing.B) {
+	sc, err := experiments.BuildFig3Scenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := cost.NewEvaluator(sc, cost.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.Enumerate(ev, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(workload.LargeScale(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverOptimize(b *testing.B) {
+	sc, err := vconf.GenerateWorkload(benchWorkload(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res *vconf.Result
+	for i := 0; i < b.N; i++ {
+		solver, err := vconf.NewSolver(sc, vconf.WithSeed(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = solver.Optimize(60)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Initial.InterTraffic-res.Report.InterTraffic, "traffic-saved-mbps")
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches (DESIGN.md §3 design choices)
+
+// BenchmarkAblationTrafficModel compares the paper-strict μ formula against
+// the flow-conserving variant on the configuration where they diverge:
+// source and destination co-located at agent A while a remote agent B
+// transcodes. The strict formula's (1−λ_lu) factor drops the transcoded
+// return edge B→A; the conserving variant counts it.
+func BenchmarkAblationTrafficModel(b *testing.B) {
+	builder := model.NewBuilder(nil)
+	rs := builder.Reps()
+	r360, _ := rs.ByName("360p")
+	r1080, _ := rs.ByName("1080p")
+	for i := 0; i < 2; i++ {
+		builder.AddAgent(model.Agent{Upload: 1000, Download: 1000, TranscodeSlots: 4})
+	}
+	s := builder.AddSession("s")
+	src := builder.AddUser("src", s, r1080, nil)
+	dst := builder.AddUser("dst", s, r1080, nil)
+	builder.DemandFrom(dst, src, r360)
+	sc, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := assign.New(sc)
+	a.SetUserAgent(src, 0)
+	a.SetUserAgent(dst, 0)
+	if err := a.SetFlowAgent(model.Flow{Src: src, Dst: dst}, 1); err != nil {
+		b.Fatal(err)
+	}
+	strict := cost.DefaultParams()
+	loose := cost.DefaultParams()
+	loose.StrictPaperTraffic = false
+	var strictT, looseT float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strictT = strict.SessionLoadOf(a, 0).TotalInterTraffic()
+		looseT = loose.SessionLoadOf(a, 0).TotalInterTraffic()
+	}
+	b.ReportMetric(strictT, "strict-traffic-mbps")
+	b.ReportMetric(looseT, "conserving-traffic-mbps")
+}
+
+// BenchmarkAblationAgRankIteration compares the damped personalized rank
+// iteration (default) against the paper's literal normalized power
+// iteration: bootstrap quality on the same workloads.
+func BenchmarkAblationAgRankIteration(b *testing.B) {
+	sc, err := workload.Generate(benchWorkload(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := cost.DefaultParams()
+	ev, err := cost.NewEvaluator(sc, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(damping float64) float64 {
+		opts := agrank.DefaultOptions(2)
+		opts.Damping = damping
+		a := assign.New(sc)
+		if err := agrank.Bootstrap(a, p, cost.NewLedger(sc), opts); err != nil {
+			b.Fatal(err)
+		}
+		return ev.ReportSystem(a).InterTraffic
+	}
+	var damped, plain float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		damped = run(0.85)
+		plain = run(0)
+	}
+	b.ReportMetric(damped, "damped-traffic-mbps")
+	b.ReportMetric(plain, "plain-traffic-mbps")
+}
+
+// BenchmarkAblationHopMode compares PaperHop and ExactCTMC timing on the
+// same instance.
+func BenchmarkAblationHopMode(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode core.HopMode
+	}{{"paper", core.PaperHop}, {"exact-ctmc", core.ExactCTMC}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sc, err := experiments.BuildFig3Scenario()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev, err := cost.NewEvaluator(sc, cost.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.Config{Beta: 20, ObjectiveScale: 0.01, MeanCountdownS: 1, Mode: mode.mode, Seed: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := core.NewEngine(ev, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				boot := func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error {
+					return baseline.AssignSessionNearest(a, s, cost.DefaultParams(), ledger)
+				}
+				if err := eng.ActivateSession(0, boot); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(100, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// BenchmarkSolverCompare runs the §IV-A-3 comparator panel (greedy descent,
+// simulated annealing, Markov approximation, single-agent topology control)
+// on identical Nrst starts.
+func BenchmarkSolverCompare(b *testing.B) {
+	cfg := experiments.SolverCompareConfig{
+		Seed:             1,
+		NumScenarios:     1,
+		DurationS:        60,
+		AnnealIterations: 4000,
+		Workload:         benchWorkload,
+	}
+	var last *experiments.SolverCompareResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSolverCompare(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(meanOf(last.Objective[0]), "nrst-phi")
+	b.ReportMetric(meanOf(last.Objective[3]), "markov-phi")
+}
+
+// BenchmarkAblationFreezeProtocol compares the paper's global-freeze
+// concurrent engine with the optimistic-commit extension on identical
+// workloads and wall budgets: hops achieved per engine.
+func BenchmarkAblationFreezeProtocol(b *testing.B) {
+	sc, err := workload.Generate(benchWorkload(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := cost.DefaultParams()
+	ev, err := cost.NewEvaluator(sc, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := assign.New(sc)
+	if err := baseline.Assign(start, p, cost.NewLedger(sc)); err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(9)
+	cfg.MeanCountdownS = 2
+	var frozenHops, optimisticHops int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frozen, err := core.NewParallel(ev, cfg, start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := frozen.Run(context.Background(), 50*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		_, frozenHops, _ = frozen.Snapshot()
+
+		optim, err := core.NewOptimisticParallel(ev, cfg, start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := optim.Run(context.Background(), 50*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		_, optimisticHops, _, _ = optim.Snapshot()
+	}
+	b.ReportMetric(float64(frozenHops), "frozen-hops")
+	b.ReportMetric(float64(optimisticHops), "optimistic-hops")
+}

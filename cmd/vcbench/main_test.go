@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickSmoke(t *testing.T) {
+	// Fast experiments only; the heavy sweeps get their own -quick runs.
+	for _, id := range []string{"fig2", "fig3"} {
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run([]string{"-run", id, "-quick"}, &buf); err != nil {
+				t.Fatalf("run(%s): %v", id, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, id+" |") {
+				t.Fatalf("output missing %q rows:\n%s", id, out)
+			}
+			if !strings.Contains(out, "done in") {
+				t.Fatal("missing completion line")
+			}
+		})
+	}
+}
+
+func TestRunQuickSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps take a few seconds")
+	}
+	for _, id := range []string{"table2", "fig9", "fig10", "solvers"} {
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run([]string{"-run", id, "-quick", "-scenarios", "2", "-duration", "30"}, &buf); err != nil {
+				t.Fatalf("run(%s): %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-format", "xml"}, &buf); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig3", "-format", "csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "done in") {
+		t.Fatal("csv output should not carry timing lines")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 9 {
+		t.Fatalf("csv lines = %d, want ≥ 9", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "fig3,") {
+			t.Fatalf("csv line missing experiment column: %q", line)
+		}
+	}
+}
+
+func TestQuickWorkloadShrinks(t *testing.T) {
+	wl := quickWorkload(1)
+	if wl.NumUsers != 30 || wl.NumUserNodes != 64 {
+		t.Fatalf("quick workload = %d users / %d nodes", wl.NumUsers, wl.NumUserNodes)
+	}
+}

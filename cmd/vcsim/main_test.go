@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-duration", "30", "-interval", "10", "-users", "20"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"vcsim:", "t=", "final:", "constraints (1)-(8) hold",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNrstInit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-duration", "20", "-init", "nrst", "-users", "16"}, &buf); err != nil {
+		t.Fatalf("run nrst: %v", err)
+	}
+	if !strings.Contains(buf.String(), "init=nrst") {
+		t.Fatal("init policy not reported")
+	}
+}
+
+func TestRunRejectsUnknownInit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-init", "oracle"}, &buf); err == nil {
+		t.Fatal("unknown init accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

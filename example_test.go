@@ -1,0 +1,105 @@
+package vconf_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"vconf"
+)
+
+// ExampleNewSolver shows the three-line happy path: generate a workload,
+// solve it, inspect the result.
+func ExampleNewSolver() {
+	sc, err := vconf.GenerateWorkload(vconf.PrototypeWorkload(1))
+	if err != nil {
+		fmt.Println("workload:", err)
+		return
+	}
+	solver, err := vconf.NewSolver(sc, vconf.WithSeed(1))
+	if err != nil {
+		fmt.Println("solver:", err)
+		return
+	}
+	res, err := solver.Optimize(120)
+	if err != nil {
+		fmt.Println("optimize:", err)
+		return
+	}
+	fmt.Println("assignment complete:", res.Assignment.Complete())
+	fmt.Println("improved or equal:", res.Report.Objective <= res.Initial.Objective)
+	fmt.Println("within delay cap:", res.Report.AllDelayOK)
+	// Output:
+	// assignment complete: true
+	// improved or equal: true
+	// within delay cap: true
+}
+
+// ExampleNewScenarioBuilder builds a scenario by hand: two agents, one
+// session, one transcoding demand.
+func ExampleNewScenarioBuilder() {
+	b := vconf.NewScenarioBuilder(nil)
+	reps := b.Reps()
+	r360, _ := reps.ByName("360p")
+	r1080, _ := reps.ByName("1080p")
+
+	b.AddAgent(vconf.Agent{Name: "east", Upload: 100, Download: 100, TranscodeSlots: 2})
+	b.AddAgent(vconf.Agent{Name: "west", Upload: 100, Download: 100, TranscodeSlots: 2})
+	s := b.AddSession("demo")
+	presenter := b.AddUser("presenter", s, r1080, nil)
+	viewer := b.AddUser("viewer", s, r360, nil)
+	b.DemandFrom(viewer, presenter, r360) // downscale the presenter for the viewer
+	b.SetInterAgentDelays([][]float64{{0, 30}, {30, 0}})
+	b.SetAgentUserDelays([][]float64{{10, 40}, {40, 10}})
+
+	sc, err := b.Build()
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	fmt.Println("users:", sc.NumUsers())
+	fmt.Println("transcoding flows:", sc.ThetaSum())
+	// Output:
+	// users: 2
+	// transcoding flows: 1
+}
+
+// ExampleSolver_Bootstrap runs only the AgRank initialization and inspects
+// the feasible starting point it produces.
+func ExampleSolver_Bootstrap() {
+	sc, _ := vconf.Fig2Scenario()
+	solver, _ := vconf.NewSolver(sc, vconf.WithInit(vconf.InitAgRank, 2))
+	a, err := solver.Bootstrap()
+	if err != nil {
+		fmt.Println("bootstrap:", err)
+		return
+	}
+	fmt.Println("feasible:", solver.CheckFeasible(a) == nil)
+	fmt.Println("complete:", a.Complete())
+	// Output:
+	// feasible: true
+	// complete: true
+}
+
+// ExampleSaveScenario round-trips a scenario through its JSON form —
+// workloads can be checked into a repository and reloaded bit-identically.
+func ExampleSaveScenario() {
+	wl := vconf.PrototypeWorkload(2)
+	wl.NumUsers = 12
+	sc, _ := vconf.GenerateWorkload(wl)
+
+	var buf bytes.Buffer
+	if err := vconf.SaveScenario(sc, &buf); err != nil {
+		fmt.Println("save:", err)
+		return
+	}
+	reloaded, err := vconf.LoadScenario(&buf)
+	if err != nil {
+		fmt.Println("load:", err)
+		return
+	}
+	fmt.Println("users preserved:", reloaded.NumUsers() == sc.NumUsers())
+	fmt.Println("transcodings preserved:", reloaded.ThetaSum() == sc.ThetaSum())
+	// Output:
+	// users preserved: true
+	// transcodings preserved: true
+}

@@ -1,0 +1,102 @@
+// Quickstart: build a small two-session conferencing scenario by hand,
+// bootstrap it with AgRank, optimize with the Markov approximation engine,
+// and print the assignment and its cost/delay report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vconf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	b := vconf.NewScenarioBuilder(nil)
+	reps := b.Reps()
+	r360, _ := reps.ByName("360p")
+	r720, _ := reps.ByName("720p")
+	r1080, _ := reps.ByName("1080p")
+
+	// Three cloud agents: a well-connected hub and two edge sites.
+	b.AddAgent(vconf.Agent{Name: "hub", Upload: 500, Download: 500, TranscodeSlots: 8})
+	b.AddAgent(vconf.Agent{Name: "west", Upload: 200, Download: 200, TranscodeSlots: 2})
+	b.AddAgent(vconf.Agent{Name: "east", Upload: 200, Download: 200, TranscodeSlots: 2})
+
+	// Session 1: a 1080p presenter whose stream two mobile viewers want
+	// downscaled to 360p.
+	s1 := b.AddSession("standup")
+	presenter := b.AddUser("presenter", s1, r1080, nil)
+	mob1 := b.AddUser("mobile-1", s1, r720, nil)
+	mob2 := b.AddUser("mobile-2", s1, r720, nil)
+	b.DemandFrom(mob1, presenter, r360)
+	b.DemandFrom(mob2, presenter, r360)
+
+	// Session 2: two 720p peers, no transcoding.
+	s2 := b.AddSession("one-on-one")
+	b.AddUser("alice", s2, r720, nil)
+	b.AddUser("bob", s2, r720, nil)
+
+	// Measured one-way delays in ms.
+	b.SetInterAgentDelays([][]float64{
+		{0, 40, 45},
+		{40, 0, 80},
+		{45, 80, 0},
+	})
+	b.SetAgentUserDelays([][]float64{
+		// hub   is moderately close to everyone.
+		{25, 30, 30, 28, 28},
+		// west  is next to the presenter and mobile-1.
+		{8, 10, 60, 70, 70},
+		// east  is next to mobile-2, alice and bob.
+		{70, 65, 9, 12, 11},
+	})
+	sc, err := b.Build()
+	if err != nil {
+		return err
+	}
+
+	solver, err := vconf.NewSolver(sc,
+		vconf.WithSeed(42),
+		vconf.WithInit(vconf.InitAgRank, 2),
+	)
+	if err != nil {
+		return err
+	}
+
+	initial, err := solver.Bootstrap()
+	if err != nil {
+		return err
+	}
+	fmt.Println("AgRank bootstrap:")
+	printAssignment(sc, initial, solver.Evaluate(initial))
+
+	res, err := solver.Optimize(120)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nAfter 120 virtual seconds of Markov optimization:")
+	printAssignment(sc, res.Assignment, res.Report)
+	fmt.Printf("\nchain activity: %d hops, %d migrations\n", res.Hops, res.Moves)
+	return nil
+}
+
+func printAssignment(sc *vconf.Scenario, a *vconf.Assignment, rep vconf.SystemReport) {
+	for u := 0; u < sc.NumUsers(); u++ {
+		uid := vconf.UserID(u)
+		fmt.Printf("  %-10s → agent %s\n", sc.User(uid).Name, sc.Agent(a.UserAgent(uid)).Name)
+	}
+	for _, f := range a.Flows() {
+		if m, ok := a.FlowAgent(f); ok {
+			fmt.Printf("  transcode %s→%s at agent %s\n",
+				sc.User(f.Src).Name, sc.User(f.Dst).Name, sc.Agent(m).Name)
+		}
+	}
+	fmt.Printf("  inter-agent traffic %.1f Mbps | mean delay %.1f ms | objective %.2f | delays ok: %v\n",
+		rep.InterTraffic, rep.MeanDelayMS, rep.Objective, rep.AllDelayOK)
+}

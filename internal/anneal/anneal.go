@@ -1,0 +1,216 @@
+// Package anneal implements two centralized comparison solvers the paper
+// positions itself against in §IV-A-3: simulated annealing and greedy
+// best-response (steepest-descent local search).
+//
+// Unlike the Markov approximation, neither admits a per-session parallel
+// implementation with provable gap bounds — simulated annealing needs a
+// global temperature schedule and the greedy sticks at local optima. They
+// serve as ablation comparators: same neighbor structure (one decision
+// variable per move), same feasibility rules, different acceptance rules.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vconf/internal/assign"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+)
+
+// Result summarizes a local-search run.
+type Result struct {
+	// Assignment is the best state found.
+	Assignment *assign.Assignment
+	// BestPhi is its total objective.
+	BestPhi float64
+	// Iterations counts proposed moves; Accepted counts executed ones.
+	Iterations int
+	Accepted   int
+}
+
+// AnnealConfig tunes simulated annealing.
+type AnnealConfig struct {
+	// Iterations is the total number of proposed moves.
+	Iterations int
+	// T0 is the initial temperature in objective units; TEnd the final one.
+	// A geometric cooling schedule interpolates between them.
+	T0   float64
+	TEnd float64
+	Seed int64
+}
+
+// DefaultAnnealConfig returns a schedule sized for workloads of a few
+// hundred decision variables.
+func DefaultAnnealConfig(seed int64) AnnealConfig {
+	return AnnealConfig{Iterations: 20000, T0: 50, TEnd: 0.05, Seed: seed}
+}
+
+func (c AnnealConfig) validate() error {
+	if c.Iterations < 1 {
+		return fmt.Errorf("anneal: iterations must be positive")
+	}
+	if c.T0 <= 0 || c.TEnd <= 0 || c.TEnd > c.T0 {
+		return fmt.Errorf("anneal: invalid temperature schedule [%v → %v]", c.T0, c.TEnd)
+	}
+	return nil
+}
+
+// SimulatedAnnealing runs Metropolis acceptance over the single-variable
+// neighbor structure, starting from a complete feasible assignment. The
+// returned assignment is the best feasible state visited.
+func SimulatedAnnealing(ev *cost.Evaluator, start *assign.Assignment, cfg AnnealConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sc := ev.Scenario()
+	if !start.Complete() {
+		return nil, fmt.Errorf("anneal: start assignment incomplete")
+	}
+	p := ev.Params()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	a := start.Clone()
+	ledger := cost.NewLedger(sc)
+	sessionPhi := make([]float64, sc.NumSessions())
+	curPhi := 0.0
+	for s := 0; s < sc.NumSessions(); s++ {
+		ledger.Add(p.SessionLoadOf(a, model.SessionID(s)))
+		sessionPhi[s] = ev.SessionObjective(a, model.SessionID(s))
+		curPhi += sessionPhi[s]
+	}
+
+	best := a.Clone()
+	bestPhi := curPhi
+	res := &Result{}
+	cooling := math.Pow(cfg.TEnd/cfg.T0, 1/float64(cfg.Iterations))
+	temp := cfg.T0
+
+	for it := 0; it < cfg.Iterations; it++ {
+		res.Iterations++
+		temp *= cooling
+
+		// Propose: random session, random single-variable move.
+		s := model.SessionID(rng.Intn(sc.NumSessions()))
+		decisions := a.SessionNeighborDecisions(s)
+		if len(decisions) == 0 {
+			continue
+		}
+		d := decisions[rng.Intn(len(decisions))]
+
+		curLoad := p.SessionLoadOf(a, s)
+		ledger.Remove(curLoad)
+		inv, err := a.Apply(d)
+		if err != nil {
+			ledger.Add(curLoad)
+			return nil, err
+		}
+		newLoad := p.SessionLoadOf(a, s)
+		feasible := ledger.Fits(newLoad) && cost.DelayFeasible(a, s)
+		var accept bool
+		var newSessionPhi float64
+		if feasible {
+			newSessionPhi = ev.SessionObjective(a, s)
+			delta := newSessionPhi - sessionPhi[s]
+			accept = delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
+		}
+		if accept {
+			ledger.Add(newLoad)
+			curPhi += newSessionPhi - sessionPhi[s]
+			sessionPhi[s] = newSessionPhi
+			res.Accepted++
+			if curPhi < bestPhi {
+				bestPhi = curPhi
+				best = a.Clone()
+			}
+		} else {
+			if _, err := a.Apply(inv); err != nil {
+				return nil, err
+			}
+			ledger.Add(curLoad)
+		}
+	}
+	res.Assignment = best
+	res.BestPhi = bestPhi
+	return res, nil
+}
+
+// GreedyConfig tunes the best-response descent.
+type GreedyConfig struct {
+	// MaxRounds bounds full sweeps over all sessions (descent usually
+	// terminates earlier at a local optimum).
+	MaxRounds int
+}
+
+// DefaultGreedyConfig allows enough rounds for convergence on the paper's
+// scales.
+func DefaultGreedyConfig() GreedyConfig { return GreedyConfig{MaxRounds: 100} }
+
+// GreedyDescent repeatedly applies, per session, the feasible
+// single-variable move with the largest objective improvement, until no
+// session can improve (a local optimum of the neighborhood).
+func GreedyDescent(ev *cost.Evaluator, start *assign.Assignment, cfg GreedyConfig) (*Result, error) {
+	if cfg.MaxRounds < 1 {
+		return nil, fmt.Errorf("anneal: max rounds must be positive")
+	}
+	sc := ev.Scenario()
+	if !start.Complete() {
+		return nil, fmt.Errorf("anneal: start assignment incomplete")
+	}
+	p := ev.Params()
+
+	a := start.Clone()
+	ledger := cost.NewLedger(sc)
+	for s := 0; s < sc.NumSessions(); s++ {
+		ledger.Add(p.SessionLoadOf(a, model.SessionID(s)))
+	}
+
+	res := &Result{}
+	for round := 0; round < cfg.MaxRounds; round++ {
+		improvedAny := false
+		for s := 0; s < sc.NumSessions(); s++ {
+			sid := model.SessionID(s)
+			curLoad := p.SessionLoadOf(a, sid)
+			ledger.Remove(curLoad)
+			curPhi := ev.SessionObjective(a, sid)
+
+			var bestD assign.Decision
+			bestPhi := curPhi
+			found := false
+			for _, d := range a.SessionNeighborDecisions(sid) {
+				res.Iterations++
+				inv, err := a.Apply(d)
+				if err != nil {
+					ledger.Add(curLoad)
+					return nil, err
+				}
+				load := p.SessionLoadOf(a, sid)
+				if ledger.Fits(load) && cost.DelayFeasible(a, sid) {
+					if phi := ev.SessionObjective(a, sid); phi < bestPhi-1e-12 {
+						bestPhi = phi
+						bestD = d
+						found = true
+					}
+				}
+				if _, err := a.Apply(inv); err != nil {
+					return nil, err
+				}
+			}
+			if found {
+				if _, err := a.Apply(bestD); err != nil {
+					return nil, err
+				}
+				res.Accepted++
+				improvedAny = true
+			}
+			ledger.Add(p.SessionLoadOf(a, sid))
+		}
+		if !improvedAny {
+			break
+		}
+	}
+	res.Assignment = a
+	res.BestPhi = ev.TotalObjective(a)
+	return res, nil
+}

@@ -1,0 +1,204 @@
+// Package assign represents solutions of the user-to-agent assignment
+// problem: the binary decision variables λ (user → agent subscription) and γ
+// (transcoding flow → transcoding agent) of the paper, §III-A.
+//
+// An Assignment f = {λ, γ} is the state the Markov-approximation chain walks
+// over; the package also enumerates the chain's neighbor structure (all
+// assignments differing in exactly one decision variable, §IV-A-2).
+package assign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vconf/internal/model"
+)
+
+// Unassigned marks a user or flow that has no agent yet.
+const Unassigned model.AgentID = -1
+
+// Assignment is one (possibly partial) solution f = {λ, γ}. It is a plain
+// mutable value: solvers clone it, mutate the clone, and evaluate.
+type Assignment struct {
+	sc *model.Scenario
+	// userAgent[u] is the agent user u subscribes to (λ_lu = 1 ⇔
+	// userAgent[u] == l), or Unassigned.
+	userAgent []model.AgentID
+	// flowAgent[i] is the transcoding agent of the i-th transcoding flow in
+	// the scenario's canonical flow order, or Unassigned. The demanded
+	// representation of each flow is fixed by the scenario (γ's r index).
+	flowAgent []model.AgentID
+	// flowIndex maps a flow to its index in flowAgent.
+	flowIndex map[model.Flow]int
+	// flows is the canonical ordering of all transcoding flows.
+	flows []model.Flow
+}
+
+// New creates an all-Unassigned assignment for the scenario.
+func New(sc *model.Scenario) *Assignment {
+	var flows []model.Flow
+	for s := 0; s < sc.NumSessions(); s++ {
+		flows = append(flows, sc.SessionThetaFlows(model.SessionID(s))...)
+	}
+	a := &Assignment{
+		sc:        sc,
+		userAgent: make([]model.AgentID, sc.NumUsers()),
+		flowAgent: make([]model.AgentID, len(flows)),
+		flowIndex: make(map[model.Flow]int, len(flows)),
+		flows:     flows,
+	}
+	for i := range a.userAgent {
+		a.userAgent[i] = Unassigned
+	}
+	for i, f := range flows {
+		a.flowAgent[i] = Unassigned
+		a.flowIndex[f] = i
+	}
+	return a
+}
+
+// Scenario returns the scenario this assignment belongs to.
+func (a *Assignment) Scenario() *model.Scenario { return a.sc }
+
+// Clone returns a deep copy sharing the immutable scenario and flow tables.
+func (a *Assignment) Clone() *Assignment {
+	out := &Assignment{
+		sc:        a.sc,
+		userAgent: append([]model.AgentID(nil), a.userAgent...),
+		flowAgent: append([]model.AgentID(nil), a.flowAgent...),
+		flowIndex: a.flowIndex,
+		flows:     a.flows,
+	}
+	return out
+}
+
+// UserAgent returns λ for user u: the agent it subscribes to.
+func (a *Assignment) UserAgent(u model.UserID) model.AgentID { return a.userAgent[u] }
+
+// SetUserAgent subscribes user u to agent l (l may be Unassigned).
+func (a *Assignment) SetUserAgent(u model.UserID, l model.AgentID) {
+	a.userAgent[u] = l
+}
+
+// FlowAgent returns γ for transcoding flow f: the agent transcoding it.
+// The second return is false if f is not a transcoding flow of the scenario.
+func (a *Assignment) FlowAgent(f model.Flow) (model.AgentID, bool) {
+	i, ok := a.flowIndex[f]
+	if !ok {
+		return Unassigned, false
+	}
+	return a.flowAgent[i], true
+}
+
+// SetFlowAgent assigns the transcoding of flow f to agent l.
+func (a *Assignment) SetFlowAgent(f model.Flow, l model.AgentID) error {
+	i, ok := a.flowIndex[f]
+	if !ok {
+		return fmt.Errorf("assign: flow %d→%d is not a transcoding flow", f.Src, f.Dst)
+	}
+	a.flowAgent[i] = l
+	return nil
+}
+
+// Flows returns the canonical ordering of all transcoding flows. Shared
+// slice; callers must not mutate.
+func (a *Assignment) Flows() []model.Flow { return a.flows }
+
+// SessionFlows returns the transcoding flows of session s in canonical
+// order. Freshly allocated.
+func (a *Assignment) SessionFlows(s model.SessionID) []model.Flow {
+	var out []model.Flow
+	for _, f := range a.flows {
+		if a.sc.User(f.Src).Session == s {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Complete reports whether every user and every transcoding flow has an
+// agent (constraints (1) and (3) of the paper hold structurally).
+func (a *Assignment) Complete() bool {
+	for _, l := range a.userAgent {
+		if l == Unassigned {
+			return false
+		}
+	}
+	for _, l := range a.flowAgent {
+		if l == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// SessionComplete reports completeness restricted to session s.
+func (a *Assignment) SessionComplete(s model.SessionID) bool {
+	for _, u := range a.sc.Session(s).Users {
+		if a.userAgent[u] == Unassigned {
+			return false
+		}
+	}
+	for i, f := range a.flows {
+		if a.sc.User(f.Src).Session == s && a.flowAgent[i] == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two assignments over the same scenario select the
+// same agents everywhere.
+func (a *Assignment) Equal(b *Assignment) bool {
+	if a.sc != b.sc {
+		return false
+	}
+	for i := range a.userAgent {
+		if a.userAgent[i] != b.userAgent[i] {
+			return false
+		}
+	}
+	for i := range a.flowAgent {
+		if a.flowAgent[i] != b.flowAgent[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode renders a compact canonical string key of the full state, usable
+// as a map key when estimating empirical state distributions.
+func (a *Assignment) Encode() string {
+	var sb strings.Builder
+	sb.Grow(3 * (len(a.userAgent) + len(a.flowAgent)))
+	for i, l := range a.userAgent {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(int(l)))
+	}
+	sb.WriteByte('|')
+	for i, l := range a.flowAgent {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(int(l)))
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer with a human-readable dump.
+func (a *Assignment) String() string {
+	var sb strings.Builder
+	sb.WriteString("assignment{users:")
+	for u, l := range a.userAgent {
+		fmt.Fprintf(&sb, " %d→%d", u, l)
+	}
+	sb.WriteString("; flows:")
+	for i, f := range a.flows {
+		fmt.Fprintf(&sb, " (%d→%d)@%d", f.Src, f.Dst, a.flowAgent[i])
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

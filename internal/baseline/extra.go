@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vconf/internal/assign"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+)
+
+// This file adds two more comparison policies beyond Nrst:
+//
+//   - Random assignment: a calibration floor — any sensible policy must beat
+//     it; useful for sanity-checking experiment pipelines.
+//   - Single-agent ("topology control"): per session, subscribe every
+//     participant to the one agent minimizing the session's worst
+//     end-to-end delay, with transcoding co-located. This mirrors the
+//     delay-only server-selection approach of Zhang et al. (NOSSDAV'14),
+//     cited as [24] in the paper's related work: it ignores provider cost
+//     entirely and optimizes latency by topology choice.
+
+// AssignSessionRandom bootstraps session s uniformly at random over agents
+// (users and transcoding tasks independently), retrying up to maxTries to
+// find a feasible draw. On success the load is added to the ledger.
+func AssignSessionRandom(a *assign.Assignment, s model.SessionID, p cost.Params, ledger *cost.Ledger, rng *rand.Rand, maxTries int) error {
+	sc := a.Scenario()
+	if maxTries < 1 {
+		maxTries = 1
+	}
+	for try := 0; try < maxTries; try++ {
+		for _, u := range sc.Session(s).Users {
+			a.SetUserAgent(u, model.AgentID(rng.Intn(sc.NumAgents())))
+		}
+		for _, f := range a.SessionFlows(s) {
+			if err := a.SetFlowAgent(f, model.AgentID(rng.Intn(sc.NumAgents()))); err != nil {
+				rollbackSession(a, s)
+				return err
+			}
+		}
+		load := p.SessionLoadOf(a, s)
+		if ledger.Fits(load) && cost.DelayFeasible(a, s) {
+			ledger.Add(load)
+			return nil
+		}
+	}
+	rollbackSession(a, s)
+	return fmt.Errorf("%w: session %d found no feasible random draw in %d tries",
+		ErrInfeasible, s, maxTries)
+}
+
+// AssignRandom bootstraps every session randomly in ID order.
+func AssignRandom(a *assign.Assignment, p cost.Params, ledger *cost.Ledger, seed int64, maxTries int) error {
+	sc := a.Scenario()
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < sc.NumSessions(); s++ {
+		if err := AssignSessionRandom(a, model.SessionID(s), p, ledger, rng, maxTries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AssignSessionSingleAgent bootstraps session s onto the single agent that
+// minimizes the session's mean per-user delay (F's shape), among agents
+// whose capacity can absorb the whole session. Transcoding runs at the same
+// agent, so the session generates zero inter-agent traffic — the
+// delay-driven "topology control" extreme.
+func AssignSessionSingleAgent(a *assign.Assignment, s model.SessionID, p cost.Params, ledger *cost.Ledger) error {
+	sc := a.Scenario()
+	bestAgent := model.AgentID(-1)
+	bestDelay := math.Inf(1)
+	for l := 0; l < sc.NumAgents(); l++ {
+		placeSessionAt(a, s, model.AgentID(l))
+		load := p.SessionLoadOf(a, s)
+		if !ledger.Fits(load) || !cost.DelayFeasible(a, s) {
+			continue
+		}
+		if d := cost.SessionDelaysOf(a, s).MeanOfMaxMS; d < bestDelay {
+			bestDelay = d
+			bestAgent = model.AgentID(l)
+		}
+	}
+	if bestAgent < 0 {
+		rollbackSession(a, s)
+		return fmt.Errorf("%w: session %d fits no single agent", ErrInfeasible, s)
+	}
+	placeSessionAt(a, s, bestAgent)
+	ledger.Add(p.SessionLoadOf(a, s))
+	return nil
+}
+
+// AssignSingleAgent bootstraps every session onto its best single agent.
+func AssignSingleAgent(a *assign.Assignment, p cost.Params, ledger *cost.Ledger) error {
+	sc := a.Scenario()
+	for s := 0; s < sc.NumSessions(); s++ {
+		if err := AssignSessionSingleAgent(a, model.SessionID(s), p, ledger); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func placeSessionAt(a *assign.Assignment, s model.SessionID, l model.AgentID) {
+	sc := a.Scenario()
+	for _, u := range sc.Session(s).Users {
+		a.SetUserAgent(u, l)
+	}
+	for _, f := range a.SessionFlows(s) {
+		// Session flows always exist in the table.
+		_ = a.SetFlowAgent(f, l)
+	}
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"vconf/internal/assign"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+)
+
+func TestAssignRandomFeasible(t *testing.T) {
+	sc, _ := buildScenario(t, 1000, 1000, 4)
+	a := assign.New(sc)
+	p := cost.DefaultParams()
+	ledger := cost.NewLedger(sc)
+	if err := AssignRandom(a, p, ledger, 7, 50); err != nil {
+		t.Fatalf("AssignRandom: %v", err)
+	}
+	ev, err := cost.NewEvaluator(sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.CheckFeasible(a); err != nil {
+		t.Fatalf("random assignment infeasible: %v", err)
+	}
+}
+
+func TestAssignRandomDeterministicPerSeed(t *testing.T) {
+	sc, _ := buildScenario(t, 1000, 1000, 4)
+	p := cost.DefaultParams()
+	run := func(seed int64) string {
+		a := assign.New(sc)
+		if err := AssignRandom(a, p, cost.NewLedger(sc), seed, 50); err != nil {
+			t.Fatal(err)
+		}
+		return a.Encode()
+	}
+	if run(3) != run(3) {
+		t.Fatal("same seed produced different assignments")
+	}
+}
+
+func TestAssignRandomExhaustsTriesOnImpossible(t *testing.T) {
+	// Zero transcoding slots everywhere: no draw can ever be feasible.
+	sc, _ := buildScenario(t, 1000, 1000, 0)
+	a := assign.New(sc)
+	rng := rand.New(rand.NewSource(1))
+	err := AssignSessionRandom(a, 0, cost.DefaultParams(), cost.NewLedger(sc), rng, 25)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if a.UserAgent(0) != assign.Unassigned {
+		t.Fatal("failed random admission not rolled back")
+	}
+}
+
+func TestAssignSingleAgentPicksDelayMinimizer(t *testing.T) {
+	// Agent 1 is closer to both users on average: single-agent policy must
+	// choose it for the whole session.
+	b := model.NewBuilder(nil)
+	rs := b.Reps()
+	r360, _ := rs.ByName("360p")
+	r1080, _ := rs.ByName("1080p")
+	b.AddAgent(model.Agent{Upload: 1000, Download: 1000, TranscodeSlots: 4})
+	b.AddAgent(model.Agent{Upload: 1000, Download: 1000, TranscodeSlots: 4})
+	s := b.AddSession("s")
+	u0 := b.AddUser("u0", s, r1080, nil)
+	u1 := b.AddUser("u1", s, r1080, nil)
+	b.DemandFrom(u1, u0, r360)
+	b.SetInterAgentDelays([][]float64{{0, 30}, {30, 0}})
+	b.SetAgentUserDelays([][]float64{{50, 60}, {20, 25}})
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign.New(sc)
+	p := cost.DefaultParams()
+	ledger := cost.NewLedger(sc)
+	if err := AssignSingleAgent(a, p, ledger); err != nil {
+		t.Fatal(err)
+	}
+	if a.UserAgent(u0) != 1 || a.UserAgent(u1) != 1 {
+		t.Fatalf("users at %d/%d, want both at agent 1", a.UserAgent(u0), a.UserAgent(u1))
+	}
+	if m, _ := a.FlowAgent(model.Flow{Src: u0, Dst: u1}); m != 1 {
+		t.Fatalf("transcoder at %d, want co-located agent 1", m)
+	}
+	// Zero inter-agent traffic by construction.
+	if got := p.SessionLoadOf(a, 0).TotalInterTraffic(); got != 0 {
+		t.Fatalf("single-agent traffic = %v, want 0", got)
+	}
+}
+
+func TestAssignSingleAgentRespectsCapacity(t *testing.T) {
+	// Agent 1 is delay-best but too small; policy must fall back to agent 0.
+	b := model.NewBuilder(nil)
+	rs := b.Reps()
+	r720, _ := rs.ByName("720p")
+	b.AddAgent(model.Agent{Upload: 1000, Download: 1000, TranscodeSlots: 4})
+	b.AddAgent(model.Agent{Upload: 6, Download: 6, TranscodeSlots: 4})
+	s := b.AddSession("s")
+	b.AddUser("u0", s, r720, nil)
+	b.AddUser("u1", s, r720, nil)
+	b.SetInterAgentDelays([][]float64{{0, 30}, {30, 0}})
+	b.SetAgentUserDelays([][]float64{{50, 60}, {20, 25}})
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign.New(sc)
+	if err := AssignSingleAgent(a, cost.DefaultParams(), cost.NewLedger(sc)); err != nil {
+		t.Fatal(err)
+	}
+	if a.UserAgent(0) != 0 || a.UserAgent(1) != 0 {
+		t.Fatal("policy must fall back to the agent with capacity")
+	}
+}
+
+func TestAssignSingleAgentInfeasible(t *testing.T) {
+	sc, _ := buildScenario(t, 6, 6, 4) // no agent can hold the session
+	a := assign.New(sc)
+	err := AssignSingleAgent(a, cost.DefaultParams(), cost.NewLedger(sc))
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

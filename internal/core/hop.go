@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"vconf/internal/assign"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+)
+
+// HopResult reports what one HOP invocation did.
+type HopResult struct {
+	// Moved is true when the session migrated to a neighbor state; false
+	// when no feasible neighbor existed.
+	Moved bool
+	// Decision is the executed migration (valid when Moved).
+	Decision assign.Decision
+	// PhiBefore and PhiAfter are the session-local objectives (noiseless).
+	PhiBefore float64
+	PhiAfter  float64
+	// Feasible is the number of feasible neighbor states considered.
+	Feasible int
+	// TotalRate is Σ_f' q_{f,f'} / τ: the unnormalized total outgoing
+	// weight, used by ExactCTMC holding times.
+	TotalRate float64
+}
+
+// HopSession executes one HOP of Alg. 1 (lines 9–16) for session s:
+// enumerate all feasible single-variable neighbors, evaluate their local
+// objectives against the shared residual-capacity ledger, and migrate with
+// probability ∝ exp(½·β·scale·(Φ_s,f − Φ_s,f')).
+//
+// The ledger must contain the loads of ALL admitted sessions including s;
+// on return it reflects the (possibly migrated) state. The assignment is
+// mutated in place. Callers are responsible for mutual exclusion across
+// sessions (the virtual-time engine serializes events; Parallel uses the
+// FREEZE/UNFREEZE lock).
+func HopSession(
+	a *assign.Assignment,
+	s model.SessionID,
+	ev *cost.Evaluator,
+	ledger *cost.Ledger,
+	cfg Config,
+	rng *rand.Rand,
+) (HopResult, error) {
+	p := ev.Params()
+
+	// Line 11: fetch residual capacities — remove s's own load so the
+	// ledger holds exactly the *other* sessions' usage.
+	curLoad := p.SessionLoadOf(a, s)
+	ledger.Remove(curLoad)
+
+	phiCur := ev.SessionObjective(a, s)
+	phiCurReading := phiCur
+	if cfg.Noise != nil {
+		phiCurReading = cfg.Noise(phiCur)
+	}
+
+	// Line 12: F_s — all feasible solutions one decision away.
+	decisions := a.SessionNeighborDecisions(s)
+	type candidate struct {
+		d          assign.Decision
+		phi        float64 // noiseless, for reporting
+		phiReading float64 // possibly noisy, drives the jump
+	}
+	cands := make([]candidate, 0, len(decisions))
+	for _, d := range decisions {
+		inv, err := a.Apply(d)
+		if err != nil {
+			ledger.Add(curLoad)
+			return HopResult{}, err
+		}
+		load := p.SessionLoadOf(a, s)
+		// FitsRepair (not Fits) so that after a runtime capacity
+		// degradation, sessions can still migrate off the overloaded agent
+		// instead of freezing; on a fully-feasible ledger it is identical
+		// to Fits.
+		if ledger.FitsRepair(load, curLoad) && cost.DelayFeasible(a, s) {
+			phi := ev.SessionObjective(a, s)
+			reading := phi
+			if cfg.Noise != nil {
+				reading = cfg.Noise(phi)
+			}
+			cands = append(cands, candidate{d: d, phi: phi, phiReading: reading})
+		}
+		if _, err := a.Apply(inv); err != nil {
+			ledger.Add(curLoad)
+			return HopResult{}, err
+		}
+	}
+
+	res := HopResult{PhiBefore: phiCur, PhiAfter: phiCur, Feasible: len(cands)}
+	if len(cands) == 0 {
+		ledger.Add(curLoad)
+		return res, nil
+	}
+
+	// Line 13: sample the target ∝ exp(½β(Φ_f − Φ_f')), max-shifted so
+	// β = 400 cannot overflow float64.
+	halfBeta := 0.5 * cfg.Beta * cfg.ObjectiveScale
+	maxExp := math.Inf(-1)
+	for _, c := range cands {
+		if e := halfBeta * (phiCurReading - c.phiReading); e > maxExp {
+			maxExp = e
+		}
+	}
+	weights := make([]float64, len(cands))
+	total := 0.0
+	for i, c := range cands {
+		weights[i] = math.Exp(halfBeta*(phiCurReading-c.phiReading) - maxExp)
+		total += weights[i]
+	}
+	res.TotalRate = total * math.Exp(maxExp) // unshifted Σ weights (may be +Inf; only ExactCTMC uses it)
+
+	pick := rng.Float64() * total
+	chosen := len(cands) - 1
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if pick < acc {
+			chosen = i
+			break
+		}
+	}
+
+	c := cands[chosen]
+	if _, err := a.Apply(c.d); err != nil {
+		ledger.Add(curLoad)
+		return HopResult{}, err
+	}
+	ledger.Add(p.SessionLoadOf(a, s))
+	res.Moved = true
+	res.Decision = c.d
+	res.PhiAfter = c.phi
+	return res, nil
+}
+
+// SessionTotalRate computes R(f)/τ = Σ_{f'∈F_s} exp(½β·scale·(Φ_f − Φ_f'))
+// for the session's current state without migrating: the total outgoing
+// weight that determines the ExactCTMC holding time. The ledger is restored
+// before returning.
+func SessionTotalRate(
+	a *assign.Assignment,
+	s model.SessionID,
+	ev *cost.Evaluator,
+	ledger *cost.Ledger,
+	cfg Config,
+) (float64, error) {
+	p := ev.Params()
+	curLoad := p.SessionLoadOf(a, s)
+	ledger.Remove(curLoad)
+	defer ledger.Add(curLoad)
+
+	phiCur := ev.SessionObjective(a, s)
+	halfBeta := 0.5 * cfg.Beta * cfg.ObjectiveScale
+	total := 0.0
+	for _, d := range a.SessionNeighborDecisions(s) {
+		inv, err := a.Apply(d)
+		if err != nil {
+			return 0, err
+		}
+		load := p.SessionLoadOf(a, s)
+		if ledger.FitsRepair(load, curLoad) && cost.DelayFeasible(a, s) {
+			total += math.Exp(halfBeta * (phiCur - ev.SessionObjective(a, s)))
+		}
+		if _, err := a.Apply(inv); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// holdingTime draws the time to the next hop of a session. In PaperHop mode
+// it is exponential with the configured mean countdown; in ExactCTMC mode it
+// is exponential with rate τ·Σ weights, which realizes the chain's exact
+// transition rates (totalRate ≤ 0 falls back to the paper countdown so a
+// stuck session still re-checks periodically; an infinite rate is clamped to
+// a small positive holding time to avoid zero-time event loops).
+func holdingTime(cfg Config, totalRate float64, rng *rand.Rand) float64 {
+	mean := cfg.MeanCountdownS
+	if cfg.Mode == ExactCTMC && totalRate > 0 {
+		if math.IsInf(totalRate, 1) {
+			mean = 1e-9
+		} else {
+			mean = cfg.MeanCountdownS / totalRate
+		}
+	}
+	return rng.ExpFloat64() * mean
+}

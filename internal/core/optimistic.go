@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"vconf/internal/assign"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+)
+
+// OptimisticParallel is an extension of the paper's FREEZE/UNFREEZE protocol
+// (§IV-A). The paper freezes *every* other session for the entire HOP —
+// including the expensive part, evaluating all |F_s| neighbor objectives.
+// This engine instead lets sessions evaluate candidates concurrently against
+// a snapshot of the shared capacity ledger and serializes only the commit:
+//
+//  1. snapshot: under a read lock, copy the residual-capacity view and the
+//     session's current assignment;
+//  2. evaluate: off-lock, enumerate feasible neighbors and sample the jump
+//     target exactly as Alg. 1 line 13;
+//  3. commit: under the write lock, re-validate the chosen target against
+//     the live ledger (another session may have claimed capacity); apply if
+//     still feasible, abort-and-retry otherwise.
+//
+// Aborts are counted; with ample capacity they are rare and the chain's
+// trajectory distribution matches the frozen protocol's (the re-validation
+// only rejects moves the frozen protocol would never have proposed).
+type OptimisticParallel struct {
+	ev  *cost.Evaluator
+	cfg Config
+	// TimeScale compresses virtual seconds into wall time (see Parallel).
+	TimeScale time.Duration
+
+	mu     sync.RWMutex
+	a      *assign.Assignment
+	ledger *cost.Ledger
+
+	statsMu sync.Mutex
+	hops    int
+	moves   int
+	aborts  int
+}
+
+// NewOptimisticParallel builds the engine from a complete assignment.
+func NewOptimisticParallel(ev *cost.Evaluator, cfg Config, a *assign.Assignment) (*OptimisticParallel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ledger := cost.NewLedger(ev.Scenario())
+	p := ev.Params()
+	for s := 0; s < ev.Scenario().NumSessions(); s++ {
+		if !a.SessionComplete(model.SessionID(s)) {
+			return nil, fmt.Errorf("core: optimistic engine needs a complete assignment; session %d is not", s)
+		}
+		ledger.Add(p.SessionLoadOf(a, model.SessionID(s)))
+	}
+	return &OptimisticParallel{
+		ev:        ev,
+		cfg:       cfg,
+		TimeScale: time.Millisecond,
+		a:         a.Clone(),
+		ledger:    ledger,
+	}, nil
+}
+
+// Run launches one goroutine per session until wall time d elapses or ctx is
+// cancelled; it blocks until all goroutines exit.
+func (oe *OptimisticParallel) Run(ctx context.Context, d time.Duration) error {
+	runCtx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+
+	sc := oe.ev.Scenario()
+	var wg sync.WaitGroup
+	errs := make(chan error, sc.NumSessions())
+	for s := 0; s < sc.NumSessions(); s++ {
+		sid := model.SessionID(s)
+		rng := rand.New(rand.NewSource(oe.cfg.Seed + int64(s)*104729))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			oe.runSession(runCtx, sid, rng, errs)
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+func (oe *OptimisticParallel) runSession(ctx context.Context, s model.SessionID, rng *rand.Rand, errs chan<- error) {
+	for {
+		wait := time.Duration(rng.ExpFloat64() * oe.cfg.MeanCountdownS * float64(oe.TimeScale))
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		if err := oe.attemptHop(s, rng); err != nil {
+			select {
+			case errs <- fmt.Errorf("core: optimistic hop session %d: %w", s, err):
+			default:
+			}
+			return
+		}
+	}
+}
+
+// attemptHop runs snapshot → evaluate → commit for one session.
+func (oe *OptimisticParallel) attemptHop(s model.SessionID, rng *rand.Rand) error {
+	p := oe.ev.Params()
+
+	// ---- snapshot (read lock) ----
+	oe.mu.RLock()
+	snapshot := oe.a.Clone()
+	curLoad := p.SessionLoadOf(snapshot, s)
+	others := cost.NewLedger(oe.ev.Scenario())
+	down, up, tasks := oe.ledger.Usage()
+	othersLoad := &cost.SessionLoad{Down: down, Up: up, Tasks: tasks, Inter: make([]float64, len(down))}
+	others.Add(othersLoad)
+	others.Remove(curLoad)
+	oe.mu.RUnlock()
+
+	// ---- evaluate (no lock) ----
+	phiCur := oe.ev.SessionObjective(snapshot, s)
+	if oe.cfg.Noise != nil {
+		phiCur = oe.cfg.Noise(phiCur)
+	}
+	type candidate struct {
+		d   assign.Decision
+		phi float64
+	}
+	var cands []candidate
+	for _, d := range snapshot.SessionNeighborDecisions(s) {
+		inv, err := snapshot.Apply(d)
+		if err != nil {
+			return err
+		}
+		load := p.SessionLoadOf(snapshot, s)
+		if others.Fits(load) && cost.DelayFeasible(snapshot, s) {
+			phi := oe.ev.SessionObjective(snapshot, s)
+			if oe.cfg.Noise != nil {
+				phi = oe.cfg.Noise(phi)
+			}
+			cands = append(cands, candidate{d: d, phi: phi})
+		}
+		if _, err := snapshot.Apply(inv); err != nil {
+			return err
+		}
+	}
+
+	oe.statsMu.Lock()
+	oe.hops++
+	oe.statsMu.Unlock()
+	if len(cands) == 0 {
+		return nil
+	}
+
+	halfBeta := 0.5 * oe.cfg.Beta * oe.cfg.ObjectiveScale
+	maxExp := math.Inf(-1)
+	for _, c := range cands {
+		if e := halfBeta * (phiCur - c.phi); e > maxExp {
+			maxExp = e
+		}
+	}
+	total := 0.0
+	weights := make([]float64, len(cands))
+	for i, c := range cands {
+		weights[i] = math.Exp(halfBeta*(phiCur-c.phi) - maxExp)
+		total += weights[i]
+	}
+	pick := rng.Float64() * total
+	chosen := len(cands) - 1
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if pick < acc {
+			chosen = i
+			break
+		}
+	}
+	d := cands[chosen].d
+
+	// ---- commit (write lock, re-validate) ----
+	oe.mu.Lock()
+	defer oe.mu.Unlock()
+	liveCur := p.SessionLoadOf(oe.a, s)
+	oe.ledger.Remove(liveCur)
+	inv, err := oe.a.Apply(d)
+	if err != nil {
+		oe.ledger.Add(liveCur)
+		return err
+	}
+	newLoad := p.SessionLoadOf(oe.a, s)
+	if oe.ledger.Fits(newLoad) && cost.DelayFeasible(oe.a, s) {
+		oe.ledger.Add(newLoad)
+		oe.statsMu.Lock()
+		oe.moves++
+		oe.statsMu.Unlock()
+		return nil
+	}
+	// Conflict: another session consumed the capacity between snapshot and
+	// commit. Abort and let the next countdown retry.
+	if _, err := oe.a.Apply(inv); err != nil {
+		return err
+	}
+	oe.ledger.Add(liveCur)
+	oe.statsMu.Lock()
+	oe.aborts++
+	oe.statsMu.Unlock()
+	return nil
+}
+
+// Snapshot returns the current assignment and (hops, moves, aborts).
+func (oe *OptimisticParallel) Snapshot() (*assign.Assignment, int, int, int) {
+	oe.mu.RLock()
+	a := oe.a.Clone()
+	oe.mu.RUnlock()
+	oe.statsMu.Lock()
+	defer oe.statsMu.Unlock()
+	return a, oe.hops, oe.moves, oe.aborts
+}
+
+// Report evaluates the current state system-wide.
+func (oe *OptimisticParallel) Report() cost.SystemReport {
+	a, _, _, _ := oe.Snapshot()
+	return oe.ev.ReportSystem(a)
+}

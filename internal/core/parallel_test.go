@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vconf/internal/assign"
+	"vconf/internal/baseline"
+	"vconf/internal/cost"
+)
+
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestParallelRequiresCompleteAssignment(t *testing.T) {
+	sc := multiScenario(t, 3)
+	ev := newEval(t, sc)
+	if _, err := NewParallel(ev, DefaultConfig(1), assign.New(sc)); err == nil {
+		t.Fatal("NewParallel accepted an incomplete assignment")
+	}
+}
+
+func TestParallelRunImprovesAndStaysFeasible(t *testing.T) {
+	sc := multiScenario(t, 6)
+	ev := newEval(t, sc)
+	a := assign.New(sc)
+	ledger := cost.NewLedger(sc)
+	if err := baseline.Assign(a, ev.Params(), ledger); err != nil {
+		t.Fatal(err)
+	}
+	initial := ev.ReportSystem(a)
+
+	cfg := DefaultConfig(31)
+	cfg.MeanCountdownS = 5 // 5 virtual s × 1 ms/s = 5 ms mean between hops
+	pe, err := NewParallel(ev, cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.Run(context.Background(), 400*time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	final, hops, moved := pe.Snapshot()
+	if hops == 0 {
+		t.Fatal("no hops executed by the concurrent engine")
+	}
+	if moved == 0 {
+		t.Fatal("no migrations executed by the concurrent engine")
+	}
+	if err := ev.CheckFeasible(final); err != nil {
+		t.Fatalf("concurrent run ended infeasible: %v", err)
+	}
+	rep := pe.Report()
+	if rep.Objective > initial.Objective {
+		t.Fatalf("objective rose under the concurrent engine: %v → %v",
+			initial.Objective, rep.Objective)
+	}
+}
+
+func TestParallelRunHonorsContextCancel(t *testing.T) {
+	sc := multiScenario(t, 3)
+	ev := newEval(t, sc)
+	a := assign.New(sc)
+	if err := baseline.Assign(a, ev.Params(), cost.NewLedger(sc)); err != nil {
+		t.Fatal(err)
+	}
+	pe, err := NewParallel(ev, DefaultConfig(5), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- pe.Run(ctx, time.Minute) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run after cancel: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
+	}
+}

@@ -1,0 +1,313 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"vconf/internal/assign"
+	"vconf/internal/model"
+)
+
+// Evaluator computes objectives and feasibility for assignments over a fixed
+// scenario. It is stateless and safe for concurrent use.
+type Evaluator struct {
+	sc *model.Scenario
+	p  Params
+}
+
+// NewEvaluator builds an evaluator; the parameters are validated once here.
+func NewEvaluator(sc *model.Scenario, p Params) (*Evaluator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{sc: sc, p: p}, nil
+}
+
+// Params returns the evaluator's parameters.
+func (e *Evaluator) Params() Params { return e.p }
+
+// Scenario returns the evaluator's scenario.
+func (e *Evaluator) Scenario() *model.Scenario { return e.sc }
+
+// SessionObjective computes Φ_s = α1·F(d_s) + α2·G(x_s) + α3·H(y_s): the
+// local objective of session s (§IV-A-2), which is all Alg. 1 needs to
+// compute hop probabilities — the property that enables the parallel,
+// per-session implementation.
+func (e *Evaluator) SessionObjective(a *assign.Assignment, s model.SessionID) float64 {
+	sl := e.p.SessionLoadOf(a, s)
+	return e.sessionObjectiveFromLoad(a, s, sl)
+}
+
+func (e *Evaluator) sessionObjectiveFromLoad(a *assign.Assignment, s model.SessionID, sl *SessionLoad) float64 {
+	phi := 0.0
+	if e.p.Alpha1 > 0 {
+		phi += e.p.Alpha1 * SessionDelaysOf(a, s).MeanOfMaxMS
+	}
+	if e.p.Alpha2 > 0 {
+		g := 0.0
+		for l, x := range sl.Inter {
+			if x > 0 {
+				g += e.p.trafficCost(e.sc.Agent(model.AgentID(l)).TrafficPricePerMbps, x)
+			}
+		}
+		phi += e.p.Alpha2 * g
+	}
+	if e.p.Alpha3 > 0 {
+		h := 0.0
+		for l, y := range sl.Tasks {
+			if y > 0 {
+				h += e.p.transcodeCost(e.sc.Agent(model.AgentID(l)).TranscodePricePerTask, y)
+			}
+		}
+		phi += e.p.Alpha3 * h
+	}
+	return phi
+}
+
+// TotalObjective computes Φ_f = Σ_s Φ_s for a complete assignment.
+func (e *Evaluator) TotalObjective(a *assign.Assignment) float64 {
+	total := 0.0
+	for s := 0; s < e.sc.NumSessions(); s++ {
+		total += e.SessionObjective(a, model.SessionID(s))
+	}
+	return total
+}
+
+// SessionReport bundles the per-session observables the experiments plot.
+type SessionReport struct {
+	Session       model.SessionID
+	Objective     float64
+	InterTraffic  float64 // Mbps, Σ_l x_ls
+	Tasks         int     // Σ_l y_ls
+	MeanDelayMS   float64 // F's argument: mean over users of max incoming delay
+	WorstDelayMS  float64
+	DelayFeasible bool
+}
+
+// ReportSession evaluates one session fully.
+func (e *Evaluator) ReportSession(a *assign.Assignment, s model.SessionID) SessionReport {
+	sl := e.p.SessionLoadOf(a, s)
+	sd := SessionDelaysOf(a, s)
+	return SessionReport{
+		Session:       s,
+		Objective:     e.sessionObjectiveFromLoad(a, s, sl),
+		InterTraffic:  sl.TotalInterTraffic(),
+		Tasks:         sl.TotalTasks(),
+		MeanDelayMS:   sd.MeanOfMaxMS,
+		WorstDelayMS:  sd.WorstMS,
+		DelayFeasible: sd.WorstMS <= e.sc.DMaxMS,
+	}
+}
+
+// SystemReport aggregates all sessions.
+type SystemReport struct {
+	Objective      float64
+	InterTraffic   float64
+	Tasks          int
+	MeanDelayMS    float64
+	WorstDelayMS   float64
+	AllDelayOK     bool
+	SessionReports []SessionReport
+}
+
+// ReportSystem evaluates the whole assignment.
+func (e *Evaluator) ReportSystem(a *assign.Assignment) SystemReport {
+	out := SystemReport{AllDelayOK: true}
+	totalDelay, users := 0.0, 0
+	for s := 0; s < e.sc.NumSessions(); s++ {
+		r := e.ReportSession(a, model.SessionID(s))
+		out.SessionReports = append(out.SessionReports, r)
+		out.Objective += r.Objective
+		out.InterTraffic += r.InterTraffic
+		out.Tasks += r.Tasks
+		n := e.sc.Session(model.SessionID(s)).Size()
+		totalDelay += r.MeanDelayMS * float64(n)
+		users += n
+		if r.WorstDelayMS > out.WorstDelayMS {
+			out.WorstDelayMS = r.WorstDelayMS
+		}
+		out.AllDelayOK = out.AllDelayOK && r.DelayFeasible
+	}
+	if users > 0 {
+		out.MeanDelayMS = totalDelay / float64(users)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Global capacity ledger
+
+// Ledger tracks global per-agent resource usage across sessions and answers
+// capacity-feasibility questions incrementally. The Markov engine holds one
+// Ledger; when session s considers a hop, it subtracts s's current load,
+// adds the candidate load, and asks Fits.
+//
+// A ledger can also model runtime capacity degradation (failure injection):
+// SetCapacityScale shrinks an agent's effective capacities, and FitsRepair
+// lets the chain keep migrating off a newly-overloaded agent even while the
+// violation persists.
+type Ledger struct {
+	sc    *model.Scenario
+	down  []float64
+	up    []float64
+	tasks []int
+	// scale multiplies each agent's nominal capacities (nil ⇒ all 1.0).
+	scale []float64
+}
+
+// NewLedger creates an empty ledger for the scenario.
+func NewLedger(sc *model.Scenario) *Ledger {
+	return &Ledger{
+		sc:    sc,
+		down:  make([]float64, sc.NumAgents()),
+		up:    make([]float64, sc.NumAgents()),
+		tasks: make([]int, sc.NumAgents()),
+	}
+}
+
+// SetCapacityScale degrades (or restores) agent l's effective capacities to
+// factor × nominal. factor must be in [0, 1]; 1 restores full capacity.
+func (g *Ledger) SetCapacityScale(l model.AgentID, factor float64) error {
+	if factor < 0 || factor > 1 {
+		return fmt.Errorf("cost: capacity scale %v outside [0,1]", factor)
+	}
+	if int(l) < 0 || int(l) >= g.sc.NumAgents() {
+		return fmt.Errorf("cost: unknown agent %d", l)
+	}
+	if g.scale == nil {
+		g.scale = make([]float64, g.sc.NumAgents())
+		for i := range g.scale {
+			g.scale[i] = 1
+		}
+	}
+	g.scale[l] = factor
+	return nil
+}
+
+// effectiveCaps returns agent l's scaled capacities.
+func (g *Ledger) effectiveCaps(l int) (down, up float64, tasks int) {
+	ag := g.sc.Agent(model.AgentID(l))
+	down, up, tasks = ag.Download, ag.Upload, ag.TranscodeSlots
+	if g.scale != nil {
+		down *= g.scale[l]
+		up *= g.scale[l]
+		tasks = int(float64(tasks) * g.scale[l])
+	}
+	return down, up, tasks
+}
+
+// Violations lists agents whose current usage exceeds their (scaled)
+// capacity — non-empty only after degradation or external load injection.
+func (g *Ledger) Violations() []model.AgentID {
+	const eps = 1e-9
+	var out []model.AgentID
+	for l := 0; l < g.sc.NumAgents(); l++ {
+		capDown, capUp, capTasks := g.effectiveCaps(l)
+		if g.down[l] > capDown+eps || g.up[l] > capUp+eps || g.tasks[l] > capTasks {
+			out = append(out, model.AgentID(l))
+		}
+	}
+	return out
+}
+
+// FitsRepair reports whether replacing a session's current load with the
+// candidate keeps every agent within capacity OR, where an agent is already
+// over its (possibly degraded) capacity, does not worsen it. This lets the
+// chain execute repair migrations after a capacity degradation: strict Fits
+// would freeze every session touching the overloaded agent.
+func (g *Ledger) FitsRepair(candidate, current *SessionLoad) bool {
+	const eps = 1e-9
+	for l := 0; l < g.sc.NumAgents(); l++ {
+		capDown, capUp, capTasks := g.effectiveCaps(l)
+		newDown := g.down[l] + candidate.Down[l]
+		newUp := g.up[l] + candidate.Up[l]
+		newTasks := g.tasks[l] + candidate.Tasks[l]
+		oldDown := g.down[l] + current.Down[l]
+		oldUp := g.up[l] + current.Up[l]
+		oldTasks := g.tasks[l] + current.Tasks[l]
+		if newDown > capDown+eps && newDown > oldDown+eps {
+			return false
+		}
+		if newUp > capUp+eps && newUp > oldUp+eps {
+			return false
+		}
+		if newTasks > capTasks && newTasks > oldTasks {
+			return false
+		}
+	}
+	return true
+}
+
+// Add accumulates a session load into the ledger.
+func (g *Ledger) Add(sl *SessionLoad) { sl.AddTo(g.down, g.up, g.tasks) }
+
+// Remove subtracts a session load from the ledger.
+func (g *Ledger) Remove(sl *SessionLoad) { sl.SubtractFrom(g.down, g.up, g.tasks) }
+
+// Fits reports whether the ledger plus the candidate session load respects
+// every agent's (scaled) download, upload and transcoding capacity
+// (constraints (5)–(7)). The candidate may be nil to check the ledger alone.
+func (g *Ledger) Fits(candidate *SessionLoad) bool {
+	const eps = 1e-9 // float accumulation slack
+	for l := 0; l < g.sc.NumAgents(); l++ {
+		capDown, capUp, capTasks := g.effectiveCaps(l)
+		down, up, tasks := g.down[l], g.up[l], g.tasks[l]
+		if candidate != nil {
+			down += candidate.Down[l]
+			up += candidate.Up[l]
+			tasks += candidate.Tasks[l]
+		}
+		if down > capDown+eps || up > capUp+eps || tasks > capTasks {
+			return false
+		}
+	}
+	return true
+}
+
+// Usage returns copies of the per-agent usage vectors.
+func (g *Ledger) Usage() (down, up []float64, tasks []int) {
+	return append([]float64(nil), g.down...),
+		append([]float64(nil), g.up...),
+		append([]int(nil), g.tasks...)
+}
+
+// CheckFeasible verifies a complete assignment against all constraints
+// (1)–(8): structural completeness, capacities, and delay caps. It returns
+// nil when feasible, else a descriptive error naming the violated
+// constraint.
+func (e *Evaluator) CheckFeasible(a *assign.Assignment) error {
+	if !a.Complete() {
+		return fmt.Errorf("cost: assignment incomplete (constraint (1)/(3))")
+	}
+	ledger := NewLedger(e.sc)
+	for s := 0; s < e.sc.NumSessions(); s++ {
+		ledger.Add(e.p.SessionLoadOf(a, model.SessionID(s)))
+	}
+	const eps = 1e-9
+	for l := 0; l < e.sc.NumAgents(); l++ {
+		ag := e.sc.Agent(model.AgentID(l))
+		switch {
+		case ledger.down[l] > ag.Download+eps:
+			return fmt.Errorf("cost: agent %d download %.3f exceeds capacity %.3f (constraint (5))",
+				l, ledger.down[l], ag.Download)
+		case ledger.up[l] > ag.Upload+eps:
+			return fmt.Errorf("cost: agent %d upload %.3f exceeds capacity %.3f (constraint (6))",
+				l, ledger.up[l], ag.Upload)
+		case ledger.tasks[l] > ag.TranscodeSlots:
+			return fmt.Errorf("cost: agent %d runs %d transcoding tasks, capacity %d (constraint (7))",
+				l, ledger.tasks[l], ag.TranscodeSlots)
+		}
+	}
+	for s := 0; s < e.sc.NumSessions(); s++ {
+		if !DelayFeasible(a, model.SessionID(s)) {
+			sd := SessionDelaysOf(a, model.SessionID(s))
+			return fmt.Errorf("cost: session %d flow %d→%d delay %.1f ms exceeds Dmax %.1f ms (constraint (8))",
+				s, sd.WorstFlow.Src, sd.WorstFlow.Dst, sd.WorstMS, e.sc.DMaxMS)
+		}
+	}
+	return nil
+}
+
+// Infeasible is a sentinel objective value for states that violate
+// constraints; it dominates every feasible objective.
+var Infeasible = math.Inf(1)

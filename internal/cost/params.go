@@ -1,0 +1,95 @@
+// Package cost evaluates assignments: the μ inter-agent traffic terms, the
+// end-to-end flow delays, the capacity constraints (5)–(8), and the UAP
+// objective Φ = Σ_s α1·F(d_s) + α2·G(x_s) + α3·H(y_s) of the paper, §III.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params configures the objective weights and cost-function shapes.
+type Params struct {
+	// Alpha1 weights the delay cost F(d_s). §V-B sweeps α1 against α2.
+	Alpha1 float64
+	// Alpha2 weights the inter-agent bandwidth cost G(x_s).
+	Alpha2 float64
+	// Alpha3 weights the transcoding cost H(y_s).
+	Alpha3 float64
+
+	// TrafficExponent shapes g_l(x) = price_l · x^TrafficExponent. The paper
+	// requires g_l convex increasing; 1 (linear) is the default, > 1 models
+	// burst pricing.
+	TrafficExponent float64
+	// TranscodeExponent shapes h_l(y) = price_l · y^TranscodeExponent.
+	TranscodeExponent float64
+
+	// StrictPaperTraffic selects the μ formula exactly as printed in §III-B,
+	// including the (1−λ_lu) factor in its third term, which suppresses
+	// transcoded-return traffic toward the source's own agent. When false, a
+	// flow-conserving variant is used that counts that traffic. Default true
+	// (faithful reproduction); the ablation bench compares both.
+	StrictPaperTraffic bool
+}
+
+// DefaultParams returns the α1 = α2 = α3 = 1 linear configuration used
+// wherever the paper says "α1 = α2".
+func DefaultParams() Params {
+	return Params{
+		Alpha1:             1,
+		Alpha2:             1,
+		Alpha3:             1,
+		TrafficExponent:    1,
+		TranscodeExponent:  1,
+		StrictPaperTraffic: true,
+	}
+}
+
+// TrafficOnlyParams is the paper's α1 = 0 column of Table II: pure
+// operational-cost minimization.
+func TrafficOnlyParams() Params {
+	p := DefaultParams()
+	p.Alpha1 = 0
+	return p
+}
+
+// DelayOnlyParams is the paper's α2 = 0 column of Table II: pure
+// delay minimization (transcoding cost also disabled so the objective is
+// delay-only, matching the column label "delay only").
+func DelayOnlyParams() Params {
+	p := DefaultParams()
+	p.Alpha2 = 0
+	p.Alpha3 = 0
+	return p
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Alpha1 < 0 || p.Alpha2 < 0 || p.Alpha3 < 0 {
+		return fmt.Errorf("cost: negative objective weight")
+	}
+	if p.Alpha1 == 0 && p.Alpha2 == 0 && p.Alpha3 == 0 {
+		return fmt.Errorf("cost: all objective weights are zero")
+	}
+	if p.TrafficExponent < 1 || p.TranscodeExponent < 1 {
+		return fmt.Errorf("cost: cost exponents must be ≥ 1 for convexity")
+	}
+	return nil
+}
+
+// trafficCost evaluates g_l for one agent's incoming traffic.
+func (p Params) trafficCost(pricePerMbps, mbps float64) float64 {
+	if p.TrafficExponent == 1 {
+		return pricePerMbps * mbps
+	}
+	return pricePerMbps * math.Pow(mbps, p.TrafficExponent)
+}
+
+// transcodeCost evaluates h_l for one agent's task count.
+func (p Params) transcodeCost(pricePerTask float64, tasks int) float64 {
+	y := float64(tasks)
+	if p.TranscodeExponent == 1 {
+		return pricePerTask * y
+	}
+	return pricePerTask * math.Pow(y, p.TranscodeExponent)
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vconf/internal/core"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+	"vconf/internal/stats"
+	"vconf/internal/workload"
+)
+
+// BetaSweepConfig drives the β trade-off experiment (§IV-A-4 and the
+// discussion around Fig. 4): larger β shrinks the stationary optimality gap
+// but slows convergence, and the paper's β=200 run fluctuates more than
+// β=400. This sweep quantifies both effects: the final objective (accuracy)
+// and the time to reach within 10% of it (convergence), per β.
+type BetaSweepConfig struct {
+	Seed         int64
+	Betas        []float64
+	NumScenarios int
+	DurationS    float64
+	Workload     func(seed int64) workload.Config
+}
+
+// DefaultBetaSweepConfig sweeps β across the paper's regime.
+func DefaultBetaSweepConfig(seed int64) BetaSweepConfig {
+	return BetaSweepConfig{
+		Seed:         seed,
+		Betas:        []float64{50, 100, 200, 400, 800},
+		NumScenarios: 5,
+		DurationS:    300,
+	}
+}
+
+// BetaSweepRow is one β's aggregate measurements.
+type BetaSweepRow struct {
+	Beta float64
+	// FinalPhi is the mean final objective (lower = more accurate).
+	FinalPhi float64
+	// ConvergenceS is the mean virtual time until the objective first came
+	// within 10% of the run's final value.
+	ConvergenceS float64
+	// Fluctuation is the mean coefficient of variation of the objective
+	// over the second half of each run (larger = noisier chain).
+	Fluctuation float64
+}
+
+// BetaSweepResult holds all rows.
+type BetaSweepResult struct {
+	Rows_ []BetaSweepRow
+}
+
+// RunBetaSweep executes the sweep on prototype-scale workloads.
+func RunBetaSweep(cfg BetaSweepConfig) (*BetaSweepResult, error) {
+	if len(cfg.Betas) == 0 || cfg.NumScenarios < 1 || cfg.DurationS <= 0 {
+		return nil, fmt.Errorf("betasweep: invalid config")
+	}
+	wlOf := cfg.Workload
+	if wlOf == nil {
+		wlOf = workload.Prototype
+	}
+	p := cost.DefaultParams()
+
+	res := &BetaSweepResult{}
+	for _, beta := range cfg.Betas {
+		var finals, convs, flucts []float64
+		for i := 0; i < cfg.NumScenarios; i++ {
+			seed := cfg.Seed + int64(i)*5081
+			sc, err := workload.Generate(wlOf(seed))
+			if err != nil {
+				return nil, err
+			}
+			ev, err := cost.NewEvaluator(sc, p)
+			if err != nil {
+				return nil, err
+			}
+			coreCfg := core.DefaultConfig(seed)
+			coreCfg.Beta = beta
+			eng, err := core.NewEngine(ev, coreCfg)
+			if err != nil {
+				return nil, err
+			}
+			boot := Nrst().Bootstrapper(p)
+			for s := 0; s < sc.NumSessions(); s++ {
+				if err := eng.ActivateSession(model.SessionID(s), boot); err != nil {
+					return nil, err
+				}
+			}
+			samples, err := eng.Run(cfg.DurationS, 1)
+			if err != nil {
+				return nil, err
+			}
+			final := samples[len(samples)-1].Objective
+			finals = append(finals, final)
+
+			// Convergence: first time within 10% of the final value.
+			conv := cfg.DurationS
+			for _, smp := range samples {
+				if smp.Objective <= final*1.1 {
+					conv = smp.TimeS
+					break
+				}
+			}
+			convs = append(convs, conv)
+
+			// Fluctuation over the second half.
+			var tail []float64
+			for _, smp := range samples {
+				if smp.TimeS >= cfg.DurationS/2 {
+					tail = append(tail, smp.Objective)
+				}
+			}
+			if m := stats.Mean(tail); m > 0 {
+				flucts = append(flucts, stats.StdDev(tail)/m)
+			}
+		}
+		res.Rows_ = append(res.Rows_, BetaSweepRow{
+			Beta:         beta,
+			FinalPhi:     stats.Mean(finals),
+			ConvergenceS: stats.Mean(convs),
+			Fluctuation:  stats.Mean(flucts),
+		})
+	}
+	return res, nil
+}
+
+// Rows renders the sweep.
+func (r *BetaSweepResult) Rows() []string {
+	rows := []string{"beta | accuracy vs convergence trade-off (Theorem 1 / §IV-A-4)"}
+	for _, row := range r.Rows_ {
+		rows = append(rows, fmt.Sprintf(
+			"beta | β=%5.0f final Φ=%9.1f converged@%6.1fs fluctuation=%.4f",
+			row.Beta, row.FinalPhi, row.ConvergenceS, row.Fluctuation))
+	}
+	return rows
+}

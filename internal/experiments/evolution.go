@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vconf/internal/confsim"
+	"vconf/internal/core"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+	"vconf/internal/workload"
+)
+
+// EvolutionConfig drives the prototype-style time-series experiments of
+// Figs. 4–7: bootstrap a multi-session scenario, run Alg. 1, and record how
+// inter-agent traffic and conferencing delay evolve over virtual time.
+type EvolutionConfig struct {
+	Seed  int64
+	Beta  float64
+	Init  InitPolicy
+	Alpha cost.Params
+
+	DurationS    float64
+	SampleEveryS float64
+
+	// InitialSessions caps how many sessions are active from t = 0
+	// (0 = all). The remaining sessions can arrive later.
+	InitialSessions int
+	// ArrivalTimeS/ArrivalCount schedule a batch arrival (Fig. 5: +4 at 40 s).
+	ArrivalTimeS float64
+	ArrivalCount int
+	// DepartTimeS/DepartCount schedule a batch departure (Fig. 5: −3 at 80 s).
+	DepartTimeS float64
+	DepartCount int
+
+	// Workload overrides the default prototype workload when non-nil.
+	Workload *workload.Config
+
+	// Measured enables the confsim data plane: the measured series includes
+	// dual-feed migration overhead and measurement jitter.
+	Measured bool
+}
+
+// DefaultEvolutionConfig is the Fig. 4 setup: the §V-A prototype workload,
+// Nrst initial assignment, β = 400, 200 virtual seconds.
+func DefaultEvolutionConfig(seed int64) EvolutionConfig {
+	return EvolutionConfig{
+		Seed:         seed,
+		Beta:         400,
+		Init:         Nrst(),
+		Alpha:        cost.DefaultParams(),
+		DurationS:    200,
+		SampleEveryS: 1,
+	}
+}
+
+// EvolutionResult holds the recorded series.
+type EvolutionResult struct {
+	// Control is the control-plane series (assignment-implied values).
+	Control []SeriesPoint
+	// Measured is the data-plane series (jitter + migration overhead);
+	// empty unless EvolutionConfig.Measured.
+	Measured []SeriesPoint
+	// PerSession traces individual sessions (Fig. 7).
+	PerSession map[model.SessionID][]SeriesPoint
+	// Initial and Final summarize the endpoints of the control series.
+	Initial SeriesPoint
+	Final   SeriesPoint
+	// Hops and Moves count chain activity; Migrations is the data plane's
+	// migration counter when Measured.
+	Hops, Moves int
+	Migrations  int64
+	// SessionSizes maps session → participant count (labeling Fig. 7).
+	SessionSizes map[model.SessionID]int
+}
+
+// RunEvolution executes the experiment.
+func RunEvolution(cfg EvolutionConfig) (*EvolutionResult, error) {
+	wl := workload.Prototype(cfg.Seed)
+	if cfg.Workload != nil {
+		wl = *cfg.Workload
+	}
+	sc, err := workload.Generate(wl)
+	if err != nil {
+		return nil, fmt.Errorf("evolution: workload: %w", err)
+	}
+	ev, err := cost.NewEvaluator(sc, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+
+	coreCfg := core.DefaultConfig(cfg.Seed)
+	coreCfg.Beta = cfg.Beta
+	eng, err := core.NewEngine(ev, coreCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var rt *confsim.Runtime
+	if cfg.Measured {
+		rt, err = confsim.New(sc, cfg.Alpha, confsim.DefaultConfig(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		eng.OnHop = func(timeS float64, _ model.SessionID, r core.HopResult) {
+			if r.Moved {
+				// Migration overhead accounting; the assignment itself is
+				// re-synced wholesale after each slice.
+				_ = rt.Migrate(timeS, r.Decision)
+			}
+		}
+	}
+
+	boot := cfg.Init.Bootstrapper(cfg.Alpha)
+	initial := cfg.InitialSessions
+	if initial <= 0 || initial > sc.NumSessions() {
+		initial = sc.NumSessions()
+	}
+	for s := 0; s < initial; s++ {
+		if err := eng.ActivateSession(model.SessionID(s), boot); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ArrivalCount > 0 {
+		for i := 0; i < cfg.ArrivalCount; i++ {
+			s := initial + i
+			if s >= sc.NumSessions() {
+				return nil, fmt.Errorf("evolution: arrival batch exceeds scenario sessions")
+			}
+			eng.ScheduleArrival(cfg.ArrivalTimeS, model.SessionID(s), boot)
+		}
+	}
+	if cfg.DepartCount > 0 {
+		for s := 0; s < cfg.DepartCount && s < initial; s++ {
+			eng.ScheduleDeparture(cfg.DepartTimeS, model.SessionID(s))
+		}
+	}
+
+	res := &EvolutionResult{
+		PerSession:   make(map[model.SessionID][]SeriesPoint),
+		SessionSizes: make(map[model.SessionID]int),
+	}
+	for s := 0; s < sc.NumSessions(); s++ {
+		res.SessionSizes[model.SessionID(s)] = sc.Session(model.SessionID(s)).Size()
+	}
+
+	step := cfg.SampleEveryS
+	if step <= 0 {
+		step = 1
+	}
+	var allSamples []core.Sample
+	for t := step; t <= cfg.DurationS+1e-9; t += step {
+		samples, err := eng.Run(t, 0)
+		if err != nil {
+			return nil, err
+		}
+		allSamples = append(allSamples, samples...)
+		if rt != nil {
+			rt.SetAssignment(eng.Assignment())
+			tel, err := rt.Tick(step)
+			if err != nil {
+				return nil, err
+			}
+			res.Measured = append(res.Measured, SeriesPoint{
+				TimeS:       t,
+				TrafficMbps: tel.InterAgentMbps,
+				DelayMS:     tel.MeanDelayMS,
+			})
+		}
+	}
+
+	res.Control = resample(allSamples, 0, cfg.DurationS, step)
+	if len(res.Control) > 0 {
+		res.Initial = res.Control[0]
+		res.Final = res.Control[len(res.Control)-1]
+	}
+	res.Hops, res.Moves = eng.Hops()
+	if rt != nil {
+		res.Migrations = rt.Stats().Migrations
+	}
+
+	// Per-session traces from the sample stream.
+	for _, smp := range allSamples {
+		for sid, ss := range smp.PerSession {
+			pts := res.PerSession[sid]
+			if n := len(pts); n > 0 && smp.TimeS < pts[n-1].TimeS {
+				continue
+			}
+			res.PerSession[sid] = append(res.PerSession[sid], SeriesPoint{
+				TimeS:       smp.TimeS,
+				TrafficMbps: ss.TrafficMbps,
+				DelayMS:     ss.MeanDelayMS,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Rows renders a compact textual view of the series (every 10th sample).
+func (r *EvolutionResult) Rows(label string) []string {
+	rows := []string{fmt.Sprintf("%s | t0: traffic=%.2f Mbps delay=%.1f ms → tEnd: traffic=%.2f Mbps delay=%.1f ms (hops=%d moves=%d)",
+		label, r.Initial.TrafficMbps, r.Initial.DelayMS, r.Final.TrafficMbps, r.Final.DelayMS, r.Hops, r.Moves)}
+	for i, pt := range r.Control {
+		if i%10 != 0 {
+			continue
+		}
+		rows = append(rows, fmt.Sprintf("%s | t=%5.0fs traffic=%7.2f Mbps delay=%6.1f ms",
+			label, pt.TimeS, pt.TrafficMbps, pt.DelayMS))
+	}
+	return rows
+}

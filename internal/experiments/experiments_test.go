@@ -1,0 +1,451 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vconf/internal/workload"
+)
+
+func TestRunFig2ReproducesWalkthrough(t *testing.T) {
+	res, err := RunFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper numbers: via TO 27+67 = 94 < via SG 20+117 = 137.
+	if res.HKViaTO != 94 || res.HKViaSG != 137 {
+		t.Fatalf("walkthrough delays = %v/%v, want 94/137", res.HKViaTO, res.HKViaSG)
+	}
+	// Nrst subscribes HK to SG (its nearest); the optimum must do at least
+	// as well on the objective and strictly better on traffic.
+	if res.NearestAgents[3] != "SG" {
+		t.Fatalf("Nrst put HK at %s, want SG", res.NearestAgents[3])
+	}
+	if res.OptimalRep.Objective > res.NearestRep.Objective {
+		t.Fatal("optimal objective worse than nearest")
+	}
+	if res.OptimalRep.InterTraffic >= res.NearestRep.InterTraffic {
+		t.Fatalf("optimal traffic %.2f not below nearest %.2f",
+			res.OptimalRep.InterTraffic, res.NearestRep.InterTraffic)
+	}
+	if len(res.Rows()) < 3 {
+		t.Fatal("missing output rows")
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	res, err := RunFig3(400, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumStates != 8 {
+		t.Fatalf("states = %d, want 8", res.NumStates)
+	}
+	if !res.Connected {
+		t.Fatal("chain not irreducible")
+	}
+	for i, d := range res.Degrees {
+		if d != 3 {
+			t.Fatalf("state %d degree = %d, want 3", i, d)
+		}
+	}
+	sum := 0.0
+	for _, p := range res.Stationary {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("stationary sums to %v", sum)
+	}
+	if len(res.Rows()) != 9 {
+		t.Fatalf("rows = %d, want 9", len(res.Rows()))
+	}
+}
+
+func TestRunEvolutionReducesTraffic(t *testing.T) {
+	cfg := DefaultEvolutionConfig(11)
+	cfg.DurationS = 120
+	cfg.Measured = true
+	res, err := RunEvolution(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.TrafficMbps > res.Initial.TrafficMbps {
+		t.Fatalf("traffic rose: %.2f → %.2f", res.Initial.TrafficMbps, res.Final.TrafficMbps)
+	}
+	if res.Final.TrafficMbps >= res.Initial.TrafficMbps*0.9 {
+		t.Fatalf("traffic barely improved: %.2f → %.2f", res.Initial.TrafficMbps, res.Final.TrafficMbps)
+	}
+	if len(res.Measured) == 0 {
+		t.Fatal("measured series empty")
+	}
+	if res.Hops == 0 || res.Moves == 0 {
+		t.Fatalf("no chain activity: %d/%d", res.Hops, res.Moves)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("data plane saw no migrations")
+	}
+	if len(res.Rows("x")) < 2 {
+		t.Fatal("no rendered rows")
+	}
+}
+
+func TestRunFig4BetaComparison(t *testing.T) {
+	res, err := RunFig4(5, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both runs start from the same Nrst assignment.
+	if res.Beta200.Initial.TrafficMbps != res.Beta400.Initial.TrafficMbps {
+		t.Fatalf("initial traffic differs across β: %v vs %v",
+			res.Beta200.Initial.TrafficMbps, res.Beta400.Initial.TrafficMbps)
+	}
+	for _, r := range []*EvolutionResult{res.Beta200, res.Beta400} {
+		if r.Final.TrafficMbps > r.Initial.TrafficMbps {
+			t.Fatal("β run did not reduce traffic")
+		}
+	}
+	if len(res.Rows()) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestRunFig5Dynamics(t *testing.T) {
+	res, err := RunFig5(9, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traffic must jump at the arrival batch (t=40) and drop at the
+	// departure batch (t=80).
+	at := func(tm float64) float64 {
+		v := 0.0
+		for _, p := range res.Control {
+			if p.TimeS <= tm {
+				v = p.TrafficMbps
+			}
+		}
+		return v
+	}
+	before, afterArr := at(39), at(45)
+	if afterArr <= before {
+		t.Fatalf("traffic did not rise on arrivals: %.2f → %.2f", before, afterArr)
+	}
+	beforeDep, afterDep := at(79), at(85)
+	if afterDep >= beforeDep {
+		t.Fatalf("traffic did not drop on departures: %.2f → %.2f", beforeDep, afterDep)
+	}
+}
+
+func TestRunFig6AgRankInitBeatsNrstInit(t *testing.T) {
+	seed := int64(13)
+	fig6, err := RunFig6(seed, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrstCfg := DefaultEvolutionConfig(seed)
+	nrstCfg.DurationS = 60
+	nrst, err := RunEvolution(nrstCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig. 6 observation: AgRank's *initial* traffic is well
+	// below Nrst's.
+	if fig6.Initial.TrafficMbps >= nrst.Initial.TrafficMbps {
+		t.Fatalf("AgRank init traffic %.2f not below Nrst init %.2f",
+			fig6.Initial.TrafficMbps, nrst.Initial.TrafficMbps)
+	}
+}
+
+func TestRunFig7TracesSessions(t *testing.T) {
+	res, err := RunFig7(3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) == 0 {
+		t.Fatal("no sessions traced")
+	}
+	for _, sid := range res.Sessions {
+		if len(res.Traces[sid]) == 0 {
+			t.Fatalf("session %d trace empty", sid)
+		}
+	}
+	if len(res.Rows()) != len(res.Sessions) {
+		t.Fatal("row count mismatch")
+	}
+}
+
+func smallWorkload(seed int64) workload.Config {
+	wl := workload.LargeScale(seed)
+	wl.NumUsers = 30
+	wl.NumUserNodes = 64
+	return wl
+}
+
+func TestRunAlphaSweepSmall(t *testing.T) {
+	cfg := SweepConfig{Seed: 21, NumScenarios: 3, DurationS: 60, Workload: smallWorkload}
+	res, err := RunAlphaSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 || res.Skipped != 0 {
+		t.Fatalf("completed/skipped = %d/%d, want 3/0", res.Completed, res.Skipped)
+	}
+	// Structural checks: every cell populated with one value per scenario.
+	for _, init := range res.Inits {
+		for _, col := range res.Columns {
+			cell := res.Cell(init, col)
+			if len(cell.Traffic) != 3 || len(cell.Delay) != 3 {
+				t.Fatalf("cell %s|%s has %d/%d entries", init, col, len(cell.Traffic), len(cell.Delay))
+			}
+		}
+	}
+	// Shape checks from the paper:
+	// (1) AgRank init traffic below Nrst init traffic.
+	nrstInitT := mean(res.Cell("Nrst", "Init").Traffic)
+	agInitT := mean(res.Cell("AgRank#2", "Init").Traffic)
+	if agInitT >= nrstInitT {
+		t.Fatalf("AgRank init traffic %.1f not below Nrst %.1f", agInitT, nrstInitT)
+	}
+	// (2) Alg. 1 under the balanced objective reduces Nrst's traffic.
+	optT := mean(res.Cell("Nrst", "a1=a2").Traffic)
+	if optT >= nrstInitT {
+		t.Fatalf("Alg1 traffic %.1f not below Nrst init %.1f", optT, nrstInitT)
+	}
+	// (3) traffic-only runs end with no more traffic than delay-only runs.
+	tOnly := mean(res.Cell("Nrst", "a1=0 (traffic only)").Traffic)
+	dOnly := mean(res.Cell("Nrst", "a2=0 (delay only)").Traffic)
+	if tOnly > dOnly+1e-6 {
+		t.Fatalf("traffic-only traffic %.1f exceeds delay-only %.1f", tOnly, dOnly)
+	}
+	// (4) delay-only runs end with no more delay than traffic-only runs.
+	dOnlyDelay := mean(res.Cell("Nrst", "a2=0 (delay only)").Delay)
+	tOnlyDelay := mean(res.Cell("Nrst", "a1=0 (traffic only)").Delay)
+	if dOnlyDelay > tOnlyDelay+1e-6 {
+		t.Fatalf("delay-only delay %.1f exceeds traffic-only %.1f", dOnlyDelay, tOnlyDelay)
+	}
+	if len(res.Table2Rows()) < 5 || len(res.Fig8Rows()) != 8 {
+		t.Fatalf("render sizes: %d table rows, %d fig8 rows", len(res.Table2Rows()), len(res.Fig8Rows()))
+	}
+}
+
+func TestRunFig9SuccessMonotone(t *testing.T) {
+	cfg := Fig9Config{
+		Seed:                31,
+		NumScenarios:        6,
+		BandwidthPointsMbps: []float64{60, 120, 1000},
+		TranscodePoints:     []int{1, 8},
+		Workload:            smallWorkload,
+	}
+	res, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BandwidthSuccess) != 3 || len(res.TranscodeSuccess) != 2 {
+		t.Fatal("sweep sizes wrong")
+	}
+	// More bandwidth ⇒ success never decreases, per policy.
+	for pi := range res.Policies {
+		for i := 1; i < len(res.BandwidthSuccess); i++ {
+			if res.BandwidthSuccess[i][pi]+1e-9 < res.BandwidthSuccess[i-1][pi] {
+				t.Fatalf("policy %s success not monotone in bandwidth", res.Policies[pi])
+			}
+		}
+	}
+	// At ample capacity everyone succeeds.
+	last := res.BandwidthSuccess[len(res.BandwidthSuccess)-1]
+	for pi, share := range last {
+		if share != 1 {
+			t.Fatalf("policy %s success %.2f at ample bandwidth, want 1", res.Policies[pi], share)
+		}
+	}
+	// AgRank#3 ≥ AgRank#2 ≥ Nrst at every point (the paper's ordering).
+	idx := map[string]int{}
+	for i, p := range res.Policies {
+		idx[p] = i
+	}
+	for i := range res.BandwidthSuccess {
+		s := res.BandwidthSuccess[i]
+		if s[idx["AgRank#3"]]+1e-9 < s[idx["AgRank#2"]] || s[idx["AgRank#2"]]+1e-9 < s[idx["Nrst"]] {
+			t.Fatalf("policy ordering violated at bandwidth point %d: %v", i, s)
+		}
+	}
+	if len(res.Rows()) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestRunFig10Shape(t *testing.T) {
+	cfg := Fig10Config{
+		Seed:         41,
+		NumScenarios: 4,
+		NNgbrValues:  []int{1, 2, 7},
+		Workload:     smallWorkload,
+	}
+	res, err := RunFig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n_ngbr = 1 (≡ Nrst) must have the highest traffic (paper Fig. 10a).
+	if res.TrafficMbps[0] <= res.TrafficMbps[1] {
+		t.Fatalf("n_ngbr=1 traffic %.1f not above n_ngbr=2 %.1f",
+			res.TrafficMbps[0], res.TrafficMbps[1])
+	}
+	// n_ngbr = L concentrates sessions on one agent: delay is the largest
+	// (paper Fig. 10b).
+	if res.DelayMS[2] <= res.DelayMS[0] {
+		t.Fatalf("n_ngbr=L delay %.1f not above n_ngbr=1 %.1f", res.DelayMS[2], res.DelayMS[0])
+	}
+	if len(res.Rows()) != 4 {
+		t.Fatal("row count")
+	}
+}
+
+func TestRunThm1BoundsHold(t *testing.T) {
+	cfg := DefaultThm1Config(51)
+	cfg.Betas = []float64{10, 50}
+	cfg.HorizonS = 8000
+	res, err := RunThm1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 {
+		t.Fatal("row count")
+	}
+	prevGap := 1e18
+	for _, row := range res.Entries {
+		if row.AnalyticGap < -1e-9 || row.AnalyticGap > row.Bound+1e-9 {
+			t.Fatalf("β=%v analytic gap %v outside [0, %v]", row.Beta, row.AnalyticGap, row.Bound)
+		}
+		// Empirical gap within bound plus simulation slack.
+		if row.EmpiricalGap < -0.5 || row.EmpiricalGap > row.Bound*1.2+1 {
+			t.Fatalf("β=%v empirical gap %v far outside bound %v", row.Beta, row.EmpiricalGap, row.Bound)
+		}
+		if row.NoisyGap > row.NoisyBound*1.2+1 {
+			t.Fatalf("β=%v noisy gap %v exceeds noisy bound %v", row.Beta, row.NoisyGap, row.NoisyBound)
+		}
+		// Analytic gap shrinks with β.
+		if row.AnalyticGap > prevGap+1e-9 {
+			t.Fatal("analytic gap not decreasing in β")
+		}
+		prevGap = row.AnalyticGap
+	}
+	if len(res.Rows()) != 3 {
+		t.Fatal("rendered rows")
+	}
+}
+
+func TestSweepConfigValidation(t *testing.T) {
+	if _, err := RunAlphaSweep(SweepConfig{NumScenarios: 0, DurationS: 10}); err == nil {
+		t.Fatal("zero scenarios accepted")
+	}
+	if _, err := RunAlphaSweep(SweepConfig{NumScenarios: 1, DurationS: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := RunFig9(Fig9Config{NumScenarios: 0}); err == nil {
+		t.Fatal("fig9 zero scenarios accepted")
+	}
+	if _, err := RunFig10(Fig10Config{NumScenarios: 0}); err == nil {
+		t.Fatal("fig10 zero scenarios accepted")
+	}
+	if _, err := RunThm1(Thm1Config{}); err == nil {
+		t.Fatal("thm1 empty config accepted")
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestRowsRenderNonEmpty(t *testing.T) {
+	res, err := RunFig3(400, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows() {
+		if !strings.HasPrefix(row, "fig3 |") {
+			t.Fatalf("row %q missing prefix", row)
+		}
+	}
+}
+
+func TestRunSolverCompare(t *testing.T) {
+	cfg := SolverCompareConfig{
+		Seed:             61,
+		NumScenarios:     2,
+		DurationS:        60,
+		AnnealIterations: 4000,
+		Workload:         smallWorkload,
+	}
+	res, err := RunSolverCompare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solvers) != 5 {
+		t.Fatalf("solvers = %d, want 5", len(res.Solvers))
+	}
+	for i, name := range res.Solvers {
+		if len(res.Objective[i]) != 2 {
+			t.Fatalf("%s has %d observations, want 2", name, len(res.Objective[i]))
+		}
+	}
+	start := mean(res.Objective[0])
+	for _, i := range []int{1, 2, 3} {
+		if mean(res.Objective[i]) > start {
+			t.Fatalf("%s mean objective %v above Nrst start %v",
+				res.Solvers[i], mean(res.Objective[i]), start)
+		}
+	}
+	// The single-agent baseline zeroes traffic by construction (when
+	// feasible) but does not beat the optimizers on the balanced objective.
+	if len(res.Rows()) != 6 {
+		t.Fatal("row count")
+	}
+	if _, err := RunSolverCompare(SolverCompareConfig{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunBetaSweep(t *testing.T) {
+	cfg := BetaSweepConfig{
+		Seed:         71,
+		Betas:        []float64{50, 400},
+		NumScenarios: 2,
+		DurationS:    100,
+	}
+	res, err := RunBetaSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows_) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows_))
+	}
+	for _, row := range res.Rows_ {
+		if row.FinalPhi <= 0 {
+			t.Fatalf("β=%v: non-positive final objective", row.Beta)
+		}
+		if row.ConvergenceS < 0 || row.ConvergenceS > cfg.DurationS {
+			t.Fatalf("β=%v: convergence time %v outside run", row.Beta, row.ConvergenceS)
+		}
+		if row.Fluctuation < 0 {
+			t.Fatalf("β=%v: negative fluctuation", row.Beta)
+		}
+	}
+	// §IV-A-4: the low-β chain fluctuates at least as much as the high-β
+	// chain (it accepts uphill moves more readily).
+	if res.Rows_[0].Fluctuation+1e-9 < res.Rows_[1].Fluctuation {
+		t.Fatalf("β=50 fluctuation %.5f below β=400 %.5f",
+			res.Rows_[0].Fluctuation, res.Rows_[1].Fluctuation)
+	}
+	if len(res.Rows()) != 3 {
+		t.Fatal("row render count")
+	}
+	if _, err := RunBetaSweep(BetaSweepConfig{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

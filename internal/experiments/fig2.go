@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vconf/internal/cost"
+	"vconf/internal/exact"
+	"vconf/internal/model"
+)
+
+// Fig2Result compares the nearest policy against the optimal assignment on
+// the motivating scenario, reproducing the figure's argument: the HK user is
+// better served by the TO agent than by its nearest agent SG.
+type Fig2Result struct {
+	NearestAgents []string
+	NearestRep    cost.SystemReport
+	OptimalAgents []string
+	OptimalRep    cost.SystemReport
+	// HKViaTO and HKViaSG are the end-to-end delay lower bounds of the
+	// paper's walkthrough (27+67 vs 20+117).
+	HKViaTO float64
+	HKViaSG float64
+}
+
+// RunFig2 executes the motivating-scenario experiment.
+func RunFig2() (*Fig2Result, error) {
+	sc, err := BuildFig2Scenario()
+	if err != nil {
+		return nil, err
+	}
+	p := cost.DefaultParams()
+	ev, err := cost.NewEvaluator(sc, p)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig2Result{}
+
+	// Paper's walkthrough numbers: H(TO,HK)+D(TO,OR) vs H(SG,HK)+D(SG,OR).
+	or, to, sg := model.AgentID(0), model.AgentID(1), model.AgentID(2)
+	hk := model.UserID(3)
+	res.HKViaTO = sc.H(to, hk) + sc.D(to, or)
+	res.HKViaSG = sc.H(sg, hk) + sc.D(sg, or)
+
+	// Nearest policy.
+	nrst, _, err := Nrst().BootstrapAll(sc, p)
+	if err != nil {
+		return nil, fmt.Errorf("fig2: nearest bootstrap: %w", err)
+	}
+	res.NearestRep = ev.ReportSystem(nrst)
+	for u := 0; u < sc.NumUsers(); u++ {
+		res.NearestAgents = append(res.NearestAgents, sc.Agent(nrst.UserAgent(model.UserID(u))).Name)
+	}
+
+	// Optimal by exhaustive enumeration (4 users + 1 flow over 4 agents =
+	// 1024 combinations).
+	enum, err := exact.Enumerate(ev, 0)
+	if err != nil {
+		return nil, fmt.Errorf("fig2: enumerate: %w", err)
+	}
+	best := enum.States[enum.ArgMin].A
+	res.OptimalRep = ev.ReportSystem(best)
+	for u := 0; u < sc.NumUsers(); u++ {
+		res.OptimalAgents = append(res.OptimalAgents, sc.Agent(best.UserAgent(model.UserID(u))).Name)
+	}
+	return res, nil
+}
+
+// Rows renders the result as printable lines.
+func (r *Fig2Result) Rows() []string {
+	return []string{
+		fmt.Sprintf("fig2 | HK→OR delay lower bound via TO: %.0f ms, via SG: %.0f ms (paper: 94 vs 137)", r.HKViaTO, r.HKViaSG),
+		fmt.Sprintf("fig2 | Nrst    agents=%v traffic=%.2f Mbps delay=%.1f ms obj=%.2f",
+			r.NearestAgents, r.NearestRep.InterTraffic, r.NearestRep.MeanDelayMS, r.NearestRep.Objective),
+		fmt.Sprintf("fig2 | Optimal agents=%v traffic=%.2f Mbps delay=%.1f ms obj=%.2f",
+			r.OptimalAgents, r.OptimalRep.InterTraffic, r.OptimalRep.MeanDelayMS, r.OptimalRep.Objective),
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vconf/internal/cost"
+	"vconf/internal/exact"
+)
+
+// Fig3Result describes the Markov chain of the toy instance: the 8 feasible
+// states, their objectives and neighbor degrees, and the stationary
+// distribution.
+type Fig3Result struct {
+	NumStates  int
+	Degrees    []int
+	Phis       []float64
+	Stationary []float64
+	Connected  bool
+	ArgMin     int
+}
+
+// RunFig3 enumerates the Fig. 3 chain.
+func RunFig3(beta, scale float64) (*Fig3Result, error) {
+	sc, err := BuildFig3Scenario()
+	if err != nil {
+		return nil, err
+	}
+	ev, err := cost.NewEvaluator(sc, cost.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	enum, err := exact.Enumerate(ev, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{
+		NumStates:  len(enum.States),
+		Stationary: enum.Stationary(beta, scale),
+		Connected:  enum.Connected(),
+		ArgMin:     enum.ArgMin,
+	}
+	for i, nbrs := range enum.Neighbors() {
+		res.Degrees = append(res.Degrees, len(nbrs))
+		res.Phis = append(res.Phis, enum.States[i].Phi)
+	}
+	return res, nil
+}
+
+// Rows renders the chain structure.
+func (r *Fig3Result) Rows() []string {
+	rows := []string{
+		fmt.Sprintf("fig3 | %d feasible states (paper: 8), irreducible=%v", r.NumStates, r.Connected),
+	}
+	for i := 0; i < r.NumStates; i++ {
+		marker := " "
+		if i == r.ArgMin {
+			marker = "*"
+		}
+		rows = append(rows, fmt.Sprintf("fig3 | state %d%s Φ=%7.2f neighbors=%d p*=%.4f",
+			i+1, marker, r.Phis[i], r.Degrees[i], r.Stationary[i]))
+	}
+	return rows
+}

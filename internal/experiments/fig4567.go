@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"vconf/internal/model"
+	"vconf/internal/workload"
+)
+
+// Fig4Result holds the β-comparison evolution runs of Fig. 4: traffic and
+// delay over 200 s with Nrst initialization, β ∈ {200, 400}.
+type Fig4Result struct {
+	Beta200 *EvolutionResult
+	Beta400 *EvolutionResult
+}
+
+// RunFig4 executes both runs on the same workload seed.
+func RunFig4(seed int64, durationS float64) (*Fig4Result, error) {
+	base := DefaultEvolutionConfig(seed)
+	base.DurationS = durationS
+	base.Measured = true
+
+	b200 := base
+	b200.Beta = 200
+	r200, err := RunEvolution(b200)
+	if err != nil {
+		return nil, fmt.Errorf("fig4 β=200: %w", err)
+	}
+	b400 := base
+	b400.Beta = 400
+	r400, err := RunEvolution(b400)
+	if err != nil {
+		return nil, fmt.Errorf("fig4 β=400: %w", err)
+	}
+	return &Fig4Result{Beta200: r200, Beta400: r400}, nil
+}
+
+// Rows renders both series.
+func (r *Fig4Result) Rows() []string {
+	rows := r.Beta200.Rows("fig4 β=200")
+	rows = append(rows, r.Beta400.Rows("fig4 β=400")...)
+	rows = append(rows, fmt.Sprintf(
+		"fig4 | summary: β=400 final traffic %.2f ≤ β=200 final traffic %.2f expected (faster convergence)",
+		r.Beta400.Final.TrafficMbps, r.Beta200.Final.TrafficMbps))
+	return rows
+}
+
+// RunFig5 executes the dynamics run of Fig. 5: 6 sessions at t = 0, 4 more
+// arriving at t = 40 s, 3 departing at t = 80 s, β = 400. When the generated
+// workload has fewer than 10 sessions, the arrival batch shrinks to what is
+// available (the prototype workload's session count is itself random).
+func RunFig5(seed int64, durationS float64) (*EvolutionResult, error) {
+	wl := workload.Prototype(seed)
+	sc, err := workload.Generate(wl)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultEvolutionConfig(seed)
+	cfg.Workload = &wl
+	cfg.DurationS = durationS
+	cfg.InitialSessions = 6
+	if cfg.InitialSessions > sc.NumSessions() {
+		cfg.InitialSessions = sc.NumSessions()
+	}
+	cfg.ArrivalTimeS = 40
+	cfg.ArrivalCount = 4
+	if max := sc.NumSessions() - cfg.InitialSessions; cfg.ArrivalCount > max {
+		cfg.ArrivalCount = max
+	}
+	cfg.DepartTimeS = 80
+	cfg.DepartCount = 3
+	if cfg.DepartCount > cfg.InitialSessions {
+		cfg.DepartCount = cfg.InitialSessions
+	}
+	cfg.Measured = true
+	return RunEvolution(cfg)
+}
+
+// RunFig6 executes the AgRank-initialization run of Fig. 6: same workload as
+// Fig. 4 but bootstrapped by AgRank with n_ngbr = 2 and run for 100 s.
+func RunFig6(seed int64, durationS float64) (*EvolutionResult, error) {
+	cfg := DefaultEvolutionConfig(seed)
+	cfg.DurationS = durationS
+	cfg.Init = AgRank(2)
+	cfg.Measured = true
+	return RunEvolution(cfg)
+}
+
+// Fig7Result carries per-session traces for three sample sessions with
+// different participant counts (paper: 5, 4 and 3 users).
+type Fig7Result struct {
+	Sessions []model.SessionID
+	Sizes    []int
+	Traces   map[model.SessionID][]SeriesPoint
+}
+
+// RunFig7 reuses the Fig. 4 workload (β = 400, Nrst init) and extracts
+// per-session series for one session of each size 5, 4, 3 (falling back to
+// whatever sizes exist).
+func RunFig7(seed int64, durationS float64) (*Fig7Result, error) {
+	cfg := DefaultEvolutionConfig(seed)
+	cfg.DurationS = durationS
+	res, err := RunEvolution(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Pick one session per target size, preferring 5, 4, 3.
+	out := &Fig7Result{Traces: make(map[model.SessionID][]SeriesPoint)}
+	var ids []model.SessionID
+	for sid := range res.SessionSizes {
+		ids = append(ids, sid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, want := range []int{5, 4, 3} {
+		for _, sid := range ids {
+			if res.SessionSizes[sid] == want && out.Traces[sid] == nil {
+				out.Sessions = append(out.Sessions, sid)
+				out.Sizes = append(out.Sizes, want)
+				out.Traces[sid] = res.PerSession[sid]
+				break
+			}
+		}
+	}
+	if len(out.Sessions) == 0 {
+		return nil, fmt.Errorf("fig7: no sessions traced")
+	}
+	return out, nil
+}
+
+// Rows renders the per-session traces (start and end of each).
+func (r *Fig7Result) Rows() []string {
+	var rows []string
+	for i, sid := range r.Sessions {
+		pts := r.Traces[sid]
+		if len(pts) == 0 {
+			continue
+		}
+		first, last := pts[0], pts[len(pts)-1]
+		rows = append(rows, fmt.Sprintf(
+			"fig7 | session %d (%d users): traffic %.2f→%.2f Mbps, delay %.1f→%.1f ms over %d points",
+			sid, r.Sizes[i], first.TrafficMbps, last.TrafficMbps, first.DelayMS, last.DelayMS, len(pts)))
+	}
+	return rows
+}

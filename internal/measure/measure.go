@@ -1,0 +1,179 @@
+// Package measure implements the active delay-measurement service the paper
+// assumes (§II: "the VC provider obtains agent-to-user and inter-agent
+// delays through active measurements"; §V-B: RTTs measured "at a granularity
+// of one ping per second" for 5 weeks).
+//
+// A Prober pings a ground-truth latency oracle (in production, the real
+// network; here, a netsim-generated truth) and maintains exponentially
+// weighted moving-average (EWMA) estimates of the one-way D and H matrices.
+// Individual probes carry multiplicative jitter; the EWMA damps it to a
+// bounded steady-state error — exactly the bounded measurement perturbation
+// Theorem 1 models (the noise package quantizes it for the chain analysis).
+package measure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config tunes the prober.
+type Config struct {
+	// Seed drives probe jitter.
+	Seed int64
+	// JitterFrac bounds per-probe multiplicative noise: a probe of a
+	// true delay d returns d × (1 + U(−JitterFrac, +JitterFrac)).
+	JitterFrac float64
+	// Alpha is the EWMA weight of each new sample, in (0, 1]. Smaller
+	// values smooth harder (steady-state error ≈ jitter·√(α/(2−α))).
+	Alpha float64
+}
+
+// DefaultConfig smooths 10% probe jitter down to ≈2% steady-state error.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, JitterFrac: 0.10, Alpha: 0.08}
+}
+
+func (c Config) validate() error {
+	if c.JitterFrac < 0 || c.JitterFrac >= 1 {
+		return fmt.Errorf("measure: jitter %v outside [0, 1)", c.JitterFrac)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("measure: alpha %v outside (0, 1]", c.Alpha)
+	}
+	return nil
+}
+
+// Prober maintains delay estimates over a fixed ground truth.
+type Prober struct {
+	cfg    Config
+	truthD [][]float64
+	truthH [][]float64
+	estD   [][]float64
+	estH   [][]float64
+	rounds int
+	rng    *rand.Rand
+}
+
+// NewProber builds a prober over ground-truth matrices (truthD: L×L
+// symmetric with zero diagonal; truthH: L×U). Estimates start at the first
+// probe round's raw samples.
+func NewProber(cfg Config, truthD, truthH [][]float64) (*Prober, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(truthD) == 0 {
+		return nil, fmt.Errorf("measure: empty inter-agent truth")
+	}
+	for i, row := range truthD {
+		if len(row) != len(truthD) {
+			return nil, fmt.Errorf("measure: truth D not square at row %d", i)
+		}
+	}
+	if len(truthH) != len(truthD) {
+		return nil, fmt.Errorf("measure: truth H rows %d ≠ agents %d", len(truthH), len(truthD))
+	}
+	p := &Prober{
+		cfg:    cfg,
+		truthD: truthD,
+		truthH: truthH,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	return p, nil
+}
+
+// Rounds returns the number of completed probe rounds.
+func (p *Prober) Rounds() int { return p.rounds }
+
+// ProbeRound sends one probe per pair (every agent↔agent and agent↔user
+// path) and folds the samples into the EWMA estimates. D estimates are kept
+// symmetric by averaging the two probe directions, mirroring the paper's
+// "RTT divided by 2" derivation.
+func (p *Prober) ProbeRound() {
+	L := len(p.truthD)
+	if p.estD == nil {
+		p.estD = zeros(L, L)
+		p.estH = zeros(L, len(p.truthH[0]))
+	}
+	for l := 0; l < L; l++ {
+		for k := l + 1; k < L; k++ {
+			// Two directional probes → one RTT/2-style symmetric sample.
+			s1 := p.sample(p.truthD[l][k])
+			s2 := p.sample(p.truthD[k][l])
+			obs := (s1 + s2) / 2
+			v := p.fold(p.estD[l][k], obs)
+			p.estD[l][k] = v
+			p.estD[k][l] = v
+		}
+	}
+	for l := 0; l < L; l++ {
+		for u := range p.truthH[l] {
+			p.estH[l][u] = p.fold(p.estH[l][u], p.sample(p.truthH[l][u]))
+		}
+	}
+	p.rounds++
+}
+
+// fold applies the EWMA update, seeding from the first observation.
+func (p *Prober) fold(cur, obs float64) float64 {
+	if p.rounds == 0 {
+		return obs
+	}
+	return (1-p.cfg.Alpha)*cur + p.cfg.Alpha*obs
+}
+
+// sample draws one noisy probe of a true delay.
+func (p *Prober) sample(truth float64) float64 {
+	jitter := 1 + (2*p.rng.Float64()-1)*p.cfg.JitterFrac
+	return truth * jitter
+}
+
+// EstimatedD returns a copy of the current inter-agent estimate (zero
+// diagonal, symmetric). It panics if no round has run; probe first.
+func (p *Prober) EstimatedD() [][]float64 { return clone(p.estD) }
+
+// EstimatedH returns a copy of the current agent-to-user estimate.
+func (p *Prober) EstimatedH() [][]float64 { return clone(p.estH) }
+
+// MaxRelativeError returns the worst relative deviation of any estimate from
+// its ground truth (0 entries are skipped).
+func (p *Prober) MaxRelativeError() float64 {
+	worst := 0.0
+	for l := range p.truthD {
+		for k := range p.truthD[l] {
+			if p.truthD[l][k] <= 0 {
+				continue
+			}
+			if e := math.Abs(p.estD[l][k]-p.truthD[l][k]) / p.truthD[l][k]; e > worst {
+				worst = e
+			}
+		}
+	}
+	for l := range p.truthH {
+		for u := range p.truthH[l] {
+			if p.truthH[l][u] <= 0 {
+				continue
+			}
+			if e := math.Abs(p.estH[l][u]-p.truthH[l][u]) / p.truthH[l][u]; e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+func zeros(rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+	}
+	return m
+}
+
+func clone(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := buildTwoSessionScenario(t)
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.NumUsers() != sc.NumUsers() || got.NumSessions() != sc.NumSessions() ||
+		got.NumAgents() != sc.NumAgents() {
+		t.Fatal("population changed through round trip")
+	}
+	if got.ThetaSum() != sc.ThetaSum() {
+		t.Fatalf("θsum %d → %d", sc.ThetaSum(), got.ThetaSum())
+	}
+	for u := 0; u < sc.NumUsers(); u++ {
+		if got.User(UserID(u)).Upstream != sc.User(UserID(u)).Upstream {
+			t.Fatalf("user %d upstream changed", u)
+		}
+	}
+	for l := 0; l < sc.NumAgents(); l++ {
+		for k := 0; k < sc.NumAgents(); k++ {
+			if got.D(AgentID(l), AgentID(k)) != sc.D(AgentID(l), AgentID(k)) {
+				t.Fatalf("D[%d][%d] changed", l, k)
+			}
+		}
+	}
+	if got.DMaxMS != sc.DMaxMS {
+		t.Fatal("delay cap changed")
+	}
+}
+
+func TestScenarioJSONPreservesDownscaleOnly(t *testing.T) {
+	b := NewBuilder(nil)
+	rs := b.Reps()
+	r360, _ := rs.ByName("360p")
+	r1080, _ := rs.ByName("1080p")
+	b.AddAgent(Agent{Upload: 100, Download: 100, TranscodeSlots: 2})
+	s := b.AddSession("s")
+	u0 := b.AddUser("u0", s, r360, nil)
+	u1 := b.AddUser("u1", s, r1080, nil)
+	b.DemandFrom(u1, u0, r1080) // upward demand
+	b.RestrictDownscaleOnly()
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.DownscaleOnly {
+		t.Fatal("DownscaleOnly lost through round trip")
+	}
+	if got.Theta(0, 1) {
+		t.Fatal("clamped upward demand must not transcode after reload")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"wrong version":  `{"version": 99}`,
+		"unknown field":  `{"version": 1, "bogus": true}`,
+		"no reps":        `{"version": 1, "representations": []}`,
+		"invalid matrix": `{"version":1,"representations":[{"name":"a","mbps":1}],"agents":[{"name":"x","uploadMbps":1,"downloadMbps":1,"transcodeSlots":1,"sigmaMS":[[0]],"capabilityFactor":1,"trafficPricePerMbps":1,"transcodePricePerTask":1}],"sessions":[{"users":[0]}],"users":[{"session":0,"upstream":0}],"interAgentDelayMS":[],"agentUserDelayMS":[],"delayCapMS":400}`,
+	}
+	for name, doc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+				t.Fatal("ReadJSON accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestScenarioJSONStableOutput(t *testing.T) {
+	sc := buildTwoSessionScenario(t)
+	var b1, b2 bytes.Buffer
+	if err := sc.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("WriteJSON output not deterministic")
+	}
+	if !strings.Contains(b1.String(), `"interAgentDelayMS"`) {
+		t.Fatal("expected tagged field names in output")
+	}
+}
+
+// FuzzReadJSON hammers the scenario decoder with mutated documents: it must
+// never panic, and anything it accepts must be a fully valid scenario.
+func FuzzReadJSON(f *testing.F) {
+	// Seed with a valid document and a few near-misses.
+	b := NewBuilder(nil)
+	rs := b.Reps()
+	r360, _ := rs.ByName("360p")
+	r720, _ := rs.ByName("720p")
+	b.AddAgent(Agent{Name: "A", Upload: 10, Download: 10, TranscodeSlots: 1})
+	s := b.AddSession("s")
+	u0 := b.AddUser("u0", s, r720, nil)
+	u1 := b.AddUser("u1", s, r720, nil)
+	b.DemandFrom(u1, u0, r360)
+	sc, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := sc.WriteJSON(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"version":1,"representations":[{"name":"a","mbps":-1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejections are fine; panics are not
+		}
+		// Accepted documents must round-trip through validation again.
+		var buf bytes.Buffer
+		if err := got.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted scenario failed to serialize: %v", err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("accepted scenario failed to re-parse: %v", err)
+		}
+	})
+}

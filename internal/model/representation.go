@@ -1,0 +1,118 @@
+// Package model defines the core domain types of the cloud video-conferencing
+// system: video representations, users, sessions, cloud agents, and the
+// Scenario that ties them together with the delay matrices.
+//
+// The vocabulary follows Table I of the paper (Hajiesmaili et al., ICDCS'15):
+// S sessions, U users, R representations, L agents, θ transcoding matrix,
+// D inter-agent delay matrix, H agent-to-user delay matrix.
+package model
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Representation identifies a specific configuration of format, encoding
+// bitrate and spatial/temporal resolution of a stream. Values index into a
+// RepresentationSet.
+type Representation int
+
+// NoRepresentation is the zero value; it never appears in a valid scenario.
+const NoRepresentation Representation = -1
+
+// RepSpec describes one representation: a human-readable name (e.g. "720p")
+// and its bitrate κ(r) in Mbps.
+type RepSpec struct {
+	Name string  `json:"name"`
+	Mbps float64 `json:"mbps"`
+}
+
+// RepresentationSet is the ordered set R of all representations in use.
+// Representations are ordered by ascending quality (bitrate), which supports
+// the paper's optional "high-to-low-only" transcoding restriction (§II fn. 1).
+type RepresentationSet struct {
+	specs []RepSpec
+}
+
+// NewRepresentationSet builds a representation set. Bitrates must be positive
+// and strictly increasing so that the quality order is well defined.
+func NewRepresentationSet(specs []RepSpec) (*RepresentationSet, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("model: representation set must not be empty")
+	}
+	prev := 0.0
+	for i, s := range specs {
+		if s.Mbps <= 0 {
+			return nil, fmt.Errorf("model: representation %q has non-positive bitrate %v", s.Name, s.Mbps)
+		}
+		if s.Mbps <= prev {
+			return nil, fmt.Errorf("model: representation bitrates must be strictly increasing (index %d)", i)
+		}
+		prev = s.Mbps
+	}
+	out := &RepresentationSet{specs: make([]RepSpec, len(specs))}
+	copy(out.specs, specs)
+	return out, nil
+}
+
+// DefaultRepresentations returns the four YouTube-style representations the
+// paper's large-scale experiments use (§V-B): 360p/1, 480p/2.5, 720p/5,
+// 1080p/8 Mbps.
+func DefaultRepresentations() *RepresentationSet {
+	rs, err := NewRepresentationSet([]RepSpec{
+		{Name: "360p", Mbps: 1.0},
+		{Name: "480p", Mbps: 2.5},
+		{Name: "720p", Mbps: 5.0},
+		{Name: "1080p", Mbps: 8.0},
+	})
+	if err != nil {
+		// Static input; cannot fail.
+		panic(err)
+	}
+	return rs
+}
+
+// Len returns |R|.
+func (rs *RepresentationSet) Len() int { return len(rs.specs) }
+
+// Valid reports whether r indexes a representation in this set.
+func (rs *RepresentationSet) Valid(r Representation) bool {
+	return r >= 0 && int(r) < len(rs.specs)
+}
+
+// Bitrate returns κ(r), the bitrate of representation r in Mbps.
+// It panics if r is out of range: representation indices are validated at
+// scenario construction, so an out-of-range index here is a programming bug.
+func (rs *RepresentationSet) Bitrate(r Representation) float64 {
+	return rs.specs[r].Mbps
+}
+
+// Name returns the human-readable name of representation r.
+func (rs *RepresentationSet) Name(r Representation) string {
+	if !rs.Valid(r) {
+		return "rep#" + strconv.Itoa(int(r))
+	}
+	return rs.specs[r].Name
+}
+
+// Spec returns the full spec of representation r.
+func (rs *RepresentationSet) Spec(r Representation) RepSpec { return rs.specs[r] }
+
+// ByName looks a representation up by its name.
+func (rs *RepresentationSet) ByName(name string) (Representation, bool) {
+	for i, s := range rs.specs {
+		if s.Name == name {
+			return Representation(i), true
+		}
+	}
+	return NoRepresentation, false
+}
+
+// All returns the representation indices in ascending quality order.
+func (rs *RepresentationSet) All() []Representation {
+	out := make([]Representation, len(rs.specs))
+	for i := range rs.specs {
+		out[i] = Representation(i)
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultDMaxMS is the maximum acceptable user-to-user conferencing delay in
+// milliseconds per ITU-T Recommendation G.114 (§V of the paper).
+const DefaultDMaxMS = 400.0
+
+// Scenario is a complete, immutable problem instance of the user-to-agent
+// assignment problem: the user/session/agent population together with the
+// measured delay matrices.
+//
+// A Scenario is built once (via NewScenario or a Builder) and then shared
+// read-only by solvers, simulators and benchmarks. None of its methods
+// mutate it.
+type Scenario struct {
+	Reps     *RepresentationSet
+	Users    []User
+	Sessions []Session
+	Agents   []Agent
+
+	// DMS is the inter-agent delay matrix D (L×L), in milliseconds.
+	// DMS[l][k] is the one-way latency between agents l and k.
+	DMS [][]float64
+	// HMS is the agent-to-user delay matrix H (L×U), in milliseconds.
+	// HMS[l][u] is the one-way propagation delay between agent l and user u.
+	HMS [][]float64
+
+	// DMaxMS is the end-to-end delay cap of constraint (8). Zero means
+	// "use DefaultDMaxMS"; NewScenario normalizes it.
+	DMaxMS float64
+
+	// DownscaleOnly activates the paper's footnote-1 customization of θ:
+	// only high-to-low quality transcoding is performed. A destination
+	// demanding a representation above a source's upstream receives the
+	// native stream instead (its effective downstream representation is
+	// clamped to the upstream), so such flows never count as transcoding.
+	DownscaleOnly bool
+
+	// theta caches θ: theta[u][v] == true iff u and v share a session and
+	// v's demanded downstream representation of u's stream differs from u's
+	// upstream representation (flow u→v needs transcoding).
+	theta [][]bool
+	// participants caches P(u) per user.
+	participants [][]UserID
+	// thetaSum caches the total number of transcoding flows Σ_u Σ_v θ_uv.
+	thetaSum int
+}
+
+// ScenarioOption customizes scenario semantics at construction time.
+type ScenarioOption func(*Scenario)
+
+// WithDownscaleOnly restricts transcoding to high-to-low quality conversions
+// (paper §II footnote 1).
+func WithDownscaleOnly() ScenarioOption {
+	return func(sc *Scenario) { sc.DownscaleOnly = true }
+}
+
+// NewScenario validates the inputs and assembles a scenario. It copies
+// nothing: callers hand over ownership of the slices.
+func NewScenario(
+	reps *RepresentationSet,
+	users []User,
+	sessions []Session,
+	agents []Agent,
+	dMS [][]float64,
+	hMS [][]float64,
+	dMaxMS float64,
+	opts ...ScenarioOption,
+) (*Scenario, error) {
+	sc := &Scenario{
+		Reps:     reps,
+		Users:    users,
+		Sessions: sessions,
+		Agents:   agents,
+		DMS:      dMS,
+		HMS:      hMS,
+		DMaxMS:   dMaxMS,
+	}
+	for _, opt := range opts {
+		opt(sc)
+	}
+	if sc.DMaxMS == 0 {
+		sc.DMaxMS = DefaultDMaxMS
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	sc.buildCaches()
+	return sc, nil
+}
+
+// NumUsers returns U.
+func (sc *Scenario) NumUsers() int { return len(sc.Users) }
+
+// NumSessions returns S.
+func (sc *Scenario) NumSessions() int { return len(sc.Sessions) }
+
+// NumAgents returns L.
+func (sc *Scenario) NumAgents() int { return len(sc.Agents) }
+
+// User returns the user with the given ID.
+func (sc *Scenario) User(u UserID) *User { return &sc.Users[u] }
+
+// Session returns the session with the given ID.
+func (sc *Scenario) Session(s SessionID) *Session { return &sc.Sessions[s] }
+
+// Agent returns the agent with the given ID.
+func (sc *Scenario) Agent(l AgentID) *Agent { return &sc.Agents[l] }
+
+// D returns the inter-agent delay D[l][k] in milliseconds.
+func (sc *Scenario) D(l, k AgentID) float64 { return sc.DMS[l][k] }
+
+// H returns the agent-to-user delay H[l][u] in milliseconds.
+func (sc *Scenario) H(l AgentID, u UserID) float64 { return sc.HMS[l][u] }
+
+// Theta reports θ_uv: whether the flow from source u to destination v
+// requires transcoding. It is false whenever u and v are not in the same
+// session or u == v.
+func (sc *Scenario) Theta(u, v UserID) bool { return sc.theta[u][v] }
+
+// ThetaSum returns θ^sum, the total number of transcoding flows across all
+// sessions (Σ_u Σ_v θ_uv). This sizes the decision space O(L^(U+θsum)).
+func (sc *Scenario) ThetaSum() int { return sc.thetaSum }
+
+// Participants returns P(u): the other members of u's session. The returned
+// slice is shared; callers must not mutate it.
+func (sc *Scenario) Participants(u UserID) []UserID { return sc.participants[u] }
+
+// SessionThetaFlows returns the transcoding flows (source, destination)
+// inside session s, in deterministic order.
+func (sc *Scenario) SessionThetaFlows(s SessionID) []Flow {
+	var flows []Flow
+	for _, u := range sc.Sessions[s].Users {
+		for _, v := range sc.Sessions[s].Users {
+			if u != v && sc.theta[u][v] {
+				flows = append(flows, Flow{Src: u, Dst: v})
+			}
+		}
+	}
+	return flows
+}
+
+// Flow identifies one directed stream from a source user to a destination
+// user within a session.
+type Flow struct {
+	Src UserID
+	Dst UserID
+}
+
+// Downstream returns the *effective* downstream representation of the flow
+// src→dst: the destination's demand, clamped to the source's upstream when
+// the scenario is DownscaleOnly (no upscaling exists, so a higher demand is
+// served natively).
+func (sc *Scenario) Downstream(dst, src UserID) Representation {
+	r := sc.Users[dst].DownstreamFrom(&sc.Users[src])
+	if sc.DownscaleOnly && r > sc.Users[src].Upstream {
+		return sc.Users[src].Upstream
+	}
+	return r
+}
+
+// DownstreamRep returns the effective downstream representation for flow
+// u→v (see Downstream).
+func (sc *Scenario) DownstreamRep(f Flow) Representation {
+	return sc.Downstream(f.Dst, f.Src)
+}
+
+// NearestAgent returns the agent with minimal H-delay to user u. Ties break
+// toward the lower agent ID, which keeps results deterministic.
+func (sc *Scenario) NearestAgent(u UserID) AgentID {
+	best, bestDelay := AgentID(0), math.Inf(1)
+	for l := range sc.Agents {
+		if d := sc.HMS[l][u]; d < bestDelay {
+			best, bestDelay = AgentID(l), d
+		}
+	}
+	return best
+}
+
+// AgentsByProximity returns all agent IDs sorted by ascending H-delay to
+// user u (ties broken by agent ID). The slice is freshly allocated.
+func (sc *Scenario) AgentsByProximity(u UserID) []AgentID {
+	ids := make([]AgentID, len(sc.Agents))
+	for i := range ids {
+		ids[i] = AgentID(i)
+	}
+	// Insertion sort: L is small (≤ tens) and this avoids pulling in sort
+	// with a less obvious comparator closure allocation in hot paths.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ids[j-1], ids[j]
+			da, db := sc.HMS[a][u], sc.HMS[b][u]
+			if da < db || (da == db && a < b) {
+				break
+			}
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids
+}
+
+func (sc *Scenario) validate() error {
+	if sc.Reps == nil {
+		return fmt.Errorf("model: scenario has no representation set")
+	}
+	if len(sc.Agents) == 0 {
+		return fmt.Errorf("model: scenario has no agents")
+	}
+	if len(sc.Users) == 0 {
+		return fmt.Errorf("model: scenario has no users")
+	}
+	for i := range sc.Sessions {
+		s := &sc.Sessions[i]
+		if s.ID != SessionID(i) {
+			return fmt.Errorf("model: session at index %d has ID %d", i, s.ID)
+		}
+		if len(s.Users) == 0 {
+			return fmt.Errorf("model: session %d is empty", s.ID)
+		}
+		seen := make(map[UserID]bool, len(s.Users))
+		for _, u := range s.Users {
+			if int(u) < 0 || int(u) >= len(sc.Users) {
+				return fmt.Errorf("model: session %d lists unknown user %d", s.ID, u)
+			}
+			if seen[u] {
+				return fmt.Errorf("model: session %d lists user %d twice", s.ID, u)
+			}
+			seen[u] = true
+			if sc.Users[u].Session != s.ID {
+				return fmt.Errorf("model: user %d is listed in session %d but belongs to %d",
+					u, s.ID, sc.Users[u].Session)
+			}
+		}
+	}
+	for i := range sc.Users {
+		u := &sc.Users[i]
+		if u.ID != UserID(i) {
+			return fmt.Errorf("model: user at index %d has ID %d", i, u.ID)
+		}
+		if err := validateUser(u, sc.Reps, sc.Sessions, sc.Users); err != nil {
+			return err
+		}
+	}
+	for i := range sc.Agents {
+		a := &sc.Agents[i]
+		if a.ID != AgentID(i) {
+			return fmt.Errorf("model: agent at index %d has ID %d", i, a.ID)
+		}
+		if err := validateAgent(a, sc.Reps); err != nil {
+			return err
+		}
+	}
+	if err := validateMatrix("D", sc.DMS, len(sc.Agents), len(sc.Agents)); err != nil {
+		return err
+	}
+	if err := validateMatrix("H", sc.HMS, len(sc.Agents), len(sc.Users)); err != nil {
+		return err
+	}
+	for l := range sc.Agents {
+		if sc.DMS[l][l] != 0 {
+			return fmt.Errorf("model: D[%d][%d] must be zero", l, l)
+		}
+	}
+	if sc.DMaxMS <= 0 {
+		return fmt.Errorf("model: DMaxMS must be positive, got %v", sc.DMaxMS)
+	}
+	return nil
+}
+
+func validateMatrix(name string, m [][]float64, rows, cols int) error {
+	if len(m) != rows {
+		return fmt.Errorf("model: matrix %s has %d rows, want %d", name, len(m), rows)
+	}
+	for i, row := range m {
+		if len(row) != cols {
+			return fmt.Errorf("model: matrix %s row %d has %d cols, want %d", name, i, len(row), cols)
+		}
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("model: matrix %s[%d][%d] = %v is not a valid delay", name, i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) buildCaches() {
+	nu := len(sc.Users)
+	sc.theta = make([][]bool, nu)
+	sc.participants = make([][]UserID, nu)
+	for u := range sc.Users {
+		sc.theta[u] = make([]bool, nu)
+	}
+	sc.thetaSum = 0
+	for si := range sc.Sessions {
+		members := sc.Sessions[si].Users
+		for _, u := range members {
+			peers := make([]UserID, 0, len(members)-1)
+			for _, v := range members {
+				if v == u {
+					continue
+				}
+				peers = append(peers, v)
+				// Flow u→v needs transcoding when v's effective demand for
+				// u's stream differs from what u produces (under
+				// DownscaleOnly, upward demands clamp to the upstream and
+				// therefore never transcode).
+				if sc.Downstream(v, u) != sc.Users[u].Upstream {
+					sc.theta[u][v] = true
+					sc.thetaSum++
+				}
+			}
+			sc.participants[u] = peers
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package model
+
+import "fmt"
+
+// UserID identifies a user within a Scenario. IDs are dense indices into the
+// scenario's user table (0..U-1).
+type UserID int
+
+// SessionID identifies a conferencing session within a Scenario. IDs are
+// dense indices (0..S-1).
+type SessionID int
+
+// AgentID identifies a cloud agent within a Scenario. IDs are dense indices
+// (0..L-1).
+type AgentID int
+
+// User is one conferencing participant. Each user belongs to exactly one
+// session, produces a stream in its upstream representation, and demands a
+// per-source downstream representation from every other participant.
+type User struct {
+	// ID is the dense index of the user in the scenario.
+	ID UserID
+	// Name is an optional human-readable label (e.g. a PlanetLab host).
+	Name string
+	// Session is the session the user participates in (s(u) in the paper).
+	Session SessionID
+	// Upstream is r^u_u: the representation of the stream the user produces.
+	Upstream Representation
+	// Downstream maps every other participant v in the session to r^d_{uv}:
+	// the representation this user demands for v's stream. Participants not
+	// present in the map default to the source's upstream representation
+	// (i.e. no transcoding demanded).
+	Downstream map[UserID]Representation
+}
+
+// DownstreamFrom returns r^d_{uv}: the representation user u demands for the
+// stream originated by v. Defaults to v's upstream representation when no
+// explicit demand is recorded (no transcoding needed).
+func (u *User) DownstreamFrom(v *User) Representation {
+	if r, ok := u.Downstream[v.ID]; ok {
+		return r
+	}
+	return v.Upstream
+}
+
+// Session groups the users of one conference. Users lists the member IDs in
+// ascending order.
+type Session struct {
+	ID    SessionID
+	Name  string
+	Users []UserID
+}
+
+// Size returns |U(s)|, the number of participants.
+func (s *Session) Size() int { return len(s.Users) }
+
+// Contains reports whether user u participates in the session.
+func (s *Session) Contains(u UserID) bool {
+	for _, m := range s.Users {
+		if m == u {
+			return true
+		}
+	}
+	return false
+}
+
+// validateUser checks a user's internal consistency against the scenario's
+// representation set and session table.
+func validateUser(u *User, rs *RepresentationSet, sessions []Session, users []User) error {
+	if !rs.Valid(u.Upstream) {
+		return fmt.Errorf("model: user %d: invalid upstream representation %d", u.ID, u.Upstream)
+	}
+	if int(u.Session) < 0 || int(u.Session) >= len(sessions) {
+		return fmt.Errorf("model: user %d: invalid session %d", u.ID, u.Session)
+	}
+	if !sessions[u.Session].Contains(u.ID) {
+		return fmt.Errorf("model: user %d: session %d does not list it as a member", u.ID, u.Session)
+	}
+	for v, r := range u.Downstream {
+		if !rs.Valid(r) {
+			return fmt.Errorf("model: user %d: invalid downstream representation %d from user %d", u.ID, r, v)
+		}
+		if int(v) < 0 || int(v) >= len(users) {
+			return fmt.Errorf("model: user %d: downstream demand from unknown user %d", u.ID, v)
+		}
+		if v == u.ID {
+			return fmt.Errorf("model: user %d: downstream demand from itself", u.ID)
+		}
+		if users[v].Session != u.Session {
+			return fmt.Errorf("model: user %d: downstream demand from user %d in a different session", u.ID, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Package noise implements the quantized measurement-perturbation model of
+// Theorem 1 (§IV-A-4): a perturbed objective evaluation returns one of
+//
+//	Φ_f − Δ, …, Φ_f − Δ/n, Φ_f, Φ_f + Δ/n, …, Φ_f + Δ
+//
+// with probabilities η_j. It models inaccurate measurements of RTTs and
+// transcoding latencies feeding the objective.
+package noise
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Quantized draws symmetric uniform quantized noise: η_j = 1/(2n+1).
+type Quantized struct {
+	// Delta is the error bound Δ_f (uniform across states).
+	Delta float64
+	// Levels is n_f: the number of quantization levels on each side.
+	Levels int
+
+	rng *rand.Rand
+}
+
+// NewQuantized builds the noise model. Delta must be non-negative, levels
+// positive.
+func NewQuantized(delta float64, levels int, seed int64) (*Quantized, error) {
+	if delta < 0 {
+		return nil, fmt.Errorf("noise: negative delta %v", delta)
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("noise: levels must be ≥ 1, got %d", levels)
+	}
+	return &Quantized{
+		Delta:  delta,
+		Levels: levels,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Perturb returns a noisy reading of phi: phi + (j/n)·Δ with j drawn
+// uniformly from {−n, …, n}. Not safe for concurrent use; each chain owns
+// its model.
+func (q *Quantized) Perturb(phi float64) float64 {
+	if q.Delta == 0 {
+		return phi
+	}
+	j := q.rng.Intn(2*q.Levels+1) - q.Levels
+	return phi + float64(j)*q.Delta/float64(q.Levels)
+}
+
+// MaxError returns Δ_max, the worst-case perturbation magnitude, which
+// enters the Theorem-1 bound of Eq. (13).
+func (q *Quantized) MaxError() float64 { return q.Delta }

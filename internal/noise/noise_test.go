@@ -1,0 +1,101 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewQuantizedValidation(t *testing.T) {
+	if _, err := NewQuantized(-1, 3, 1); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+	if _, err := NewQuantized(1, 0, 1); err == nil {
+		t.Fatal("zero levels accepted")
+	}
+	if _, err := NewQuantized(0, 1, 1); err != nil {
+		t.Fatalf("zero delta rejected: %v", err)
+	}
+}
+
+func TestPerturbBounded(t *testing.T) {
+	q, err := NewQuantized(5, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MaxError() != 5 {
+		t.Fatalf("MaxError = %v, want 5", q.MaxError())
+	}
+	for i := 0; i < 1000; i++ {
+		v := q.Perturb(100)
+		if v < 95 || v > 105 {
+			t.Fatalf("perturbed value %v outside [95,105]", v)
+		}
+		// Quantization: (v−100)·4/5 must be an integer in [−4,4].
+		j := (v - 100) * 4 / 5
+		if math.Abs(j-math.Round(j)) > 1e-9 {
+			t.Fatalf("perturbation %v not on the quantization grid", v-100)
+		}
+	}
+}
+
+func TestPerturbZeroDeltaIsIdentity(t *testing.T) {
+	q, err := NewQuantized(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Perturb(float64(i)); got != float64(i) {
+			t.Fatalf("Perturb(%d) = %v with zero delta", i, got)
+		}
+	}
+}
+
+func TestPerturbSymmetricMean(t *testing.T) {
+	q, err := NewQuantized(10, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += q.Perturb(0)
+	}
+	mean := sum / n
+	// Uniform symmetric noise has zero mean; std of the mean ≈ 10/√(3n).
+	if math.Abs(mean) > 0.15 {
+		t.Fatalf("noise mean %v, want ≈ 0", mean)
+	}
+}
+
+func TestPerturbHitsAllLevels(t *testing.T) {
+	q, err := NewQuantized(3, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[float64]bool)
+	for i := 0; i < 10000; i++ {
+		seen[q.Perturb(0)] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("saw %d distinct levels, want 7 (2n+1)", len(seen))
+	}
+}
+
+// Property: perturbation magnitude never exceeds Δ for arbitrary inputs.
+func TestPerturbBoundProperty(t *testing.T) {
+	q, err := NewQuantized(2.5, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(phi float64) bool {
+		if math.IsNaN(phi) || math.IsInf(phi, 0) {
+			return true
+		}
+		d := q.Perturb(phi) - phi
+		return d >= -2.5-1e-9 && d <= 2.5+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

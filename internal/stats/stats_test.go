@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); got != tt.want {
+				t.Fatalf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev(nil); got != 0 {
+		t.Fatalf("StdDev(nil) = %v", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev(one) = %v", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5} // unsorted on purpose
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.5); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("interpolated median = %v, want 5", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(empty) = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := Summarize([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Median != 3 || b.Max != 5 {
+		t.Fatalf("Summarize = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = %v, %v", b.Q1, b.Q3)
+	}
+	if s := b.String(); s != "1.0/2.0/3.0/4.0/5.0" {
+		t.Fatalf("String = %q", s)
+	}
+	if got := Summarize(nil); got != (BoxPlot{}) {
+		t.Fatalf("Summarize(nil) = %+v", got)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return Quantile(xs, 0) <= Quantile(xs, 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package trace records time series of system observables (inter-agent
+// traffic, conferencing delay) during simulated runs, and resamples them
+// onto regular grids for table/figure output — the evolution plots of
+// Figs. 4–7 are drawn from these series.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Point is one observation at a virtual time.
+type Point struct {
+	TimeS float64
+	Value float64
+}
+
+// Series is an append-only time series. Points must be appended in
+// non-decreasing time order.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// NewSeries creates an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Append records a point. Out-of-order appends are rejected.
+func (s *Series) Append(timeS, value float64) error {
+	if n := len(s.points); n > 0 && timeS < s.points[n-1].TimeS {
+		return fmt.Errorf("trace: out-of-order append at t=%v (last %v)", timeS, s.points[n-1].TimeS)
+	}
+	s.points = append(s.points, Point{TimeS: timeS, Value: value})
+	return nil
+}
+
+// Len returns the number of recorded points.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns a copy of the recorded points.
+func (s *Series) Points() []Point {
+	return append([]Point(nil), s.points...)
+}
+
+// At returns the step-function value at time t: the most recent observation
+// at or before t. Returns 0, false before the first point.
+func (s *Series) At(t float64) (float64, bool) {
+	idx := sort.Search(len(s.points), func(i int) bool { return s.points[i].TimeS > t })
+	if idx == 0 {
+		return 0, false
+	}
+	return s.points[idx-1].Value, true
+}
+
+// Resample returns the series sampled on the regular grid
+// {start, start+step, …, end} using step-function (zero-order hold)
+// semantics. Times before the first observation carry the first observed
+// value so plots do not start at an artificial zero.
+func (s *Series) Resample(start, end, step float64) []Point {
+	if step <= 0 || end < start || len(s.points) == 0 {
+		return nil
+	}
+	var out []Point
+	first := s.points[0].Value
+	for t := start; t <= end+1e-9; t += step {
+		v, ok := s.At(t)
+		if !ok {
+			v = first
+		}
+		out = append(out, Point{TimeS: t, Value: v})
+	}
+	return out
+}
+
+// Last returns the final observation, or false when empty.
+func (s *Series) Last() (Point, bool) {
+	if len(s.points) == 0 {
+		return Point{}, false
+	}
+	return s.points[len(s.points)-1], true
+}
+
+// MinMax returns the extreme values of the series (0,0 when empty).
+func (s *Series) MinMax() (min, max float64) {
+	if len(s.points) == 0 {
+		return 0, 0
+	}
+	min, max = s.points[0].Value, s.points[0].Value
+	for _, p := range s.points[1:] {
+		if p.Value < min {
+			min = p.Value
+		}
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	return min, max
+}
+
+// MeanOver returns the time-weighted mean of the step function over
+// [from, to]. Returns 0 when the window is empty or degenerate.
+func (s *Series) MeanOver(from, to float64) float64 {
+	if to <= from || len(s.points) == 0 {
+		return 0
+	}
+	total := 0.0
+	t := from
+	v, ok := s.At(from)
+	if !ok {
+		v = s.points[0].Value
+	}
+	for _, p := range s.points {
+		if p.TimeS <= from {
+			continue
+		}
+		if p.TimeS >= to {
+			break
+		}
+		total += v * (p.TimeS - t)
+		t = p.TimeS
+		v = p.Value
+	}
+	total += v * (to - t)
+	return total / (to - from)
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAppendOrdering(t *testing.T) {
+	s := NewSeries("traffic")
+	if err := s.Append(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, 3); err != nil {
+		t.Fatal(err) // equal timestamps are fine
+	}
+	if err := s.Append(0.5, 4); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestAtStepSemantics(t *testing.T) {
+	s := NewSeries("x")
+	for _, p := range []struct{ t, v float64 }{{10, 1}, {20, 2}, {30, 3}} {
+		if err := s.Append(p.t, p.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.At(5); ok {
+		t.Fatal("At before first point should report not-ok")
+	}
+	tests := []struct{ t, want float64 }{
+		{10, 1}, {15, 1}, {20, 2}, {29.9, 2}, {30, 3}, {1000, 3},
+	}
+	for _, tt := range tests {
+		got, ok := s.At(tt.t)
+		if !ok || got != tt.want {
+			t.Fatalf("At(%v) = %v,%v; want %v,true", tt.t, got, ok, tt.want)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := NewSeries("x")
+	_ = s.Append(10, 1)
+	_ = s.Append(20, 5)
+	pts := s.Resample(0, 30, 10)
+	want := []float64{1, 1, 5, 5} // t=0 carries the first value
+	if len(pts) != len(want) {
+		t.Fatalf("points = %d, want %d", len(pts), len(want))
+	}
+	for i, p := range pts {
+		if p.Value != want[i] {
+			t.Fatalf("Resample[%d] = %v, want %v", i, p.Value, want[i])
+		}
+	}
+	if got := s.Resample(0, 10, 0); got != nil {
+		t.Fatal("zero step should return nil")
+	}
+	if got := NewSeries("empty").Resample(0, 10, 1); got != nil {
+		t.Fatal("empty series should resample to nil")
+	}
+}
+
+func TestLastAndMinMax(t *testing.T) {
+	s := NewSeries("x")
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last on empty series reported ok")
+	}
+	_ = s.Append(1, 5)
+	_ = s.Append(2, -3)
+	_ = s.Append(3, 9)
+	last, ok := s.Last()
+	if !ok || last.Value != 9 || last.TimeS != 3 {
+		t.Fatalf("Last = %+v", last)
+	}
+	min, max := s.MinMax()
+	if min != -3 || max != 9 {
+		t.Fatalf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestMeanOver(t *testing.T) {
+	s := NewSeries("x")
+	_ = s.Append(0, 10)
+	_ = s.Append(10, 20)
+	// [0,20]: 10 for 10 s then 20 for 10 s → mean 15.
+	if got := s.MeanOver(0, 20); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("MeanOver = %v, want 15", got)
+	}
+	// Window entirely in the second regime.
+	if got := s.MeanOver(12, 18); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("MeanOver = %v, want 20", got)
+	}
+	if got := s.MeanOver(5, 5); got != 0 {
+		t.Fatalf("degenerate window = %v, want 0", got)
+	}
+	if got := NewSeries("e").MeanOver(0, 1); got != 0 {
+		t.Fatalf("empty series mean = %v, want 0", got)
+	}
+	// Points copy is defensive.
+	pts := s.Points()
+	pts[0].Value = 999
+	if v, _ := s.At(0); v != 10 {
+		t.Fatal("Points() leaked internal storage")
+	}
+}

@@ -1,0 +1,117 @@
+// Package transcode models the transcoding latency σ_l(r1, r2) of
+// heterogeneous cloud agents.
+//
+// The paper (§II) requires only that σ_l is an increasing function of the
+// bitrates of both the input and the output representation, and reports that
+// the prototype agents' latencies fell in the 30–60 ms band depending on
+// processing capability (§V-A). This package provides a parametric model
+// with exactly those properties: a per-agent capability factor scales an
+// affine function of the two bitrates, clamped into a configurable band.
+//
+// The paper's own testbed measured these latencies on real EC2 VMs; we
+// substitute this synthetic model because the optimizer consumes σ_l only as
+// a black-box increasing function (see DESIGN.md §2).
+package transcode
+
+import (
+	"fmt"
+
+	"vconf/internal/model"
+)
+
+// Model parameterizes the latency function
+//
+//	σ(r1, r2) = factor × (Base + InCoeff·κ(r1) + OutCoeff·κ(r2))  [ms]
+//
+// optionally clamped to [MinMS, MaxMS] when MaxMS > 0.
+type Model struct {
+	// BaseMS is the fixed per-task overhead in milliseconds.
+	BaseMS float64
+	// InCoeffMSPerMbps scales with the input bitrate κ(r1).
+	InCoeffMSPerMbps float64
+	// OutCoeffMSPerMbps scales with the output bitrate κ(r2).
+	OutCoeffMSPerMbps float64
+	// MinMS / MaxMS clamp the result when MaxMS > 0. The paper's prototype
+	// band is [30, 60] ms.
+	MinMS float64
+	MaxMS float64
+}
+
+// DefaultModel reproduces the paper's 30–60 ms prototype band for the
+// default representation set: a capability-1.0 agent transcoding 1080p→360p
+// lands near 49 ms, 360p→360p-adjacent tasks near the 30 ms floor, and slow
+// agents (factor ≥ 1.2) saturate toward 60 ms.
+func DefaultModel() Model {
+	return Model{
+		BaseMS:            24,
+		InCoeffMSPerMbps:  2.2,
+		OutCoeffMSPerMbps: 1.4,
+		MinMS:             30,
+		MaxMS:             60,
+	}
+}
+
+// Latency evaluates σ for one (input, output) bitrate pair and a capability
+// factor (1.0 = reference hardware; larger = slower agent).
+func (m Model) Latency(factor, inMbps, outMbps float64) float64 {
+	v := factor * (m.BaseMS + m.InCoeffMSPerMbps*inMbps + m.OutCoeffMSPerMbps*outMbps)
+	if m.MaxMS > 0 {
+		if v < m.MinMS {
+			v = m.MinMS
+		}
+		if v > m.MaxMS {
+			v = m.MaxMS
+		}
+	}
+	return v
+}
+
+// Table materializes the full |R|×|R| σ table for an agent with the given
+// capability factor. The diagonal is zero: converting a representation to
+// itself is the identity and never scheduled as a transcoding task.
+func (m Model) Table(reps *model.RepresentationSet, factor float64) ([][]float64, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("transcode: capability factor must be positive, got %v", factor)
+	}
+	n := reps.Len()
+	table := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		table[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			table[i][j] = m.Latency(factor,
+				reps.Bitrate(model.Representation(i)),
+				reps.Bitrate(model.Representation(j)))
+		}
+	}
+	return table, nil
+}
+
+// MustTable is Table for static inputs; it panics on error. Intended for
+// fixtures and examples where the factor is a literal.
+func MustTable(reps *model.RepresentationSet, factor float64) [][]float64 {
+	t, err := DefaultModel().Table(reps, factor)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// CapabilityTier is a named class of agent hardware.
+type CapabilityTier struct {
+	Name string
+	// Factor is the capability factor fed into the model (1.0 = reference).
+	Factor float64
+}
+
+// Tiers returns the three hardware tiers used across experiments: powerful
+// (fast transcoder, e.g. the SG agent of Fig. 2), standard, and weak.
+func Tiers() []CapabilityTier {
+	return []CapabilityTier{
+		{Name: "powerful", Factor: 0.75},
+		{Name: "standard", Factor: 1.0},
+		{Name: "weak", Factor: 1.3},
+	}
+}

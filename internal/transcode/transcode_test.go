@@ -1,0 +1,122 @@
+package transcode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vconf/internal/model"
+)
+
+func TestDefaultModelBand(t *testing.T) {
+	m := DefaultModel()
+	reps := model.DefaultRepresentations()
+	for _, tier := range Tiers() {
+		table, err := m.Table(reps, tier.Factor)
+		if err != nil {
+			t.Fatalf("Table(%s): %v", tier.Name, err)
+		}
+		for i := range table {
+			for j := range table[i] {
+				if i == j {
+					if table[i][j] != 0 {
+						t.Fatalf("tier %s: diagonal [%d][%d] = %v, want 0", tier.Name, i, j, table[i][j])
+					}
+					continue
+				}
+				if table[i][j] < 30 || table[i][j] > 60 {
+					t.Fatalf("tier %s: σ[%d][%d] = %v outside the paper's [30,60] ms band",
+						tier.Name, i, j, table[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestLatencyMonotoneInBitrates(t *testing.T) {
+	// Without clamping, σ must be strictly increasing in both bitrates.
+	m := Model{BaseMS: 10, InCoeffMSPerMbps: 2, OutCoeffMSPerMbps: 1}
+	if !(m.Latency(1, 2, 3) < m.Latency(1, 4, 3)) {
+		t.Fatal("σ not increasing in input bitrate")
+	}
+	if !(m.Latency(1, 2, 3) < m.Latency(1, 2, 5)) {
+		t.Fatal("σ not increasing in output bitrate")
+	}
+	if !(m.Latency(1, 2, 3) < m.Latency(2, 2, 3)) {
+		t.Fatal("σ not increasing in capability factor")
+	}
+}
+
+func TestLatencyClamp(t *testing.T) {
+	m := Model{BaseMS: 1, InCoeffMSPerMbps: 1, OutCoeffMSPerMbps: 1, MinMS: 30, MaxMS: 60}
+	if got := m.Latency(1, 0.1, 0.1); got != 30 {
+		t.Fatalf("low clamp: got %v, want 30", got)
+	}
+	if got := m.Latency(10, 100, 100); got != 60 {
+		t.Fatalf("high clamp: got %v, want 60", got)
+	}
+}
+
+func TestTableRejectsBadFactor(t *testing.T) {
+	reps := model.DefaultRepresentations()
+	for _, f := range []float64{0, -1} {
+		if _, err := DefaultModel().Table(reps, f); err == nil {
+			t.Fatalf("Table(factor=%v) succeeded, want error", f)
+		}
+	}
+}
+
+func TestTiersOrdering(t *testing.T) {
+	tiers := Tiers()
+	if len(tiers) != 3 {
+		t.Fatalf("Tiers() = %d entries, want 3", len(tiers))
+	}
+	for i := 1; i < len(tiers); i++ {
+		if tiers[i-1].Factor >= tiers[i].Factor {
+			t.Fatal("tiers must be ordered fastest → slowest")
+		}
+	}
+}
+
+// Property: within the table of any capability factor, moving to a
+// higher-bitrate input or output representation never decreases σ
+// (off-diagonal entries; the clamp can make it equal).
+func TestTableMonotoneProperty(t *testing.T) {
+	reps := model.DefaultRepresentations()
+	m := DefaultModel()
+	prop := func(f8 uint8) bool {
+		factor := 0.5 + float64(f8%200)/100 // 0.5 .. 2.49
+		table, err := m.Table(reps, factor)
+		if err != nil {
+			return false
+		}
+		n := reps.Len()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if i+1 < n && i+1 != j && table[i+1][j] < table[i][j] {
+					return false
+				}
+				if j+1 < n && i != j+1 && table[i][j+1] < table[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustTableDoesNotPanicOnValidInput(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("MustTable panicked: %v", r)
+		}
+	}()
+	if got := MustTable(model.DefaultRepresentations(), 1.0); len(got) != 4 {
+		t.Fatalf("MustTable rows = %d, want 4", len(got))
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// EventKind distinguishes churn events.
+type EventKind int
+
+// Churn event kinds.
+const (
+	EventArrival EventKind = iota + 1
+	EventDeparture
+)
+
+// Event is one session arrival or departure at a virtual time.
+type Event struct {
+	TimeS   float64
+	Kind    EventKind
+	Session int
+}
+
+// ChurnConfig parameterizes a Poisson session-churn process — the
+// continuous generalization of Fig. 5's fixed batches, for stressing the
+// chain's adaptivity claims (§IV-A-4: "robust to variations due to session
+// dynamics").
+type ChurnConfig struct {
+	Seed int64
+	// HorizonS is the schedule length in virtual seconds.
+	HorizonS float64
+	// ArrivalRatePerS is the Poisson arrival rate λ.
+	ArrivalRatePerS float64
+	// MeanHoldS is the mean session lifetime (exponential).
+	MeanHoldS float64
+	// NumSessions bounds the session pool; an arrival is dropped when every
+	// session of the scenario is already active.
+	NumSessions int
+	// InitialActive sessions are active at t = 0 (their departures are
+	// scheduled like everyone else's).
+	InitialActive int
+}
+
+// Validate checks the configuration.
+func (c ChurnConfig) Validate() error {
+	if c.HorizonS <= 0 || c.ArrivalRatePerS <= 0 || c.MeanHoldS <= 0 {
+		return fmt.Errorf("workload: churn horizon, rate and hold time must be positive")
+	}
+	if c.NumSessions < 1 || c.InitialActive < 0 || c.InitialActive > c.NumSessions {
+		return fmt.Errorf("workload: invalid session counts %d/%d", c.InitialActive, c.NumSessions)
+	}
+	return nil
+}
+
+// departure is a heap entry.
+type departure struct {
+	timeS   float64
+	session int
+}
+
+type departureHeap []departure
+
+func (h departureHeap) Len() int            { return len(h) }
+func (h departureHeap) Less(i, j int) bool  { return h[i].timeS < h[j].timeS }
+func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// PoissonSchedule generates a deterministic (seeded) churn schedule:
+// arrivals follow a Poisson process with rate λ, each session departs after
+// an exponential hold time, and departed sessions return to the idle pool
+// for reuse. Events are returned in time order; every departure follows its
+// matching arrival (initially-active sessions depart without a recorded
+// arrival, since they are active before t = 0).
+func PoissonSchedule(cfg ChurnConfig) ([]Event, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	idle := make([]int, 0, cfg.NumSessions)
+	for s := cfg.InitialActive; s < cfg.NumSessions; s++ {
+		idle = append(idle, s)
+	}
+	var deps departureHeap
+	for s := 0; s < cfg.InitialActive; s++ {
+		heap.Push(&deps, departure{timeS: rng.ExpFloat64() * cfg.MeanHoldS, session: s})
+	}
+
+	var events []Event
+	flushUntil := func(t float64) {
+		for len(deps) > 0 && deps[0].timeS <= t {
+			d := heap.Pop(&deps).(departure)
+			if d.timeS >= cfg.HorizonS {
+				continue
+			}
+			events = append(events, Event{TimeS: d.timeS, Kind: EventDeparture, Session: d.session})
+			idle = append(idle, d.session)
+		}
+	}
+
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / cfg.ArrivalRatePerS
+		if t >= cfg.HorizonS {
+			break
+		}
+		flushUntil(t)
+		if len(idle) == 0 {
+			continue // pool exhausted: drop this arrival
+		}
+		s := idle[0]
+		idle = idle[1:]
+		events = append(events, Event{TimeS: t, Kind: EventArrival, Session: s})
+		heap.Push(&deps, departure{timeS: t + rng.ExpFloat64()*cfg.MeanHoldS, session: s})
+	}
+	flushUntil(cfg.HorizonS)
+	return events, nil
+}

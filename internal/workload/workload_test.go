@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"testing"
+
+	"vconf/internal/model"
+)
+
+func TestGenerateLargeScaleShape(t *testing.T) {
+	sc, err := Generate(LargeScale(1))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if sc.NumAgents() != 7 {
+		t.Fatalf("agents = %d, want 7", sc.NumAgents())
+	}
+	if sc.NumUsers() != 200 {
+		t.Fatalf("users = %d, want 200", sc.NumUsers())
+	}
+	// 200 users in sessions of 2–5 ⇒ 40–100 sessions.
+	if n := sc.NumSessions(); n < 40 || n > 100 {
+		t.Fatalf("sessions = %d, want 40–100", n)
+	}
+	for s := 0; s < sc.NumSessions(); s++ {
+		size := sc.Session(model.SessionID(s)).Size()
+		if size < 2 || size > 6 { // 6: a lone leftover may join the last session
+			t.Fatalf("session %d size = %d, outside [2,6]", s, size)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	sc1, err := Generate(LargeScale(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := Generate(LargeScale(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc1.NumSessions() != sc2.NumSessions() || sc1.ThetaSum() != sc2.ThetaSum() {
+		t.Fatal("identical seeds produced different scenarios")
+	}
+	for u := 0; u < sc1.NumUsers(); u++ {
+		if sc1.User(model.UserID(u)).Upstream != sc2.User(model.UserID(u)).Upstream {
+			t.Fatalf("user %d upstream differs across identical seeds", u)
+		}
+	}
+	sc3, err := Generate(LargeScale(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc1.ThetaSum() == sc3.ThetaSum() && sc1.NumSessions() == sc3.NumSessions() {
+		same := true
+		for u := 0; u < sc1.NumUsers() && same; u++ {
+			same = sc1.User(model.UserID(u)).Upstream == sc3.User(model.UserID(u)).Upstream
+		}
+		if same {
+			t.Fatal("different seeds produced identical scenarios")
+		}
+	}
+}
+
+func TestGenerateDemandMix(t *testing.T) {
+	sc, err := Generate(LargeScale(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := sc.Reps
+	r720, _ := reps.ByName("720p")
+	// Count per-user demanded representations via their Downstream tables.
+	demand720 := 0
+	total := 0
+	for u := 0; u < sc.NumUsers(); u++ {
+		user := sc.User(model.UserID(u))
+		if len(user.Downstream) == 0 {
+			continue
+		}
+		total++
+		// All entries share one rep by construction; read any.
+		for _, r := range user.Downstream {
+			if r == r720 {
+				demand720++
+			}
+			break
+		}
+	}
+	if total == 0 {
+		t.Fatal("no demands recorded")
+	}
+	share := float64(demand720) / float64(total)
+	if share < 0.70 || share > 0.90 {
+		t.Fatalf("720p demand share = %.2f, want ≈ 0.8", share)
+	}
+	// Transcoding matrix should be sparse but present.
+	if sc.ThetaSum() == 0 {
+		t.Fatal("no transcoding flows generated")
+	}
+	totalFlows := 0
+	for s := 0; s < sc.NumSessions(); s++ {
+		n := sc.Session(model.SessionID(s)).Size()
+		totalFlows += n * (n - 1)
+	}
+	if frac := float64(sc.ThetaSum()) / float64(totalFlows); frac > 0.6 {
+		t.Fatalf("transcoding share %.2f not sparse", frac)
+	}
+}
+
+func TestGenerateCapacityHeterogeneity(t *testing.T) {
+	cfg := LargeScale(5)
+	cfg.MeanBandwidthMbps = 700
+	cfg.MeanTranscodeSlots = 40
+	sc, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDifferentBW := false
+	for l := 0; l < sc.NumAgents(); l++ {
+		a := sc.Agent(model.AgentID(l))
+		if a.Upload < 700*0.69 || a.Upload > 700*1.31 {
+			t.Fatalf("agent %d upload %v outside ±30%% of 700", l, a.Upload)
+		}
+		if a.TranscodeSlots < 27 || a.TranscodeSlots > 53 {
+			t.Fatalf("agent %d slots %d outside ±30%% of 40", l, a.TranscodeSlots)
+		}
+		if a.Upload != sc.Agent(0).Upload {
+			sawDifferentBW = true
+		}
+	}
+	if !sawDifferentBW {
+		t.Fatal("agent capacities are homogeneous; expected heterogeneity")
+	}
+}
+
+func TestGeneratePrototypeShape(t *testing.T) {
+	sc, err := Generate(Prototype(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumAgents() != 6 {
+		t.Fatalf("agents = %d, want 6", sc.NumAgents())
+	}
+	if n := sc.NumSessions(); n < 7 || n > 13 {
+		t.Fatalf("sessions = %d, want ≈10", n)
+	}
+	for s := 0; s < sc.NumSessions(); s++ {
+		size := sc.Session(model.SessionID(s)).Size()
+		if size < 3 || size > 6 {
+			t.Fatalf("session %d size %d outside prototype range", s, size)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.NumAgents = 0 },
+		func(c *Config) { c.NumAgents = 99 },
+		func(c *Config) { c.NumUserNodes = 0 },
+		func(c *Config) { c.NumUsers = 1 },
+		func(c *Config) { c.MinSessionSize = 1 },
+		func(c *Config) { c.MaxSessionSize = 1 },
+		func(c *Config) { c.MeanBandwidthMbps = 0 },
+		func(c *Config) { c.UpstreamWeights = nil },
+		func(c *Config) { c.DemandWeights = map[string]float64{} },
+	}
+	for i, mutate := range mutations {
+		cfg := LargeScale(1)
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Fatalf("mutation %d: invalid config accepted", i)
+		}
+	}
+	// Weight validation inside the picker.
+	cfg := LargeScale(1)
+	cfg.DemandWeights = map[string]float64{"720p": -1}
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	cfg.DemandWeights = map[string]float64{"nonexistent": 1}
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("unknown representation name accepted")
+	}
+}
+
+func TestGenerateMoreUsersThanNodes(t *testing.T) {
+	cfg := LargeScale(9)
+	cfg.NumUserNodes = 20
+	cfg.NumUsers = 50
+	sc, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumUsers() != 50 {
+		t.Fatalf("users = %d, want 50 (node reuse)", sc.NumUsers())
+	}
+}
+
+func TestPoissonScheduleInvariants(t *testing.T) {
+	cfg := ChurnConfig{
+		Seed:            3,
+		HorizonS:        600,
+		ArrivalRatePerS: 0.1,
+		MeanHoldS:       60,
+		NumSessions:     8,
+		InitialActive:   3,
+	}
+	events, err := PoissonSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no churn events generated")
+	}
+	// Events in time order, inside the horizon, with a consistent active
+	// set: never arrive an active session, never depart an idle one, never
+	// exceed the pool.
+	active := make(map[int]bool)
+	for s := 0; s < cfg.InitialActive; s++ {
+		active[s] = true
+	}
+	last := 0.0
+	arrivals, departures := 0, 0
+	for i, e := range events {
+		if e.TimeS < last {
+			t.Fatalf("event %d out of order: %v after %v", i, e.TimeS, last)
+		}
+		last = e.TimeS
+		if e.TimeS < 0 || e.TimeS >= cfg.HorizonS {
+			t.Fatalf("event %d outside horizon: %v", i, e.TimeS)
+		}
+		if e.Session < 0 || e.Session >= cfg.NumSessions {
+			t.Fatalf("event %d references session %d", i, e.Session)
+		}
+		switch e.Kind {
+		case EventArrival:
+			if active[e.Session] {
+				t.Fatalf("event %d: arrival of already-active session %d", i, e.Session)
+			}
+			active[e.Session] = true
+			arrivals++
+		case EventDeparture:
+			if !active[e.Session] {
+				t.Fatalf("event %d: departure of inactive session %d", i, e.Session)
+			}
+			delete(active, e.Session)
+			departures++
+		default:
+			t.Fatalf("event %d has kind %d", i, e.Kind)
+		}
+		if len(active) > cfg.NumSessions {
+			t.Fatal("active set exceeded the pool")
+		}
+	}
+	if arrivals == 0 || departures == 0 {
+		t.Fatalf("degenerate schedule: %d arrivals, %d departures", arrivals, departures)
+	}
+}
+
+func TestPoissonScheduleDeterministic(t *testing.T) {
+	cfg := ChurnConfig{Seed: 9, HorizonS: 300, ArrivalRatePerS: 0.05, MeanHoldS: 40,
+		NumSessions: 5, InitialActive: 2}
+	e1, err := PoissonSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := PoissonSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1) != len(e2) {
+		t.Fatal("schedules differ in length across identical seeds")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestPoissonScheduleValidation(t *testing.T) {
+	bad := []ChurnConfig{
+		{HorizonS: 0, ArrivalRatePerS: 1, MeanHoldS: 1, NumSessions: 1},
+		{HorizonS: 1, ArrivalRatePerS: 0, MeanHoldS: 1, NumSessions: 1},
+		{HorizonS: 1, ArrivalRatePerS: 1, MeanHoldS: 0, NumSessions: 1},
+		{HorizonS: 1, ArrivalRatePerS: 1, MeanHoldS: 1, NumSessions: 0},
+		{HorizonS: 1, ArrivalRatePerS: 1, MeanHoldS: 1, NumSessions: 2, InitialActive: 3},
+	}
+	for i, cfg := range bad {
+		if _, err := PoissonSchedule(cfg); err == nil {
+			t.Fatalf("case %d: invalid churn config accepted", i)
+		}
+	}
+}
