@@ -443,6 +443,129 @@ func BenchmarkAblationHopMode(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Online churn orchestrator benches
+
+// churnFixture builds the orchestrator stack and a seeded Poisson schedule.
+func churnFixture(b *testing.B, seed int64) (*vconf.Solver, []vconf.ChurnEvent) {
+	b.Helper()
+	sc, err := vconf.GenerateWorkload(vconf.PrototypeWorkload(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver, err := vconf.NewSolver(sc, vconf.WithSeed(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := vconf.GenerateChurn(vconf.ChurnConfig{
+		Seed:            seed,
+		HorizonS:        300,
+		ArrivalRatePerS: 0.1,
+		MeanHoldS:       90,
+		NumSessions:     sc.NumSessions(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return solver, events
+}
+
+// BenchmarkOrchestratorChurn drives the online orchestrator over a seeded
+// churn schedule: events/sec throughput, mean re-optimization latency per
+// event, and final-objective drift vs a from-scratch re-solve oracle on the
+// same live session set.
+func BenchmarkOrchestratorChurn(b *testing.B) {
+	solver, events := churnFixture(b, 1)
+	var drift, meanLatencyMS float64
+	var processed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		orc, err := solver.NewOrchestrator(vconf.DefaultOrchestratorConfig(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		// Only the event-processing loop is timed; construction and the
+		// oracle yardstick below are setup/measurement, not throughput.
+		if _, err := orc.Run(events, 300); err != nil {
+			orc.Close()
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		st := orc.Stats()
+		processed += st.Events
+		if st.Events > 0 {
+			meanLatencyMS = float64(st.ReoptTotal.Microseconds()) / float64(st.Events) / 1e3
+		}
+		active := orc.ActiveSessions()
+		online := orc.Objective()
+		orc.Close()
+		if len(active) > 0 {
+			_, oraclePhi, err := solver.FullResolve(active, 200)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if oraclePhi > 0 {
+				drift = 100 * (online - oraclePhi) / oraclePhi
+			}
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(meanLatencyMS, "reopt-latency-ms")
+	b.ReportMetric(drift, "oracle-drift-pct")
+}
+
+// BenchmarkOrchestratorEvent isolates the per-event hot path (admission +
+// sharded incremental re-optimization) at steady state.
+func BenchmarkOrchestratorEvent(b *testing.B) {
+	solver, events := churnFixture(b, 2)
+	orc, err := solver.NewOrchestrator(vconf.DefaultOrchestratorConfig(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer orc.Close()
+	// Cyclic replay desyncs the schedule from the live set; flip desynced
+	// arrivals into departures so every event stays valid.
+	active := make(map[int]bool)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := events[i%len(events)]
+		if e.Kind == vconf.ChurnArrival && active[e.Session] {
+			e.Kind = vconf.ChurnDeparture
+		}
+		if _, err := orc.HandleEvent(e); err != nil {
+			b.Fatal(err)
+		}
+		active[e.Session] = e.Kind == vconf.ChurnArrival
+	}
+}
+
+// BenchmarkDeltaVsFullObjective compares delta-evaluated objective queries
+// (the orchestrator hot path) against full-scenario re-evaluation.
+func BenchmarkDeltaVsFullObjective(b *testing.B) {
+	ev, a, _ := benchScenario(b, 7)
+	cache := cost.NewObjectiveCache(ev)
+	sessions := ev.Scenario().NumSessions()
+	for s := 0; s < sessions; s++ {
+		cache.SetActive(model.SessionID(s), true)
+	}
+	cache.TotalObjective(a)
+	b.Run("delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache.Invalidate(model.SessionID(i % sessions))
+			_ = cache.TotalObjective(a)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ev.TotalObjective(a)
+		}
+	})
+}
+
 func meanOf(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0

@@ -1,0 +1,99 @@
+package vconf
+
+import (
+	"testing"
+)
+
+func TestGenerateChurnDeterministic(t *testing.T) {
+	cfg := ChurnConfig{
+		Seed:            3,
+		HorizonS:        200,
+		ArrivalRatePerS: 0.1,
+		MeanHoldS:       60,
+		NumSessions:     8,
+	}
+	a, err := GenerateChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("schedules diverge: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	last := 0.0
+	for _, e := range a {
+		if e.TimeS < last {
+			t.Fatalf("events out of order at %v", e.TimeS)
+		}
+		last = e.TimeS
+		if e.Kind != ChurnArrival && e.Kind != ChurnDeparture {
+			t.Fatalf("invalid kind %v", e.Kind)
+		}
+	}
+	if _, err := GenerateChurn(ChurnConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestOrchestratorViaFacade(t *testing.T) {
+	sc := smallScenario(t, 9)
+	solver, err := NewSolver(sc, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := GenerateChurn(ChurnConfig{
+		Seed:            9,
+		HorizonS:        150,
+		ArrivalRatePerS: 0.1,
+		MeanHoldS:       80,
+		NumSessions:     sc.NumSessions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, err := solver.NewOrchestrator(DefaultOrchestratorConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orc.Close()
+	rt, err := solver.NewRuntime(DefaultRuntimeConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc.AttachRuntime(rt)
+
+	reports, err := orc.Run(events, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(events) {
+		t.Fatalf("%d reports for %d events", len(reports), len(events))
+	}
+	if err := orc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := orc.Stats()
+	if st.Arrivals == 0 || st.Tasks == 0 {
+		t.Fatalf("facade run did no work: %+v", st)
+	}
+
+	active := orc.ActiveSessions()
+	if len(active) == 0 {
+		t.Skip("no live sessions at horizon for this seed")
+	}
+	_, oraclePhi, err := solver.FullResolve(active, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online := orc.Objective(); online > oraclePhi*1.10 {
+		t.Fatalf("online objective %.2f exceeds 110%% of oracle %.2f", online, oraclePhi)
+	}
+}

@@ -32,6 +32,23 @@ func TestRunNrstInit(t *testing.T) {
 	}
 }
 
+func TestRunChurnMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-churn", "-duration", "120", "-rate", "0.1", "-hold", "60",
+		"-interval", "30", "-users", "24", "-shards", "2"}, &buf)
+	if err != nil {
+		t.Fatalf("run churn: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"vcsim churn:", "reopt latency:", "oracle", "final state feasible",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("churn output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunRejectsUnknownInit(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-init", "oracle"}, &buf); err == nil {

@@ -1,0 +1,3 @@
+module vconf
+
+go 1.24

@@ -1,0 +1,185 @@
+package cost
+
+import (
+	"fmt"
+
+	"vconf/internal/assign"
+	"vconf/internal/model"
+)
+
+// This file implements delta cost evaluation: the objective Φ = Σ_s Φ_s
+// decomposes by session, and Φ_s depends only on session s's own decision
+// variables (§IV-A-2), so any single-variable change invalidates exactly one
+// session. The ObjectiveCache exploits that to answer system-wide objective
+// queries after a migration in O(1 touched session) instead of O(S) — the
+// property the online orchestrator's hot path relies on.
+
+// TouchedSession returns the unique session whose objective a decision can
+// change: the session of the re-subscribed user (UserMove) or of the moved
+// flow's source (FlowMove).
+func TouchedSession(sc *model.Scenario, d assign.Decision) (model.SessionID, error) {
+	switch d.Kind {
+	case assign.UserMove:
+		if int(d.User) < 0 || int(d.User) >= sc.NumUsers() {
+			return 0, fmt.Errorf("cost: touched session: unknown user %d", d.User)
+		}
+		return sc.User(d.User).Session, nil
+	case assign.FlowMove:
+		if int(d.Flow.Src) < 0 || int(d.Flow.Src) >= sc.NumUsers() {
+			return 0, fmt.Errorf("cost: touched session: unknown flow source %d", d.Flow.Src)
+		}
+		return sc.User(d.Flow.Src).Session, nil
+	default:
+		return 0, fmt.Errorf("cost: touched session: invalid decision kind %d", d.Kind)
+	}
+}
+
+// ObjectiveCache memoizes per-session objectives and loads for one evolving
+// assignment. Sessions marked inactive contribute nothing; dirty sessions
+// are recomputed lazily on the next query. Not safe for concurrent use —
+// the orchestrator queries it only under its commit lock.
+type ObjectiveCache struct {
+	ev     *Evaluator
+	phi    []float64
+	load   []*SessionLoad
+	dirty  []bool
+	active []bool
+
+	// recomputes counts lazy per-session re-evaluations, so tests and
+	// benchmarks can verify the delta path avoids full-scenario work.
+	recomputes int
+}
+
+// NewObjectiveCache builds an empty cache (all sessions inactive).
+func NewObjectiveCache(ev *Evaluator) *ObjectiveCache {
+	n := ev.Scenario().NumSessions()
+	return &ObjectiveCache{
+		ev:     ev,
+		phi:    make([]float64, n),
+		load:   make([]*SessionLoad, n),
+		dirty:  make([]bool, n),
+		active: make([]bool, n),
+	}
+}
+
+// SetActive marks session s active (participating in the total) or inactive.
+// Activation marks the session dirty; deactivation clears its cached state.
+func (c *ObjectiveCache) SetActive(s model.SessionID, on bool) {
+	c.active[s] = on
+	if on {
+		c.dirty[s] = true
+	} else {
+		c.phi[s] = 0
+		c.load[s] = nil
+		c.dirty[s] = false
+	}
+}
+
+// Active reports whether session s is active.
+func (c *ObjectiveCache) Active(s model.SessionID) bool { return c.active[s] }
+
+// ActiveSessions returns the active session IDs in ascending order.
+func (c *ObjectiveCache) ActiveSessions() []model.SessionID {
+	var out []model.SessionID
+	for s, on := range c.active {
+		if on {
+			out = append(out, model.SessionID(s))
+		}
+	}
+	return out
+}
+
+// NumActive returns the number of active sessions.
+func (c *ObjectiveCache) NumActive() int {
+	n := 0
+	for _, on := range c.active {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// Invalidate marks session s dirty: its objective and load are recomputed on
+// the next query. Call it after committing any decision touching s.
+func (c *ObjectiveCache) Invalidate(s model.SessionID) {
+	if c.active[s] {
+		c.dirty[s] = true
+	}
+}
+
+// InvalidateDecision invalidates the one session the decision touches.
+func (c *ObjectiveCache) InvalidateDecision(d assign.Decision) error {
+	s, err := TouchedSession(c.ev.Scenario(), d)
+	if err != nil {
+		return err
+	}
+	c.Invalidate(s)
+	return nil
+}
+
+// refresh recomputes session s from the assignment if dirty.
+func (c *ObjectiveCache) refresh(a *assign.Assignment, s model.SessionID) {
+	if !c.dirty[s] {
+		return
+	}
+	sl := c.ev.Params().SessionLoadOf(a, s)
+	c.phi[s] = c.ev.sessionObjectiveFromLoad(a, s, sl)
+	c.load[s] = sl
+	c.dirty[s] = false
+	c.recomputes++
+}
+
+// SessionObjective returns Φ_s, recomputing only if s is dirty. Inactive
+// sessions read as zero.
+func (c *ObjectiveCache) SessionObjective(a *assign.Assignment, s model.SessionID) float64 {
+	if !c.active[s] {
+		return 0
+	}
+	c.refresh(a, s)
+	return c.phi[s]
+}
+
+// SessionLoad returns session s's cached load vector (nil when inactive).
+// Callers must not mutate the returned load.
+func (c *ObjectiveCache) SessionLoad(a *assign.Assignment, s model.SessionID) *SessionLoad {
+	if !c.active[s] {
+		return nil
+	}
+	c.refresh(a, s)
+	return c.load[s]
+}
+
+// TotalObjective returns Σ over active sessions of Φ_s, recomputing only
+// dirty entries.
+func (c *ObjectiveCache) TotalObjective(a *assign.Assignment) float64 {
+	total := 0.0
+	for s, on := range c.active {
+		if !on {
+			continue
+		}
+		c.refresh(a, model.SessionID(s))
+		total += c.phi[s]
+	}
+	return total
+}
+
+// Recomputes returns the cumulative count of per-session re-evaluations the
+// cache has performed — the delta-evaluation cost meter.
+func (c *ObjectiveCache) Recomputes() int { return c.recomputes }
+
+// Clone returns a deep copy of the ledger, including usage vectors and any
+// capacity scaling. Solver workers clone the shared ledger to evaluate hop
+// candidates without holding the commit lock.
+func (g *Ledger) Clone() *Ledger {
+	out := &Ledger{
+		sc:    g.sc,
+		down:  append([]float64(nil), g.down...),
+		up:    append([]float64(nil), g.up...),
+		tasks: append([]int(nil), g.tasks...),
+	}
+	if g.scale != nil {
+		out.scale = append([]float64(nil), g.scale...)
+	}
+	return out
+}

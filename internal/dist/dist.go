@@ -1,0 +1,443 @@
+// Package dist deploys Alg. 1 as an actual network protocol: a Coordinator
+// process owning the authoritative assignment state, and one Runner per
+// session computing WAIT/HOP locally and committing over TCP.
+//
+// The wire protocol realizes the FREEZE/UNFREEZE mutual exclusion of §IV-A
+// as explicit frames:
+//
+//	runner → coordinator  FREEZE    {session}
+//	coordinator → runner  GRANTED   {λ vector, γ vector}
+//	runner → coordinator  COMMIT    {moved, decision}
+//	coordinator → runner  COMMITTED | REJECT
+//
+// Between GRANTED and COMMITTED the coordinator holds the global freeze
+// lock, so exactly one session migrates at a time — the same mutual
+// exclusion the paper's intra-cloud FREEZE broadcast establishes. The
+// runner computes the hop from the granted snapshot with the shared
+// core.HopSession logic, so the distributed deployment and the in-process
+// engines walk statistically identical chains.
+//
+// Frames are newline-delimited JSON over TCP; both ends of an exchange run
+// in lockstep, so no framing beyond the newline is needed. A coordinator
+// read deadline bounds how long a crashed runner can hold the freeze.
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"vconf/internal/assign"
+	"vconf/internal/core"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+)
+
+// Frame type tags.
+const (
+	frameFreeze    = "freeze"
+	frameGranted   = "granted"
+	frameCommit    = "commit"
+	frameCommitted = "committed"
+	frameReject    = "reject"
+	frameError     = "error"
+)
+
+// wireDecision serializes an assign.Decision.
+type wireDecision struct {
+	Kind int `json:"kind"`
+	User int `json:"user,omitempty"`
+	Src  int `json:"src,omitempty"`
+	Dst  int `json:"dst,omitempty"`
+	To   int `json:"to"`
+}
+
+func toWire(d assign.Decision) *wireDecision {
+	return &wireDecision{
+		Kind: int(d.Kind),
+		User: int(d.User),
+		Src:  int(d.Flow.Src),
+		Dst:  int(d.Flow.Dst),
+		To:   int(d.To),
+	}
+}
+
+func (w *wireDecision) decision() assign.Decision {
+	return assign.Decision{
+		Kind: assign.DecisionKind(w.Kind),
+		User: model.UserID(w.User),
+		Flow: model.Flow{Src: model.UserID(w.Src), Dst: model.UserID(w.Dst)},
+		To:   model.AgentID(w.To),
+	}
+}
+
+// frame is one protocol message in either direction.
+type frame struct {
+	Type    string `json:"type"`
+	Session int    `json:"session,omitempty"`
+	// Users and Flows carry the full λ and γ vectors of the authoritative
+	// assignment in a GRANTED frame (γ in the scenario's canonical flow
+	// order).
+	Users    []int         `json:"users,omitempty"`
+	Flows    []int         `json:"flows,omitempty"`
+	Moved    bool          `json:"moved,omitempty"`
+	Decision *wireDecision `json:"decision,omitempty"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// freezeHoldTimeout bounds how long a coordinator waits for the COMMIT frame
+// of a granted freeze before dropping the connection and releasing the lock.
+const freezeHoldTimeout = 10 * time.Second
+
+// Coordinator owns the authoritative assignment and serializes hops through
+// the freeze lock. Safe for concurrent connections.
+type Coordinator struct {
+	ev *cost.Evaluator
+	ln net.Listener
+
+	mu     sync.Mutex // the FREEZE lock, held from GRANTED to COMMITTED
+	a      *assign.Assignment
+	ledger *cost.Ledger
+
+	statsMu  sync.Mutex
+	commits  int
+	stays    int
+	rejects  int
+	closed   chan struct{}
+	connWG   sync.WaitGroup
+	closeErr error
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// NewCoordinator starts a coordinator listening on addr ("127.0.0.1:0"
+// selects a free port) with the given complete initial assignment.
+func NewCoordinator(ev *cost.Evaluator, a *assign.Assignment, addr string) (*Coordinator, error) {
+	sc := ev.Scenario()
+	ledger := cost.NewLedger(sc)
+	p := ev.Params()
+	for s := 0; s < sc.NumSessions(); s++ {
+		sid := model.SessionID(s)
+		if !a.SessionComplete(sid) {
+			return nil, fmt.Errorf("dist: coordinator needs a complete assignment; session %d is not", s)
+		}
+		ledger.Add(p.SessionLoadOf(a, sid))
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	c := &Coordinator{
+		ev:     ev,
+		ln:     ln,
+		a:      a.Clone(),
+		ledger: ledger,
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close stops the listener, closes live connections (an idle runner would
+// otherwise park a serve goroutine in a deadline-free read forever), and
+// waits for the handlers to drain.
+func (c *Coordinator) Close() error {
+	select {
+	case <-c.closed:
+		return c.closeErr
+	default:
+	}
+	close(c.closed)
+	c.closeErr = c.ln.Close()
+	c.connMu.Lock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.connMu.Unlock()
+	c.connWG.Wait()
+	return c.closeErr
+}
+
+// Stats returns (commits, stays, rejects): hops that migrated, hops that
+// found no feasible move, and commits that failed validation.
+func (c *Coordinator) Stats() (commits, stays, rejects int) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.commits, c.stays, c.rejects
+}
+
+// Assignment returns a snapshot of the authoritative assignment.
+func (c *Coordinator) Assignment() *assign.Assignment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.a.Clone()
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.connMu.Lock()
+		c.conns[conn] = struct{}{}
+		c.connMu.Unlock()
+		c.connWG.Add(1)
+		go func() {
+			defer c.connWG.Done()
+			defer func() {
+				conn.Close()
+				c.connMu.Lock()
+				delete(c.conns, conn)
+				c.connMu.Unlock()
+			}()
+			c.serve(conn)
+		}()
+	}
+}
+
+// serve handles one runner connection: any number of FREEZE→COMMIT
+// exchanges in sequence.
+func (c *Coordinator) serve(conn net.Conn) {
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		conn.SetReadDeadline(time.Time{}) // idle between freezes is fine
+		var req frame
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if req.Type != frameFreeze {
+			enc.Encode(frame{Type: frameError, Err: fmt.Sprintf("expected %s, got %s", frameFreeze, req.Type)})
+			return
+		}
+		if req.Session < 0 || req.Session >= c.ev.Scenario().NumSessions() {
+			enc.Encode(frame{Type: frameError, Err: fmt.Sprintf("unknown session %d", req.Session)})
+			return
+		}
+		if err := c.handleFreeze(conn, dec, enc, req.Session); err != nil {
+			return
+		}
+	}
+}
+
+// handleFreeze runs one GRANTED→COMMIT exchange under the freeze lock.
+func (c *Coordinator) handleFreeze(conn net.Conn, dec *json.Decoder, enc *json.Encoder, session int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	sc := c.ev.Scenario()
+	granted := frame{Type: frameGranted, Session: session}
+	granted.Users = make([]int, sc.NumUsers())
+	for u := 0; u < sc.NumUsers(); u++ {
+		granted.Users[u] = int(c.a.UserAgent(model.UserID(u)))
+	}
+	flows := c.a.Flows()
+	granted.Flows = make([]int, len(flows))
+	for i, f := range flows {
+		l, _ := c.a.FlowAgent(f)
+		granted.Flows[i] = int(l)
+	}
+	if err := enc.Encode(granted); err != nil {
+		return err
+	}
+
+	// The freeze is now held: bound the wait for the commit frame.
+	conn.SetReadDeadline(time.Now().Add(freezeHoldTimeout))
+	var com frame
+	if err := dec.Decode(&com); err != nil {
+		return err
+	}
+	if com.Type != frameCommit {
+		enc.Encode(frame{Type: frameError, Err: fmt.Sprintf("expected %s, got %s", frameCommit, com.Type)})
+		return errors.New("dist: protocol violation")
+	}
+
+	if !com.Moved || com.Decision == nil {
+		c.bump(&c.stays)
+		return enc.Encode(frame{Type: frameCommitted, Session: session})
+	}
+
+	// Never trust the wire: the commit must target the frozen session, and
+	// the decision must belong to it — otherwise the load accounting below
+	// would charge the wrong session (or index out of range).
+	sid := model.SessionID(session)
+	d := com.Decision.decision()
+	if com.Session != session {
+		c.bump(&c.rejects)
+		return enc.Encode(frame{Type: frameReject, Session: session,
+			Err: fmt.Sprintf("commit for session %d under freeze of %d", com.Session, session)})
+	}
+	owner, err := cost.TouchedSession(sc, d)
+	if err != nil || owner != sid {
+		c.bump(&c.rejects)
+		return enc.Encode(frame{Type: frameReject, Session: session, Err: "decision outside the frozen session"})
+	}
+	if d.To < 0 || int(d.To) >= sc.NumAgents() {
+		c.bump(&c.rejects)
+		return enc.Encode(frame{Type: frameReject, Session: session, Err: fmt.Sprintf("unknown agent %d", d.To)})
+	}
+	p := c.ev.Params()
+	curLoad := p.SessionLoadOf(c.a, sid)
+	c.ledger.Remove(curLoad)
+	inv, err := c.a.Apply(d)
+	if err != nil {
+		c.ledger.Add(curLoad)
+		c.bump(&c.rejects)
+		return enc.Encode(frame{Type: frameReject, Session: session, Err: err.Error()})
+	}
+	newLoad := p.SessionLoadOf(c.a, sid)
+	if !c.ledger.FitsRepair(newLoad, curLoad) || !cost.DelayFeasible(c.a, sid) {
+		c.a.Apply(inv)
+		c.ledger.Add(curLoad)
+		c.bump(&c.rejects)
+		return enc.Encode(frame{Type: frameReject, Session: session, Err: "infeasible commit"})
+	}
+	c.ledger.Add(newLoad)
+	c.bump(&c.commits)
+	return enc.Encode(frame{Type: frameCommitted, Session: session})
+}
+
+func (c *Coordinator) bump(counter *int) {
+	c.statsMu.Lock()
+	*counter++
+	c.statsMu.Unlock()
+}
+
+// Runner executes one session's WAIT/HOP loop against a remote Coordinator.
+type Runner struct {
+	ev  *cost.Evaluator
+	s   model.SessionID
+	cfg core.Config
+	// TimeScale compresses virtual seconds into wall time, like
+	// core.Parallel: a countdown of c virtual seconds sleeps c×TimeScale.
+	// Defaults to 1 ms per virtual second.
+	TimeScale time.Duration
+}
+
+// NewRunner builds the runner for one session.
+func NewRunner(ev *cost.Evaluator, session model.SessionID, cfg core.Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if int(session) < 0 || int(session) >= ev.Scenario().NumSessions() {
+		return nil, fmt.Errorf("dist: unknown session %d", session)
+	}
+	return &Runner{ev: ev, s: session, cfg: cfg, TimeScale: time.Millisecond}, nil
+}
+
+// Run connects to the coordinator and executes up to maxHops hops, returning
+// the number performed. A context cancellation or deadline is a clean stop,
+// not an error.
+func (r *Runner) Run(ctx context.Context, addr string, maxHops int) (int, error) {
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("dist: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	}
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	// Independent per-session randomness, deterministically seeded like the
+	// in-process Parallel engine.
+	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(r.s)*7919))
+
+	hops := 0
+	for hops < maxHops {
+		// WAIT: exponential countdown with mean 1/τ, compressed by TimeScale.
+		wait := time.Duration(rng.ExpFloat64() * r.cfg.MeanCountdownS * float64(r.TimeScale))
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return hops, nil
+		case <-timer.C:
+		}
+
+		if err := enc.Encode(frame{Type: frameFreeze, Session: int(r.s)}); err != nil {
+			return hops, r.netErr(ctx, err)
+		}
+		var granted frame
+		if err := dec.Decode(&granted); err != nil {
+			return hops, r.netErr(ctx, err)
+		}
+		if granted.Type != frameGranted {
+			return hops, fmt.Errorf("dist: expected %s, got %s (%s)", frameGranted, granted.Type, granted.Err)
+		}
+
+		// HOP: rebuild the granted snapshot locally and run the shared hop
+		// logic against it.
+		a, ledger, err := r.restore(granted)
+		if err != nil {
+			return hops, err
+		}
+		res, err := core.HopSession(a, r.s, r.ev, ledger, r.cfg, rng)
+		if err != nil {
+			return hops, fmt.Errorf("dist: hop session %d: %w", r.s, err)
+		}
+		com := frame{Type: frameCommit, Session: int(r.s), Moved: res.Moved}
+		if res.Moved {
+			com.Decision = toWire(res.Decision)
+		}
+		if err := enc.Encode(com); err != nil {
+			return hops, r.netErr(ctx, err)
+		}
+		var ack frame
+		if err := dec.Decode(&ack); err != nil {
+			return hops, r.netErr(ctx, err)
+		}
+		switch ack.Type {
+		case frameCommitted, frameReject:
+			hops++
+		default:
+			return hops, fmt.Errorf("dist: unexpected ack %s (%s)", ack.Type, ack.Err)
+		}
+	}
+	return hops, nil
+}
+
+// restore rebuilds an assignment and the other-sessions ledger from a
+// GRANTED frame.
+func (r *Runner) restore(granted frame) (*assign.Assignment, *cost.Ledger, error) {
+	sc := r.ev.Scenario()
+	a := assign.New(sc)
+	if len(granted.Users) != sc.NumUsers() || len(granted.Flows) != len(a.Flows()) {
+		return nil, nil, fmt.Errorf("dist: granted snapshot shape mismatch")
+	}
+	for u, l := range granted.Users {
+		a.SetUserAgent(model.UserID(u), model.AgentID(l))
+	}
+	for i, f := range a.Flows() {
+		if err := a.SetFlowAgent(f, model.AgentID(granted.Flows[i])); err != nil {
+			return nil, nil, err
+		}
+	}
+	ledger := cost.NewLedger(sc)
+	p := r.ev.Params()
+	for s := 0; s < sc.NumSessions(); s++ {
+		ledger.Add(p.SessionLoadOf(a, model.SessionID(s)))
+	}
+	return a, ledger, nil
+}
+
+// netErr maps network errors caused by context expiry to a clean stop.
+func (r *Runner) netErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return fmt.Errorf("dist: %w", err)
+}

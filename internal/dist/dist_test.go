@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"vconf/internal/assign"
+	"vconf/internal/baseline"
+	"vconf/internal/core"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+	"vconf/internal/workload"
+)
+
+func distStack(t *testing.T, seed int64) (*cost.Evaluator, *assign.Assignment) {
+	t.Helper()
+	wl := workload.Prototype(seed)
+	wl.NumUsers = 16
+	sc, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cost.DefaultParams()
+	ev, err := cost.NewEvaluator(sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign.New(sc)
+	if err := baseline.Assign(a, p, cost.NewLedger(sc)); err != nil {
+		t.Fatal(err)
+	}
+	return ev, a
+}
+
+func TestCoordinatorRunnersEndToEnd(t *testing.T) {
+	ev, start := distStack(t, 1)
+	initial := ev.TotalObjective(start)
+
+	coord, err := NewCoordinator(ev, start, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	cfg := core.DefaultConfig(1)
+	cfg.MeanCountdownS = 1
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	sc := ev.Scenario()
+	var wg sync.WaitGroup
+	hops := make([]int, sc.NumSessions())
+	for s := 0; s < sc.NumSessions(); s++ {
+		r, err := NewRunner(ev, model.SessionID(s), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, r *Runner) {
+			defer wg.Done()
+			n, err := r.Run(ctx, coord.Addr(), 10)
+			if err != nil {
+				t.Errorf("runner %d: %v", i, err)
+			}
+			hops[i] = n
+		}(s, r)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, h := range hops {
+		total += h
+	}
+	commits, stays, rejects := coord.Stats()
+	if total == 0 || commits+stays+rejects != total {
+		t.Fatalf("hops=%d but stats %d/%d/%d", total, commits, stays, rejects)
+	}
+
+	final := coord.Assignment()
+	if phi := ev.TotalObjective(final); phi > initial {
+		t.Fatalf("protocol worsened the objective: %v → %v", initial, phi)
+	}
+	if err := ev.CheckFeasible(final); err != nil {
+		t.Fatalf("authoritative assignment infeasible: %v", err)
+	}
+}
+
+func TestCoordinatorRejectsIncompleteAssignment(t *testing.T) {
+	ev, _ := distStack(t, 2)
+	if _, err := NewCoordinator(ev, assign.New(ev.Scenario()), "127.0.0.1:0"); err == nil {
+		t.Fatal("incomplete assignment accepted")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	ev, _ := distStack(t, 3)
+	if _, err := NewRunner(ev, -1, core.DefaultConfig(3)); err == nil {
+		t.Fatal("negative session accepted")
+	}
+	bad := core.DefaultConfig(3)
+	bad.Beta = -1
+	if _, err := NewRunner(ev, 0, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunnerCleanStopOnContext(t *testing.T) {
+	ev, start := distStack(t, 4)
+	coord, err := NewCoordinator(ev, start, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cfg := core.DefaultConfig(4)
+	cfg.MeanCountdownS = 1000 // countdown far beyond the context deadline
+	r, err := NewRunner(ev, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	hops, err := r.Run(ctx, coord.Addr(), 100)
+	if err != nil {
+		t.Fatalf("context stop surfaced as error: %v", err)
+	}
+	if hops != 0 {
+		t.Fatalf("hops = %d before any countdown elapsed", hops)
+	}
+}

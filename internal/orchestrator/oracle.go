@@ -1,0 +1,45 @@
+package orchestrator
+
+import (
+	"fmt"
+
+	"vconf/internal/assign"
+	"vconf/internal/core"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+)
+
+// Oracle runs a from-scratch re-solve over a fixed active-session set: every
+// session is bootstrapped fresh and the full Markov-approximation engine
+// runs for durationS virtual seconds. It is the quality yardstick for the
+// incremental orchestrator — tests and benchmarks assert the online
+// objective stays within a bound of this offline solution on the same
+// session set.
+func Oracle(
+	ev *cost.Evaluator,
+	active []model.SessionID,
+	boot core.Bootstrapper,
+	cfg core.Config,
+	durationS float64,
+) (*assign.Assignment, float64, error) {
+	eng, err := core.NewEngine(ev, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, s := range active {
+		if err := eng.ActivateSession(s, boot); err != nil {
+			return nil, 0, fmt.Errorf("orchestrator: oracle bootstrap session %d: %w", s, err)
+		}
+	}
+	if durationS > 0 {
+		if _, err := eng.Run(durationS, 0); err != nil {
+			return nil, 0, err
+		}
+	}
+	a := eng.Assignment()
+	phi := 0.0
+	for _, s := range active {
+		phi += ev.SessionObjective(a, s)
+	}
+	return a, phi, nil
+}

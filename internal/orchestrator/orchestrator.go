@@ -1,0 +1,498 @@
+// Package orchestrator is the online control plane for session churn: it
+// consumes arrival/departure event streams (internal/workload's Poisson
+// schedules), maintains the live assignment, and re-optimizes incrementally
+// instead of from scratch — the systems realization of the paper's §IV-A-4
+// claim that the Markov-approximation chain is "robust to variations due to
+// session dynamics".
+//
+// Architecture (event loop → shard pool → commit → migrate):
+//
+//  1. The event loop applies each arrival or departure against the
+//     authoritative assignment under the commit lock: arrivals bootstrap
+//     through the configured policy (AgRank or Nrst), departures release
+//     their load from the capacity ledger.
+//  2. The event then triggers incremental re-optimization of the *touched*
+//     session set — the arriving/departing session plus active sessions
+//     sharing agents with it — on a sharded solver pool: worker goroutines
+//     that snapshot the state, run a bounded Markov-approximation
+//     refinement (core.HopSession) warm-started from the live assignment,
+//     and keep the best state seen along the walk.
+//  3. Each worker's proposal is merged back under the commit lock with
+//     optimistic validation: capacity (FitsRepair), delay cap, and strict
+//     objective improvement are re-checked against the *current* state, so
+//     concurrent proposals can never corrupt feasibility.
+//  4. Accepted proposals become data-plane migrations: when a
+//     confsim.Runtime is attached, every committed decision runs the
+//     dual-feed protocol (§V-A), so re-optimization never interrupts
+//     streams.
+//
+// The hot path uses delta cost evaluation (cost.ObjectiveCache): because
+// Φ = Σ_s Φ_s and Φ_s depends only on session s's own variables, a commit
+// invalidates exactly one session, and objective telemetry after an event
+// costs O(touched) instead of O(all sessions).
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"vconf/internal/agrank"
+	"vconf/internal/assign"
+	"vconf/internal/baseline"
+	"vconf/internal/confsim"
+	"vconf/internal/core"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+	"vconf/internal/workload"
+)
+
+// Config tunes the orchestrator.
+type Config struct {
+	// Shards is the solver pool size (worker goroutines). Defaults to
+	// GOMAXPROCS.
+	Shards int
+	// HopBudget bounds the Markov refinement walk per re-optimization task.
+	// Defaults to 24 hops.
+	HopBudget int
+	// MaxReoptSessions caps the touched-session set re-optimized per event
+	// (the triggering session always included). Defaults to 8.
+	MaxReoptSessions int
+	// ImprovementEps is the minimum Φ_s decrease a proposal must deliver to
+	// commit; smaller deltas are dropped as noise. Defaults to 1e-9.
+	ImprovementEps float64
+	// Core parameterizes the refinement chain (β, objective scale, seed).
+	// The countdown is irrelevant here — workers hop back to back.
+	Core core.Config
+}
+
+// DefaultConfig returns the orchestrator defaults over the paper's chain
+// settings.
+func DefaultConfig(seed int64) Config {
+	return Config{Core: core.DefaultConfig(seed)}
+}
+
+// withDefaults fills zero fields and validates.
+func (c Config) withDefaults() (Config, error) {
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.HopBudget == 0 {
+		c.HopBudget = 24
+	}
+	if c.MaxReoptSessions == 0 {
+		c.MaxReoptSessions = 8
+	}
+	if c.ImprovementEps == 0 {
+		c.ImprovementEps = 1e-9
+	}
+	if c.Shards < 1 || c.HopBudget < 1 || c.MaxReoptSessions < 1 || c.ImprovementEps < 0 {
+		return c, fmt.Errorf("orchestrator: invalid config: shards=%d hops=%d reopt=%d eps=%v",
+			c.Shards, c.HopBudget, c.MaxReoptSessions, c.ImprovementEps)
+	}
+	if err := c.Core.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// Stats aggregates orchestrator activity counters.
+type Stats struct {
+	Events     int
+	Arrivals   int
+	Departures int
+	// Dropped counts arrivals rejected at admission (no feasible bootstrap).
+	Dropped int
+	// Skipped counts departures for sessions that were never live — the
+	// schedule echo of a dropped arrival (churn schedules are generated
+	// offline and record a departure for every scheduled arrival).
+	Skipped int
+	// Tasks counts re-optimization tasks dispatched to the shard pool.
+	Tasks int
+	// Commits, Rejects and NoChange classify task outcomes: proposal
+	// accepted, proposal failed commit-time validation, walk found no
+	// improvement.
+	Commits  int
+	Rejects  int
+	NoChange int
+	// Migrations counts data-plane decisions executed (≥ Commits: one commit
+	// can migrate several variables).
+	Migrations int
+	// ReoptTotal and ReoptMax track the wall-clock re-optimization latency
+	// per event (the shard-pool barrier).
+	ReoptTotal time.Duration
+	ReoptMax   time.Duration
+}
+
+// EventReport describes the handling of one churn event.
+type EventReport struct {
+	Event workload.Event
+	// Admitted is false for an arrival dropped at admission.
+	Admitted bool
+	// Reopt is the session set handed to the shard pool.
+	Reopt []model.SessionID
+	// Commits/Rejects/NoChange are this event's task outcomes.
+	Commits, Rejects, NoChange int
+	// Latency is the wall-clock duration of the re-optimization barrier.
+	Latency time.Duration
+	// Objective is Σ Φ_s over active sessions after the event
+	// (delta-evaluated).
+	Objective float64
+	// ActiveSessions counts live sessions after the event.
+	ActiveSessions int
+}
+
+// Orchestrator is the online control plane. HandleEvent/Run drive it; all
+// state is guarded by the commit lock, and the shard pool synchronizes
+// through it, so the public API is safe for sequential use while workers
+// run concurrently.
+type Orchestrator struct {
+	ev   *cost.Evaluator
+	sc   *model.Scenario
+	p    cost.Params
+	cfg  Config
+	boot core.Bootstrapper
+
+	mu     sync.Mutex // the commit lock
+	a      *assign.Assignment
+	ledger *cost.Ledger
+	cache  *cost.ObjectiveCache
+	rt     *confsim.Runtime
+	now    float64
+	stats  Stats
+	refErr error // first worker error, surfaced by the next HandleEvent
+
+	tasks     chan reoptTask
+	closeOnce sync.Once
+	eventIdx  int
+}
+
+// New builds an orchestrator and starts its shard pool. Call Close when
+// done. A custom bootstrapper should wrap agrank.ErrInfeasible or
+// baseline.ErrInfeasible to signal that an arrival cannot be admitted (a
+// counted drop); any other bootstrap error aborts event handling.
+func New(ev *cost.Evaluator, boot core.Bootstrapper, cfg Config) (*Orchestrator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if boot == nil {
+		return nil, fmt.Errorf("orchestrator: nil bootstrapper")
+	}
+	sc := ev.Scenario()
+	o := &Orchestrator{
+		ev:     ev,
+		sc:     sc,
+		p:      ev.Params(),
+		cfg:    cfg,
+		boot:   boot,
+		a:      assign.New(sc),
+		ledger: cost.NewLedger(sc),
+		cache:  cost.NewObjectiveCache(ev),
+		tasks:  make(chan reoptTask),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		go o.worker()
+	}
+	return o, nil
+}
+
+// Close stops the shard pool. The orchestrator must not be used afterwards.
+func (o *Orchestrator) Close() {
+	o.closeOnce.Do(func() { close(o.tasks) })
+}
+
+// AttachRuntime wires a data-plane runtime: subsequent arrivals, departures
+// and committed re-optimizations are mirrored as activations, deactivations
+// and dual-feed migrations. The runtime must not be used concurrently by
+// the caller while the orchestrator runs.
+func (o *Orchestrator) AttachRuntime(rt *confsim.Runtime) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rt = rt
+}
+
+// HandleEvent applies one churn event and runs the incremental
+// re-optimization it triggers, blocking until the shard pool drains.
+func (o *Orchestrator) HandleEvent(e workload.Event) (EventReport, error) {
+	if err := o.takeRefErr(); err != nil {
+		return EventReport{}, err
+	}
+	if e.Session < 0 || e.Session >= o.sc.NumSessions() {
+		return EventReport{}, fmt.Errorf("orchestrator: event session %d outside [0, %d)", e.Session, o.sc.NumSessions())
+	}
+	s := model.SessionID(e.Session)
+	rep := EventReport{Event: e, Admitted: true}
+
+	var reopt []model.SessionID
+	switch e.Kind {
+	case workload.EventArrival:
+		admitted, touched, err := o.applyArrival(e.TimeS, s)
+		if err != nil {
+			return rep, err
+		}
+		rep.Admitted = admitted
+		reopt = touched
+	case workload.EventDeparture:
+		touched, live, err := o.applyDeparture(e.TimeS, s)
+		if err != nil {
+			return rep, err
+		}
+		rep.Admitted = live
+		reopt = touched
+	default:
+		return rep, fmt.Errorf("orchestrator: invalid event kind %d", e.Kind)
+	}
+
+	rep.Reopt = reopt
+	if len(reopt) > 0 {
+		before := o.snapshotStats()
+		rep.Latency = o.dispatch(reopt)
+		after := o.snapshotStats()
+		rep.Commits = after.Commits - before.Commits
+		rep.Rejects = after.Rejects - before.Rejects
+		rep.NoChange = after.NoChange - before.NoChange
+	}
+
+	o.mu.Lock()
+	o.stats.Events++
+	o.stats.ReoptTotal += rep.Latency
+	if rep.Latency > o.stats.ReoptMax {
+		o.stats.ReoptMax = rep.Latency
+	}
+	rep.Objective = o.cache.TotalObjective(o.a)
+	rep.ActiveSessions = o.cache.NumActive()
+	o.mu.Unlock()
+	o.eventIdx++
+	if err := o.takeRefErr(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// applyArrival bootstraps session s and returns (admitted, touched set).
+func (o *Orchestrator) applyArrival(timeS float64, s model.SessionID) (bool, []model.SessionID, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.advanceClock(timeS)
+	o.stats.Arrivals++
+	if o.cache.Active(s) {
+		return false, nil, fmt.Errorf("orchestrator: arrival for already-active session %d", s)
+	}
+	if err := o.boot(o.a, s, o.ledger); err != nil {
+		// Admission infeasibility (the bootstrapper rolled the session back)
+		// is an expected drop; anything else — misconfiguration, a buggy
+		// custom bootstrapper — must surface loudly, not read as churn.
+		if errors.Is(err, agrank.ErrInfeasible) || errors.Is(err, baseline.ErrInfeasible) {
+			o.stats.Dropped++
+			return false, nil, nil
+		}
+		return false, nil, fmt.Errorf("orchestrator: bootstrap session %d: %w", s, err)
+	}
+	o.cache.SetActive(s, true)
+	if o.rt != nil {
+		if err := o.rt.ActivateSession(s, o.a); err != nil {
+			return false, nil, err
+		}
+	}
+	touched := o.touchedLocked(s, o.agentsOf(o.cache.SessionLoad(o.a, s)))
+	return true, o.capReopt(s, touched), nil
+}
+
+// applyDeparture releases session s and returns (touched set, whether the
+// session was live). A departure for a session that was never admitted — the
+// echo of a dropped arrival — is a benign skip.
+func (o *Orchestrator) applyDeparture(timeS float64, s model.SessionID) ([]model.SessionID, bool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.advanceClock(timeS)
+	o.stats.Departures++
+	if !o.cache.Active(s) {
+		o.stats.Skipped++
+		return nil, false, nil
+	}
+	agents := o.agentsOf(o.cache.SessionLoad(o.a, s))
+	o.ledger.Remove(o.cache.SessionLoad(o.a, s))
+	for _, u := range o.sc.Session(s).Users {
+		o.a.SetUserAgent(u, assign.Unassigned)
+	}
+	for _, f := range o.a.SessionFlows(s) {
+		if err := o.a.SetFlowAgent(f, assign.Unassigned); err != nil {
+			return nil, false, err
+		}
+	}
+	o.cache.SetActive(s, false)
+	if o.rt != nil {
+		o.rt.DeactivateSession(s)
+	}
+	// The departed session freed capacity on its agents: sessions loading
+	// those agents may now have better moves available.
+	touched := o.touchedLocked(s, agents)
+	return o.capReopt(model.SessionID(-1), touched), true, nil
+}
+
+// advanceClock moves orchestrator time monotonically.
+func (o *Orchestrator) advanceClock(timeS float64) {
+	if timeS > o.now {
+		o.now = timeS
+	}
+}
+
+// agentsOf returns the set of agents a session load touches.
+func (o *Orchestrator) agentsOf(sl *cost.SessionLoad) []bool {
+	set := make([]bool, o.sc.NumAgents())
+	if sl == nil {
+		return set
+	}
+	for l := range set {
+		if sl.Down[l] > 0 || sl.Up[l] > 0 || sl.Tasks[l] > 0 {
+			set[l] = true
+		}
+	}
+	return set
+}
+
+// touchedLocked lists active sessions (≠ trigger) with load on any of the
+// given agents, in ascending session order. Caller holds the commit lock.
+func (o *Orchestrator) touchedLocked(trigger model.SessionID, agents []bool) []model.SessionID {
+	var out []model.SessionID
+	for _, s := range o.cache.ActiveSessions() {
+		if s == trigger {
+			continue
+		}
+		sl := o.cache.SessionLoad(o.a, s)
+		for l := range agents {
+			if agents[l] && (sl.Down[l] > 0 || sl.Up[l] > 0 || sl.Tasks[l] > 0) {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// capReopt assembles the final re-optimization set: the trigger session
+// first (if still active, i.e. arrivals), then touched sessions, capped.
+func (o *Orchestrator) capReopt(trigger model.SessionID, touched []model.SessionID) []model.SessionID {
+	out := make([]model.SessionID, 0, o.cfg.MaxReoptSessions)
+	if trigger >= 0 {
+		out = append(out, trigger)
+	}
+	for _, s := range touched {
+		if len(out) >= o.cfg.MaxReoptSessions {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Run processes an event schedule in order. When a runtime is attached, the
+// data plane is ticked across event gaps and to horizonS at the end, so
+// dual-feed overheads land in telemetry. Returns the per-event reports.
+func (o *Orchestrator) Run(events []workload.Event, horizonS float64) ([]EventReport, error) {
+	reports := make([]EventReport, 0, len(events))
+	for _, e := range events {
+		if rt := o.runtime(); rt != nil {
+			if dt := e.TimeS - rt.Now(); dt > 1e-9 {
+				if _, err := rt.Tick(dt); err != nil {
+					return reports, err
+				}
+			}
+		}
+		rep, err := o.HandleEvent(e)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	if rt := o.runtime(); rt != nil {
+		if dt := horizonS - rt.Now(); dt > 1e-9 {
+			if _, err := rt.Tick(dt); err != nil {
+				return reports, err
+			}
+		}
+	}
+	return reports, nil
+}
+
+func (o *Orchestrator) runtime() *confsim.Runtime {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rt
+}
+
+// Assignment returns a snapshot of the live assignment.
+func (o *Orchestrator) Assignment() *assign.Assignment {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.a.Clone()
+}
+
+// Objective returns Σ Φ_s over active sessions (delta-evaluated).
+func (o *Orchestrator) Objective() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cache.TotalObjective(o.a)
+}
+
+// ActiveSessions returns the live session set in ascending order.
+func (o *Orchestrator) ActiveSessions() []model.SessionID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cache.ActiveSessions()
+}
+
+// Now returns the orchestrator's virtual time (the latest event timestamp).
+func (o *Orchestrator) Now() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.now
+}
+
+// Stats returns a copy of the activity counters.
+func (o *Orchestrator) Stats() Stats { return o.snapshotStats() }
+
+func (o *Orchestrator) snapshotStats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
+
+// Recomputes exposes the delta-evaluation cost meter: cumulative
+// per-session objective recomputations.
+func (o *Orchestrator) Recomputes() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cache.Recomputes()
+}
+
+// CheckInvariants verifies the live state: every active session complete
+// and delay-feasible, and the ledger within every capacity. Used by tests
+// after every event.
+func (o *Orchestrator) CheckInvariants() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.ledger.Fits(nil) {
+		return fmt.Errorf("orchestrator: ledger violates capacity: agents %v", o.ledger.Violations())
+	}
+	for _, s := range o.cache.ActiveSessions() {
+		if !o.a.SessionComplete(s) {
+			return fmt.Errorf("orchestrator: active session %d incomplete", s)
+		}
+		if !cost.DelayFeasible(o.a, s) {
+			return fmt.Errorf("orchestrator: active session %d violates the delay cap", s)
+		}
+	}
+	return nil
+}
+
+func (o *Orchestrator) takeRefErr() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	err := o.refErr
+	o.refErr = nil
+	return err
+}

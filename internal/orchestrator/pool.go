@@ -1,0 +1,217 @@
+package orchestrator
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"vconf/internal/assign"
+	"vconf/internal/core"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+)
+
+// reoptTask is one unit of shard-pool work: re-optimize one session's
+// variables by a bounded Markov refinement walk.
+type reoptTask struct {
+	session model.SessionID
+	seed    int64
+	wg      *sync.WaitGroup
+}
+
+// taskSeed derives a deterministic per-task RNG seed, so a task's walk
+// depends only on (config seed, session, event index) — never on which
+// worker goroutine happens to pick it up.
+func taskSeed(seed int64, s model.SessionID, eventIdx int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(s)*0xbf58476d1ce4e5b9 + uint64(eventIdx)*0x94d049bb133111eb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	return int64(z >> 1)
+}
+
+// dispatch hands the session set to the shard pool and blocks until every
+// task has been refined and merged (the per-event barrier), returning the
+// wall-clock latency — the orchestrator's headline responsiveness metric.
+func (o *Orchestrator) dispatch(sessions []model.SessionID) time.Duration {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		wg.Add(1)
+		o.tasks <- reoptTask{session: s, seed: taskSeed(o.cfg.Core.Seed, s, o.eventIdx), wg: &wg}
+	}
+	wg.Wait()
+	o.mu.Lock()
+	o.stats.Tasks += len(sessions)
+	o.mu.Unlock()
+	return time.Since(start)
+}
+
+// worker is one shard: it refines tasks until the pool closes.
+func (o *Orchestrator) worker() {
+	for t := range o.tasks {
+		o.refine(t)
+		t.wg.Done()
+	}
+}
+
+// proposal is the outcome of one refinement walk: the session's best-seen
+// variable values and their (exact, session-local) objective.
+type proposal struct {
+	session model.SessionID
+	users   []model.UserID
+	flows   []model.Flow
+	// userTo/flowTo are the proposed agents, aligned with users/flows.
+	userTo []model.AgentID
+	flowTo []model.AgentID
+	phi    float64
+}
+
+// refine snapshots the live state, runs a bounded warm-started Markov walk
+// for the task's session on the snapshot, and merges the best state found.
+func (o *Orchestrator) refine(t reoptTask) {
+	// Snapshot under the commit lock: clone the assignment and ledger so
+	// the walk runs without blocking other shards or the event loop.
+	o.mu.Lock()
+	if !o.cache.Active(t.session) {
+		o.mu.Unlock()
+		return
+	}
+	a := o.a.Clone()
+	ledger := o.ledger.Clone()
+	startPhi := o.cache.SessionObjective(o.a, t.session)
+	o.mu.Unlock()
+
+	users := o.sc.Session(t.session).Users
+	flows := a.SessionFlows(t.session)
+	prop := proposal{
+		session: t.session,
+		users:   users,
+		flows:   flows,
+		userTo:  make([]model.AgentID, len(users)),
+		flowTo:  make([]model.AgentID, len(flows)),
+		phi:     startPhi,
+	}
+	capture := func() {
+		for i, u := range users {
+			prop.userTo[i] = a.UserAgent(u)
+		}
+		for i, f := range flows {
+			prop.flowTo[i], _ = a.FlowAgent(f)
+		}
+	}
+	capture()
+
+	// Bounded refinement: walk the chain from the warm start, remembering
+	// the best session-local objective seen. The chain may pass through
+	// worse states (that is what lets it escape local minima); the best-seen
+	// state is what gets proposed.
+	rng := rand.New(rand.NewSource(t.seed))
+	improved := false
+	for i := 0; i < o.cfg.HopBudget; i++ {
+		res, err := core.HopSession(a, t.session, o.ev, ledger, o.cfg.Core, rng)
+		if err != nil {
+			o.reportErr(err)
+			return
+		}
+		if !res.Moved {
+			break // no feasible neighbor: the walk is stuck
+		}
+		if res.PhiAfter < prop.phi-o.cfg.ImprovementEps {
+			prop.phi = res.PhiAfter
+			capture()
+			improved = true
+		}
+	}
+	if !improved {
+		o.mu.Lock()
+		o.stats.NoChange++
+		o.mu.Unlock()
+		return
+	}
+	o.commit(prop)
+}
+
+// commit merges a proposal under the commit lock with optimistic
+// validation: the session must still be active, the net decisions must
+// still fit capacity and the delay cap against the *current* ledger, and
+// the objective must still strictly improve. Accepted decisions are
+// mirrored to the data plane as dual-feed migrations.
+func (o *Orchestrator) commit(p proposal) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.cache.Active(p.session) {
+		o.stats.Rejects++ // departed while refining
+		return
+	}
+	curPhi := o.cache.SessionObjective(o.a, p.session)
+	if p.phi >= curPhi-o.cfg.ImprovementEps {
+		o.stats.NoChange++
+		return
+	}
+
+	// Net decisions: one per variable that differs from the live state.
+	var ds []assign.Decision
+	for i, u := range p.users {
+		if o.a.UserAgent(u) != p.userTo[i] {
+			ds = append(ds, assign.Decision{Kind: assign.UserMove, User: u, To: p.userTo[i]})
+		}
+	}
+	for i, f := range p.flows {
+		if cur, _ := o.a.FlowAgent(f); cur != p.flowTo[i] {
+			ds = append(ds, assign.Decision{Kind: assign.FlowMove, Flow: f, To: p.flowTo[i]})
+		}
+	}
+	if len(ds) == 0 {
+		o.stats.NoChange++
+		return
+	}
+
+	curLoad := o.cache.SessionLoad(o.a, p.session)
+	o.ledger.Remove(curLoad)
+	invs := make([]assign.Decision, 0, len(ds))
+	rollback := func() {
+		for i := len(invs) - 1; i >= 0; i-- {
+			o.a.Apply(invs[i])
+		}
+		o.ledger.Add(curLoad)
+		o.stats.Rejects++
+	}
+	for _, d := range ds {
+		inv, err := o.a.Apply(d)
+		if err != nil {
+			rollback()
+			o.refErr = err
+			return
+		}
+		invs = append(invs, inv)
+	}
+	newLoad := o.p.SessionLoadOf(o.a, p.session)
+	newPhi := o.ev.SessionObjective(o.a, p.session)
+	if !o.ledger.FitsRepair(newLoad, curLoad) ||
+		!cost.DelayFeasible(o.a, p.session) ||
+		newPhi >= curPhi-o.cfg.ImprovementEps {
+		rollback()
+		return
+	}
+	o.ledger.Add(newLoad)
+	o.cache.Invalidate(p.session)
+	o.stats.Commits++
+	if o.rt != nil {
+		for _, d := range ds {
+			if err := o.rt.Migrate(o.now, d); err != nil {
+				o.refErr = err
+				return
+			}
+		}
+		o.stats.Migrations += len(ds)
+	}
+}
+
+func (o *Orchestrator) reportErr(err error) {
+	o.mu.Lock()
+	if o.refErr == nil {
+		o.refErr = err
+	}
+	o.mu.Unlock()
+}

@@ -15,14 +15,26 @@
 //	res, _ := solver.Optimize(200) // bootstrap with AgRank, run Alg. 1
 //	fmt.Println(res.Report.InterTraffic, res.Report.MeanDelayMS)
 //
+// For long-running deployments under session churn, the online
+// orchestrator consumes arrival/departure schedules and re-optimizes
+// incrementally on a sharded solver pool:
+//
+//	events, _ := vconf.GenerateChurn(vconf.ChurnConfig{Seed: 1, HorizonS: 300,
+//		ArrivalRatePerS: 0.1, MeanHoldS: 90, NumSessions: sc.NumSessions()})
+//	orc, _ := solver.NewOrchestrator(vconf.DefaultOrchestratorConfig(1))
+//	defer orc.Close()
+//	reports, _ := orc.Run(events, 300)
+//
 // The package is a thin facade over the internal packages:
 //
-//	internal/core     Markov approximation engines (Alg. 1)
-//	internal/agrank   AgRank bootstrap (Alg. 2)
-//	internal/baseline Nrst nearest-assignment baseline
-//	internal/cost     traffic/delay/objective model (§III)
-//	internal/exact    exhaustive ground truth for small instances
-//	internal/confsim  data-plane runtime with dual-feed migration
+//	internal/core         Markov approximation engines (Alg. 1)
+//	internal/agrank       AgRank bootstrap (Alg. 2)
+//	internal/baseline     Nrst nearest-assignment baseline
+//	internal/cost         traffic/delay/objective model (§III) + delta evaluation
+//	internal/exact        exhaustive ground truth for small instances
+//	internal/confsim      data-plane runtime with dual-feed migration
+//	internal/orchestrator online churn control plane (sharded incremental re-optimization)
+//	internal/dist         Alg. 1 as a TCP FREEZE/COMMIT protocol
 //	internal/workload, internal/netsim, internal/transcode  substrates
 package vconf
 
