@@ -221,17 +221,58 @@ func benchScenario(b *testing.B, seed int64) (*cost.Evaluator, *assign.Assignmen
 	return ev, a, ledger
 }
 
+// fleetScenario builds the ≥100-agent synthetic fleet the hop-pipeline
+// acceptance benchmarks run on.
+func fleetScenario(b *testing.B, seed int64) (*cost.Evaluator, *assign.Assignment, *cost.Ledger) {
+	b.Helper()
+	sc, err := workload.GenerateSyntheticFleet(workload.DefaultFleetConfig(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := cost.DefaultParams()
+	ev, err := cost.NewEvaluator(sc, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := assign.New(sc)
+	ledger := cost.NewLedger(sc)
+	if err := baseline.Assign(a, p, ledger); err != nil {
+		b.Fatal(err)
+	}
+	return ev, a, ledger
+}
+
+// BenchmarkHopSession measures one HOP of Alg. 1 on a 100-agent fleet:
+// "sparse" is the production delta pipeline (target: 0 allocs/op), "dense"
+// the reference implementation it replaced, and "sparse-7agents" the classic
+// paper-scale workload for continuity with older baselines.
 func BenchmarkHopSession(b *testing.B) {
-	ev, a, ledger := benchScenario(b, 1)
-	cfg := core.DefaultConfig(1)
-	rng := rand.New(rand.NewSource(1))
-	sessions := ev.Scenario().NumSessions()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.HopSession(a, model.SessionID(i%sessions), ev, ledger, cfg, rng); err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, ev *cost.Evaluator, a *assign.Assignment, ledger *cost.Ledger, dense bool) {
+		cfg := core.DefaultConfig(1)
+		cfg.DenseEval = dense
+		rng := rand.New(rand.NewSource(1))
+		scr := core.NewHopScratch(ev)
+		sessions := ev.Scenario().NumSessions()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.HopSessionWith(a, model.SessionID(i%sessions), ev, ledger, cfg, rng, scr); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+	b.Run("sparse", func(b *testing.B) {
+		ev, a, ledger := fleetScenario(b, 1)
+		run(b, ev, a, ledger, false)
+	})
+	b.Run("dense", func(b *testing.B) {
+		ev, a, ledger := fleetScenario(b, 1)
+		run(b, ev, a, ledger, true)
+	})
+	b.Run("sparse-7agents", func(b *testing.B) {
+		ev, a, ledger := benchScenario(b, 1)
+		run(b, ev, a, ledger, false)
+	})
 }
 
 func BenchmarkSessionLoad(b *testing.B) {
@@ -244,13 +285,28 @@ func BenchmarkSessionLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionObjective compares the dense Φ_s evaluation (fresh load
+// vectors + from-scratch delays) against the sparse scratch-based one.
 func BenchmarkSessionObjective(b *testing.B) {
-	ev, a, _ := benchScenario(b, 3)
-	sessions := ev.Scenario().NumSessions()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = ev.SessionObjective(a, model.SessionID(i%sessions))
-	}
+	b.Run("dense", func(b *testing.B) {
+		ev, a, _ := benchScenario(b, 3)
+		sessions := ev.Scenario().NumSessions()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ev.SessionObjective(a, model.SessionID(i%sessions))
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		ev, a, _ := benchScenario(b, 3)
+		sessions := ev.Scenario().NumSessions()
+		scr := ev.NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ev.BeginSession(a, model.SessionID(i%sessions), scr).Phi
+		}
+	})
 }
 
 func BenchmarkAgRankBootstrap(b *testing.B) {

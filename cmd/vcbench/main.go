@@ -32,22 +32,39 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vcbench", flag.ContinueOnError)
 	var (
-		which     = fs.String("run", "all", "experiment id (fig2..fig10, table2, thm1, solvers, all)")
+		which     = fs.String("run", "all", "experiment id (fig2..fig10, table2, thm1, solvers, micro, all)")
 		seed      = fs.Int64("seed", 1, "base random seed")
 		scenarios = fs.Int("scenarios", 100, "random scenarios per sweep point (paper: 100)")
 		duration  = fs.Float64("duration", 200, "virtual seconds of Alg. 1 per run")
 		quick     = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
-		format    = fs.String("format", "text", "output format: text or csv")
+		format    = fs.String("format", "text", "output format: text, csv, or json (micro only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *format != "text" && *format != "csv" {
-		return fmt.Errorf("unknown format %q (want text or csv)", *format)
+	if *format != "text" && *format != "csv" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want text, csv or json)", *format)
 	}
 	if *quick {
 		*scenarios = minInt(*scenarios, 5)
 		*duration = minFloat(*duration, 60)
+	}
+
+	// The micro-benchmark suite is not an experiment table; it runs the hop
+	// pipeline's before/after hot-path measurements (see micro.go) and, with
+	// -format json, emits the BENCH_<n>.json perf-trajectory payload.
+	if *which == "micro" {
+		if *format == "csv" {
+			return fmt.Errorf("micro benchmarks support text or json output, not csv")
+		}
+		fleetAgents := 100
+		if *quick {
+			fleetAgents = 20
+		}
+		return runMicro(w, *format, fleetAgents, *seed)
+	}
+	if *format == "json" {
+		return fmt.Errorf("json output is only available for -run micro")
 	}
 
 	type experiment struct {

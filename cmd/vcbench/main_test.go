@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -39,6 +40,44 @@ func TestRunQuickSweeps(t *testing.T) {
 				t.Fatal("no output")
 			}
 		})
+	}
+}
+
+func TestRunMicroQuickJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro benchmarks take several seconds")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "micro", "-quick", "-format", "json"}, &buf); err != nil {
+		t.Fatalf("run(micro): %v", err)
+	}
+	var rep microReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("micro output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rep.Benchmarks) != 6 {
+		t.Fatalf("benchmarks = %d, want 6 (3 families × dense/sparse)", len(rep.Benchmarks))
+	}
+	for _, b := range rep.Benchmarks {
+		if b.NsPerOp <= 0 || b.Iterations <= 0 {
+			t.Fatalf("degenerate measurement: %+v", b)
+		}
+		if b.Name == "HopSession/sparse" && b.AllocsPerOp != 0 {
+			t.Fatalf("sparse hop path allocates: %+v", b)
+		}
+	}
+	if rep.Speedups["HopSession"] <= 1 {
+		t.Fatalf("sparse hop slower than dense: %v", rep.Speedups)
+	}
+}
+
+func TestRunMicroRejectsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "micro", "-format", "csv"}, &buf); err == nil {
+		t.Fatal("micro with csv format accepted")
+	}
+	if err := run([]string{"-run", "fig3", "-format", "json"}, &buf); err == nil {
+		t.Fatal("json format accepted for a table experiment")
 	}
 }
 

@@ -1,0 +1,230 @@
+// Micro-benchmark mode: `vcbench -run micro [-format json]` measures the hop
+// pipeline's hot paths before/after the sparse rewrite and emits the
+// ns/op + allocs/op table the repo's BENCH_<n>.json perf-trajectory files
+// record. "before" numbers run the dense reference implementation that is
+// kept behind core.Config.DenseEval; "after" numbers run the production
+// sparse pipeline — same binary, same fixtures, so the comparison is exact.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"vconf"
+	"vconf/internal/assign"
+	"vconf/internal/baseline"
+	"vconf/internal/core"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+	"vconf/internal/workload"
+)
+
+// microResult is one benchmark measurement.
+type microResult struct {
+	Name        string  `json:"name"`
+	Agents      int     `json:"agents"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// microReport is the BENCH_<n>.json payload.
+type microReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	Description string        `json:"description"`
+	Benchmarks  []microResult `json:"benchmarks"`
+	// Speedups maps benchmark family → dense-ns / sparse-ns.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+func record(name string, agents int, r testing.BenchmarkResult) microResult {
+	return microResult{
+		Name:        name,
+		Agents:      agents,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// hopBench measures HopSession over the synthetic fleet.
+func hopBench(fleetAgents int, seed int64, dense bool) (testing.BenchmarkResult, error) {
+	fc := workload.DefaultFleetConfig(seed)
+	fc.NumAgents = fleetAgents
+	sc, err := workload.GenerateSyntheticFleet(fc)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	p := cost.DefaultParams()
+	ev, err := cost.NewEvaluator(sc, p)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	a := assign.New(sc)
+	ledger := cost.NewLedger(sc)
+	if err := baseline.Assign(a, p, ledger); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	cfg := core.DefaultConfig(seed)
+	cfg.DenseEval = dense
+	rng := rand.New(rand.NewSource(seed))
+	scr := core.NewHopScratch(ev)
+	sessions := sc.NumSessions()
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.HopSessionWith(a, model.SessionID(i%sessions), ev, ledger, cfg, rng, scr); err != nil {
+				benchErr = err
+				return
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// objectiveBench measures Φ_s evaluation on the paper-scale workload.
+func objectiveBench(seed int64, dense bool) (testing.BenchmarkResult, int, error) {
+	wl := workload.LargeScale(seed)
+	wl.NumUsers = 40
+	wl.NumUserNodes = 64
+	sc, err := workload.Generate(wl)
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	ev, err := cost.NewEvaluator(sc, cost.DefaultParams())
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	a := assign.New(sc)
+	if err := baseline.Assign(a, ev.Params(), cost.NewLedger(sc)); err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	sessions := sc.NumSessions()
+	scr := ev.NewScratch()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := model.SessionID(i % sessions)
+			if dense {
+				_ = ev.SessionObjective(a, s)
+			} else {
+				_ = ev.BeginSession(a, s, scr).Phi
+			}
+		}
+	})
+	return res, sc.NumAgents(), nil
+}
+
+// orchestratorBench measures the per-event hot path of the online churn
+// orchestrator (admission + sharded incremental re-optimization).
+func orchestratorBench(seed int64, dense bool) (testing.BenchmarkResult, int, error) {
+	sc, err := vconf.GenerateWorkload(vconf.PrototypeWorkload(seed))
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	solver, err := vconf.NewSolver(sc, vconf.WithSeed(seed))
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	events, err := vconf.GenerateChurn(vconf.ChurnConfig{
+		Seed:            seed,
+		HorizonS:        300,
+		ArrivalRatePerS: 0.1,
+		MeanHoldS:       90,
+		NumSessions:     sc.NumSessions(),
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	cfg := vconf.DefaultOrchestratorConfig(seed)
+	cfg.Core.DenseEval = dense
+	orc, err := solver.NewOrchestrator(cfg)
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	defer orc.Close()
+	active := make(map[int]bool)
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := events[i%len(events)]
+			if e.Kind == vconf.ChurnArrival && active[e.Session] {
+				e.Kind = vconf.ChurnDeparture
+			}
+			if _, err := orc.HandleEvent(e); err != nil {
+				benchErr = err
+				return
+			}
+			active[e.Session] = e.Kind == vconf.ChurnArrival
+		}
+	})
+	return res, sc.NumAgents(), benchErr
+}
+
+// runMicro executes the micro-benchmark suite. fleetAgents sizes the
+// HopSession fleet (≥100 for the acceptance numbers; -quick shrinks it).
+func runMicro(w io.Writer, format string, fleetAgents int, seed int64) error {
+	rep := microReport{
+		GeneratedBy: "vcbench -run micro",
+		Description: "Hop-pipeline hot paths, dense reference (before) vs sparse zero-allocation pipeline (after)",
+		Speedups:    map[string]float64{},
+	}
+	add := func(family string, agents int, denseRes, sparseRes testing.BenchmarkResult) {
+		d := record(family+"/dense", agents, denseRes)
+		s := record(family+"/sparse", agents, sparseRes)
+		rep.Benchmarks = append(rep.Benchmarks, d, s)
+		if s.NsPerOp > 0 {
+			rep.Speedups[family] = d.NsPerOp / s.NsPerOp
+		}
+	}
+
+	hopDense, err := hopBench(fleetAgents, seed, true)
+	if err != nil {
+		return fmt.Errorf("micro: hop dense: %w", err)
+	}
+	hopSparse, err := hopBench(fleetAgents, seed, false)
+	if err != nil {
+		return fmt.Errorf("micro: hop sparse: %w", err)
+	}
+	add("HopSession", fleetAgents, hopDense, hopSparse)
+
+	objDense, agents, err := objectiveBench(seed, true)
+	if err != nil {
+		return fmt.Errorf("micro: objective dense: %w", err)
+	}
+	objSparse, _, err := objectiveBench(seed, false)
+	if err != nil {
+		return fmt.Errorf("micro: objective sparse: %w", err)
+	}
+	add("SessionObjective", agents, objDense, objSparse)
+
+	orcDense, agents, err := orchestratorBench(seed, true)
+	if err != nil {
+		return fmt.Errorf("micro: orchestrator dense: %w", err)
+	}
+	orcSparse, _, err := orchestratorBench(seed, false)
+	if err != nil {
+		return fmt.Errorf("micro: orchestrator sparse: %w", err)
+	}
+	add("OrchestratorEvent", agents, orcDense, orcSparse)
+
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	for _, r := range rep.Benchmarks {
+		fmt.Fprintf(w, "micro | %-24s | agents %3d | %12.0f ns/op | %6d allocs/op | %8d B/op\n",
+			r.Name, r.Agents, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	for fam, sp := range rep.Speedups {
+		fmt.Fprintf(w, "micro | speedup %-16s | %.2fx\n", fam, sp)
+	}
+	return nil
+}

@@ -87,36 +87,52 @@ func SimulatedAnnealing(ev *cost.Evaluator, start *assign.Assignment, cfg Anneal
 	cooling := math.Pow(cfg.TEnd/cfg.T0, 1/float64(cfg.Iterations))
 	temp := cfg.T0
 
+	// One evaluation scratch serves the whole run: each proposal costs a
+	// sparse load rebuild plus a delay re-evaluation of the moved flows, with
+	// no per-iteration allocations.
+	scr := ev.NewScratch()
+	var decisions []assign.Decision
+
+	// Base-feasibility invariant: removing a session's (non-negative) load
+	// from a feasible ledger keeps it feasible, and every accepted move
+	// re-establishes full-ledger feasibility, so once the ledger is feasible
+	// the O(NumAgents) Fits(nil) scan never needs to run again — proposals
+	// pay only the O(touched) FitsTouched check.
+	fullFeasible := ledger.Fits(nil)
+
 	for it := 0; it < cfg.Iterations; it++ {
 		res.Iterations++
 		temp *= cooling
 
 		// Propose: random session, random single-variable move.
 		s := model.SessionID(rng.Intn(sc.NumSessions()))
-		decisions := a.SessionNeighborDecisions(s)
+		decisions = a.AppendSessionNeighborDecisions(decisions[:0], s)
 		if len(decisions) == 0 {
 			continue
 		}
 		d := decisions[rng.Intn(len(decisions))]
 
-		curLoad := p.SessionLoadOf(a, s)
-		ledger.Remove(curLoad)
+		ev.BeginSession(a, s, scr)
+		curLoad := scr.CurLoad()
+		ledger.RemoveSparse(curLoad)
 		inv, err := a.Apply(d)
 		if err != nil {
-			ledger.Add(curLoad)
+			ledger.AddSparse(curLoad)
 			return nil, err
 		}
-		newLoad := p.SessionLoadOf(a, s)
-		feasible := ledger.Fits(newLoad) && cost.DelayFeasible(a, s)
+		newLoad := ev.CandidateLoad(a, s, scr)
 		var accept bool
 		var newSessionPhi float64
-		if feasible {
-			newSessionPhi = ev.SessionObjective(a, s)
-			delta := newSessionPhi - sessionPhi[s]
-			accept = delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
+		if (fullFeasible || ledger.Fits(nil)) && ledger.FitsTouched(newLoad) {
+			if phi, ok := ev.CandidatePhi(a, s, d, scr); ok {
+				newSessionPhi = phi
+				delta := newSessionPhi - sessionPhi[s]
+				accept = delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
+			}
 		}
 		if accept {
-			ledger.Add(newLoad)
+			ledger.AddSparse(newLoad)
+			fullFeasible = true // base + fitting candidate ⇒ feasible ledger
 			curPhi += newSessionPhi - sessionPhi[s]
 			sessionPhi[s] = newSessionPhi
 			res.Accepted++
@@ -128,7 +144,7 @@ func SimulatedAnnealing(ev *cost.Evaluator, start *assign.Assignment, cfg Anneal
 			if _, err := a.Apply(inv); err != nil {
 				return nil, err
 			}
-			ledger.Add(curLoad)
+			ledger.AddSparse(curLoad)
 		}
 	}
 	res.Assignment = best
@@ -167,27 +183,35 @@ func GreedyDescent(ev *cost.Evaluator, start *assign.Assignment, cfg GreedyConfi
 	}
 
 	res := &Result{}
+	scr := ev.NewScratch()
+	var decisions []assign.Decision
 	for round := 0; round < cfg.MaxRounds; round++ {
 		improvedAny := false
 		for s := 0; s < sc.NumSessions(); s++ {
 			sid := model.SessionID(s)
-			curLoad := p.SessionLoadOf(a, sid)
-			ledger.Remove(curLoad)
-			curPhi := ev.SessionObjective(a, sid)
+			begin := ev.BeginSession(a, sid, scr)
+			curLoad := scr.CurLoad()
+			ledger.RemoveSparse(curLoad)
+			curPhi := begin.Phi
+			// The ledger minus this session is fixed across the candidate
+			// sweep, so base feasibility is checked once and each candidate
+			// pays only the touched-agents check.
+			baseOK := ledger.Fits(nil)
 
 			var bestD assign.Decision
 			bestPhi := curPhi
 			found := false
-			for _, d := range a.SessionNeighborDecisions(sid) {
+			decisions = a.AppendSessionNeighborDecisions(decisions[:0], sid)
+			for _, d := range decisions {
 				res.Iterations++
 				inv, err := a.Apply(d)
 				if err != nil {
-					ledger.Add(curLoad)
+					ledger.AddSparse(curLoad)
 					return nil, err
 				}
-				load := p.SessionLoadOf(a, sid)
-				if ledger.Fits(load) && cost.DelayFeasible(a, sid) {
-					if phi := ev.SessionObjective(a, sid); phi < bestPhi-1e-12 {
+				load := ev.CandidateLoad(a, sid, scr)
+				if baseOK && ledger.FitsTouched(load) {
+					if phi, ok := ev.CandidatePhi(a, sid, d, scr); ok && phi < bestPhi-1e-12 {
 						bestPhi = phi
 						bestD = d
 						found = true
@@ -204,7 +228,7 @@ func GreedyDescent(ev *cost.Evaluator, start *assign.Assignment, cfg GreedyConfi
 				res.Accepted++
 				improvedAny = true
 			}
-			ledger.Add(p.SessionLoadOf(a, sid))
+			ledger.AddSparse(ev.SessionLoadSparse(a, sid, scr))
 		}
 		if !improvedAny {
 			break

@@ -31,22 +31,30 @@ type Assignment struct {
 	flowAgent []model.AgentID
 	// flowIndex maps a flow to its index in flowAgent.
 	flowIndex map[model.Flow]int
-	// flows is the canonical ordering of all transcoding flows.
-	flows []model.Flow
+	// flows is the canonical ordering of all transcoding flows. Flows are
+	// grouped by session: flowStart[s] .. flowStart[s+1] delimit session s's
+	// flows, which lets hot paths enumerate them without scanning or
+	// allocating.
+	flows     []model.Flow
+	flowStart []int
 }
 
 // New creates an all-Unassigned assignment for the scenario.
 func New(sc *model.Scenario) *Assignment {
 	var flows []model.Flow
+	flowStart := make([]int, sc.NumSessions()+1)
 	for s := 0; s < sc.NumSessions(); s++ {
+		flowStart[s] = len(flows)
 		flows = append(flows, sc.SessionThetaFlows(model.SessionID(s))...)
 	}
+	flowStart[sc.NumSessions()] = len(flows)
 	a := &Assignment{
 		sc:        sc,
 		userAgent: make([]model.AgentID, sc.NumUsers()),
 		flowAgent: make([]model.AgentID, len(flows)),
 		flowIndex: make(map[model.Flow]int, len(flows)),
 		flows:     flows,
+		flowStart: flowStart,
 	}
 	for i := range a.userAgent {
 		a.userAgent[i] = Unassigned
@@ -69,6 +77,7 @@ func (a *Assignment) Clone() *Assignment {
 		flowAgent: append([]model.AgentID(nil), a.flowAgent...),
 		flowIndex: a.flowIndex,
 		flows:     a.flows,
+		flowStart: a.flowStart,
 	}
 	return out
 }
@@ -106,15 +115,15 @@ func (a *Assignment) SetFlowAgent(f model.Flow, l model.AgentID) error {
 func (a *Assignment) Flows() []model.Flow { return a.flows }
 
 // SessionFlows returns the transcoding flows of session s in canonical
-// order. Freshly allocated.
+// order. Freshly allocated; hot paths use SessionFlowsShared instead.
 func (a *Assignment) SessionFlows(s model.SessionID) []model.Flow {
-	var out []model.Flow
-	for _, f := range a.flows {
-		if a.sc.User(f.Src).Session == s {
-			out = append(out, f)
-		}
-	}
-	return out
+	return append([]model.Flow(nil), a.SessionFlowsShared(s)...)
+}
+
+// SessionFlowsShared returns session s's transcoding flows as a view into
+// the canonical flow table: zero allocations. Callers must not mutate it.
+func (a *Assignment) SessionFlowsShared(s model.SessionID) []model.Flow {
+	return a.flows[a.flowStart[s]:a.flowStart[s+1]]
 }
 
 // Complete reports whether every user and every transcoding flow has an

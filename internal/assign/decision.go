@@ -73,30 +73,41 @@ func (a *Assignment) Apply(d Decision) (Decision, error) {
 // candidate set of Alg. 1 line 12 before feasibility filtering; the caller
 // filters by capacity/delay feasibility.
 func (a *Assignment) SessionNeighborDecisions(s model.SessionID) []Decision {
+	sess := a.sc.Session(s)
+	flows := a.SessionFlowsShared(s)
+	out := make([]Decision, 0, (len(sess.Users)+len(flows))*(a.sc.NumAgents()-1))
+	return a.AppendSessionNeighborDecisions(out, s)
+}
+
+// AppendSessionNeighborDecisions appends session s's neighbor decisions to
+// dst (usually a reused buffer truncated to length zero) and returns the
+// extended slice — the allocation-free form of SessionNeighborDecisions the
+// hop pipeline uses. The enumeration order is identical: member users in
+// session order × agents ascending, then transcoding flows in canonical
+// order × agents ascending.
+func (a *Assignment) AppendSessionNeighborDecisions(dst []Decision, s model.SessionID) []Decision {
 	sc := a.sc
 	numAgents := model.AgentID(sc.NumAgents())
-	sess := sc.Session(s)
-	flows := a.SessionFlows(s)
-	out := make([]Decision, 0, (len(sess.Users)+len(flows))*(int(numAgents)-1))
-	for _, u := range sess.Users {
+	for _, u := range sc.Session(s).Users {
 		cur := a.userAgent[u]
 		for l := model.AgentID(0); l < numAgents; l++ {
 			if l == cur {
 				continue
 			}
-			out = append(out, Decision{Kind: UserMove, User: u, To: l})
+			dst = append(dst, Decision{Kind: UserMove, User: u, To: l})
 		}
 	}
-	for _, f := range flows {
-		cur := a.flowAgent[a.flowIndex[f]]
+	start, end := a.flowStart[s], a.flowStart[s+1]
+	for i := start; i < end; i++ {
+		cur := a.flowAgent[i]
 		for l := model.AgentID(0); l < numAgents; l++ {
 			if l == cur {
 				continue
 			}
-			out = append(out, Decision{Kind: FlowMove, Flow: f, To: l})
+			dst = append(dst, Decision{Kind: FlowMove, Flow: a.flows[i], To: l})
 		}
 	}
-	return out
+	return dst
 }
 
 // DiffCount returns the number of decision variables on which a and b

@@ -46,6 +46,22 @@ const (
 // noiseless evaluation.
 type NoiseFunc func(phi float64) float64
 
+// HopSampling selects when Engine.Run records a Sample after hop events.
+// Snapshots are O(active sessions); on long horizons with frequent hops they
+// dominate the run, so large simulations choose a lighter policy.
+type HopSampling int
+
+const (
+	// SampleEveryHop records a sample after every hop event — the historical
+	// default (zero value), which every experiment's time series relies on.
+	SampleEveryHop HopSampling = iota
+	// SampleOnMove records a sample only after hops that actually migrated.
+	SampleOnMove
+	// SampleNever records no hop-triggered samples; arrivals, departures and
+	// the periodic sampleEveryS boundary samples still appear.
+	SampleNever
+)
+
 // Config parameterizes the chain.
 type Config struct {
 	// Beta is β: larger values concentrate the stationary distribution on
@@ -68,6 +84,15 @@ type Config struct {
 	// Noise optionally perturbs every objective reading (Theorem 1's
 	// measurement-error model).
 	Noise NoiseFunc
+	// HopSampling selects when Engine.Run samples after hop events; the zero
+	// value keeps the historical sample-per-hop behavior.
+	HopSampling HopSampling
+	// DenseEval routes HopSession/SessionTotalRate through the dense
+	// reference pipeline (full per-candidate SessionLoadOf / FitsRepair /
+	// SessionDelaysOf recomputation) instead of the sparse zero-allocation
+	// one. The two are bit-identical for fixed seeds; the flag exists for
+	// differential tests and before/after benchmarking.
+	DenseEval bool
 }
 
 // DefaultConfig returns the paper's settings: β = 400, 10 s countdowns.
@@ -94,6 +119,9 @@ func (c Config) Validate() error {
 	}
 	if c.Mode != PaperHop && c.Mode != ExactCTMC {
 		return fmt.Errorf("core: invalid hop mode %d", c.Mode)
+	}
+	if c.HopSampling < SampleEveryHop || c.HopSampling > SampleNever {
+		return fmt.Errorf("core: invalid hop sampling policy %d", c.HopSampling)
 	}
 	return nil
 }

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"testing"
+
+	"vconf/internal/assign"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+	"vconf/internal/workload"
+)
+
+// The sparse hop pipeline must be bit-identical to the dense reference: for
+// a fixed seed and noiseless config, both enumerate the same feasible
+// candidate sets with the same weights and therefore pick the same hop
+// sequence. These tests replay whole engine runs under Config.DenseEval
+// true/false across several scenario shapes and compare every decision,
+// every sample, and the final assignment.
+
+// hopTrace records one hop observation for cross-path comparison.
+type hopTrace struct {
+	timeS   float64
+	session model.SessionID
+	res     HopResult
+}
+
+// runDifferential drives one engine over the scenario and returns the hop
+// trace, the samples, and the final assignment.
+func runDifferential(t *testing.T, sc *model.Scenario, cfg Config, untilS float64,
+	degrade func(e *Engine)) ([]hopTrace, []Sample, *assign.Assignment) {
+	t.Helper()
+	ev := newEval(t, sc)
+	eng, err := NewEngine(ev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []hopTrace
+	eng.OnHop = func(timeS float64, s model.SessionID, r HopResult) {
+		trace = append(trace, hopTrace{timeS: timeS, session: s, res: r})
+	}
+	boot := nrstBoot(ev.Params())
+	for s := 0; s < sc.NumSessions(); s++ {
+		if err := eng.ActivateSession(model.SessionID(s), boot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples, err := eng.Run(untilS/2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degrade != nil {
+		degrade(eng)
+	}
+	more, err := eng.Run(untilS, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples = append(samples, more...)
+	return trace, samples, eng.Assignment()
+}
+
+// compareDifferential asserts dense and sparse runs are identical.
+func compareDifferential(t *testing.T, sc *model.Scenario, cfg Config, untilS float64,
+	degrade func(e *Engine)) {
+	t.Helper()
+	dense := cfg
+	dense.DenseEval = true
+	sparse := cfg
+	sparse.DenseEval = false
+
+	dTrace, dSamples, dFinal := runDifferential(t, sc, dense, untilS, degrade)
+	sTrace, sSamples, sFinal := runDifferential(t, sc, sparse, untilS, degrade)
+
+	if len(dTrace) == 0 {
+		t.Fatal("dense run produced no hops; differential comparison is vacuous")
+	}
+	if len(dTrace) != len(sTrace) {
+		t.Fatalf("hop counts differ: dense %d, sparse %d", len(dTrace), len(sTrace))
+	}
+	moved := 0
+	for i := range dTrace {
+		d, s := dTrace[i], sTrace[i]
+		if d.timeS != s.timeS || d.session != s.session {
+			t.Fatalf("hop %d: schedule diverged: dense (t=%v s=%d) vs sparse (t=%v s=%d)",
+				i, d.timeS, d.session, s.timeS, s.session)
+		}
+		if d.res.Moved != s.res.Moved || d.res.Decision != s.res.Decision {
+			t.Fatalf("hop %d: decision diverged: dense %+v vs sparse %+v", i, d.res, s.res)
+		}
+		if d.res.Feasible != s.res.Feasible {
+			t.Fatalf("hop %d: candidate sets differ: dense %d feasible, sparse %d",
+				i, d.res.Feasible, s.res.Feasible)
+		}
+		if d.res.PhiBefore != s.res.PhiBefore || d.res.PhiAfter != s.res.PhiAfter {
+			t.Fatalf("hop %d: Φ readings differ: dense (%v→%v) vs sparse (%v→%v)",
+				i, d.res.PhiBefore, d.res.PhiAfter, s.res.PhiBefore, s.res.PhiAfter)
+		}
+		if d.res.Moved {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no hop migrated; differential comparison exercised no load deltas")
+	}
+	if len(dSamples) != len(sSamples) {
+		t.Fatalf("sample counts differ: dense %d, sparse %d", len(dSamples), len(sSamples))
+	}
+	for i := range dSamples {
+		d, s := dSamples[i], sSamples[i]
+		if d.TimeS != s.TimeS || d.Objective != s.Objective ||
+			d.TrafficMbps != s.TrafficMbps || d.MeanDelayMS != s.MeanDelayMS {
+			t.Fatalf("sample %d differs: dense %+v vs sparse %+v", i, d, s)
+		}
+	}
+	if !dFinal.Equal(sFinal) {
+		t.Fatalf("final assignments differ:\ndense:  %v\nsparse: %v", dFinal, sFinal)
+	}
+}
+
+// Shape 1: the synthetic 3-agent multi-session scenario with transcoding
+// flows and heterogeneous delays.
+func TestDifferentialSparseDenseMultiScenario(t *testing.T) {
+	compareDifferential(t, multiScenario(t, 6), DefaultConfig(17), 160, nil)
+}
+
+// Shape 2: the prototype-scale generated workload (6 EC2 agents, sessions of
+// 3–5 users, realistic latency substrate).
+func TestDifferentialSparseDensePrototypeWorkload(t *testing.T) {
+	sc, err := workload.Generate(workload.Prototype(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareDifferential(t, sc, DefaultConfig(23), 120, nil)
+}
+
+// Shape 3: a capacity-constrained large-scale slice with a mid-run agent
+// degradation, exercising the FitsRepairDelta repair path where the ledger
+// itself is overloaded.
+func TestDifferentialSparseDenseConstrainedDegraded(t *testing.T) {
+	wl := workload.LargeScale(9)
+	wl.NumUsers = 30
+	wl.NumUserNodes = 64
+	wl.MeanBandwidthMbps = 500
+	wl.MeanTranscodeSlots = 16
+	sc, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degrade := func(e *Engine) {
+		if err := e.DegradeAgent(0, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareDifferential(t, sc, DefaultConfig(31), 140, degrade)
+}
+
+// Shape 4: ExactCTMC mode on the tiny Fig. 3 instance — SessionTotalRate
+// drives the holding times, so rate computations must match bitwise too.
+func TestDifferentialSparseDenseExactCTMC(t *testing.T) {
+	cfg := Config{Beta: 20, ObjectiveScale: 0.01, MeanCountdownS: 1, Mode: ExactCTMC, Seed: 3}
+	compareDifferential(t, fig3Scenario(t), cfg, 120, nil)
+}
+
+// The primitive-level contract: sparse load, report, and capacity checks
+// must be bit-identical to their dense counterparts state by state along a
+// live chain trajectory.
+func TestSparsePrimitivesMatchDense(t *testing.T) {
+	sc, err := workload.Generate(workload.Prototype(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := newEval(t, sc)
+	p := ev.Params()
+	a := assign.New(sc)
+	ledger := cost.NewLedger(sc)
+	boot := nrstBoot(p)
+	for s := 0; s < sc.NumSessions(); s++ {
+		if err := boot(a, model.SessionID(s), ledger); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scr := ev.NewScratch()
+	rng := newTestRNG(13)
+	cfg := DefaultConfig(13)
+	for i := 0; i < 120; i++ {
+		s := model.SessionID(i % sc.NumSessions())
+		denseLoad := p.SessionLoadOf(a, s)
+		sparseLoad := ev.SessionLoadSparse(a, s, scr).Dense()
+		for l := 0; l < sc.NumAgents(); l++ {
+			if denseLoad.Down[l] != sparseLoad.Down[l] || denseLoad.Up[l] != sparseLoad.Up[l] ||
+				denseLoad.Inter[l] != sparseLoad.Inter[l] || denseLoad.Tasks[l] != sparseLoad.Tasks[l] {
+				t.Fatalf("step %d session %d: load differs at agent %d", i, s, l)
+			}
+		}
+		dRep := ev.ReportSession(a, s)
+		sRep := ev.ReportSessionWith(a, s, scr)
+		if dRep != sRep {
+			t.Fatalf("step %d session %d: reports differ:\ndense:  %+v\nsparse: %+v", i, s, dRep, sRep)
+		}
+		if _, err := HopSession(a, s, ev, ledger, cfg, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// HopSampling policies must thin hop samples without touching the chain
+// trajectory itself.
+func TestHopSamplingPolicies(t *testing.T) {
+	sc := multiScenario(t, 4)
+	run := func(hs HopSampling) ([]Sample, int, int) {
+		ev := newEval(t, sc)
+		cfg := DefaultConfig(7)
+		cfg.HopSampling = hs
+		eng, err := NewEngine(ev, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boot := nrstBoot(ev.Params())
+		for s := 0; s < sc.NumSessions(); s++ {
+			if err := eng.ActivateSession(model.SessionID(s), boot); err != nil {
+				t.Fatal(err)
+			}
+		}
+		samples, err := eng.Run(120, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hops, moves := eng.Hops()
+		return samples, hops, moves
+	}
+	every, hopsE, movesE := run(SampleEveryHop)
+	onMove, hopsM, movesM := run(SampleOnMove)
+	never, hopsN, movesN := run(SampleNever)
+	if hopsE != hopsM || hopsE != hopsN || movesE != movesM || movesE != movesN {
+		t.Fatalf("sampling policy changed the chain: hops (%d,%d,%d) moves (%d,%d,%d)",
+			hopsE, hopsM, hopsN, movesE, movesM, movesN)
+	}
+	// Density must be monotone in policy strictness; hop samples exist, so
+	// SampleNever is strictly lighter than SampleEveryHop.
+	if !(len(every) >= len(onMove) && len(onMove) >= len(never) && len(every) > len(never)) {
+		t.Fatalf("sampling density not monotone: every=%d onMove=%d never=%d",
+			len(every), len(onMove), len(never))
+	}
+	// Final boundary samples must agree regardless of policy.
+	fe, fn := every[len(every)-1], never[len(never)-1]
+	if fe.TimeS != fn.TimeS || fe.Objective != fn.Objective || fe.TrafficMbps != fn.TrafficMbps {
+		t.Fatalf("final samples differ across sampling policies: %+v vs %+v", fe, fn)
+	}
+}

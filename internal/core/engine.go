@@ -23,6 +23,10 @@ type Engine struct {
 	a      *assign.Assignment
 	ledger *cost.Ledger
 	rng    *rand.Rand
+	// scratch carries the reusable hop/eval buffers: the engine is
+	// single-threaded, so one scratch serves hops, rate queries, session
+	// deactivation, and snapshot reporting.
+	scratch *HopScratch
 
 	active map[model.SessionID]bool
 	epochs []int // arrival generation per session; stale hops are dropped
@@ -83,12 +87,13 @@ func NewEngine(ev *cost.Evaluator, cfg Config) (*Engine, error) {
 	}
 	sc := ev.Scenario()
 	return &Engine{
-		ev:     ev,
-		cfg:    cfg,
-		a:      assign.New(sc),
-		ledger: cost.NewLedger(sc),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		active: make(map[model.SessionID]bool, sc.NumSessions()),
+		ev:      ev,
+		cfg:     cfg,
+		a:       assign.New(sc),
+		ledger:  cost.NewLedger(sc),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		scratch: NewHopScratch(ev),
+		active:  make(map[model.SessionID]bool, sc.NumSessions()),
 	}, nil
 }
 
@@ -134,8 +139,7 @@ func (e *Engine) DeactivateSession(s model.SessionID) error {
 	if !e.active[s] {
 		return fmt.Errorf("core: session %d not active", s)
 	}
-	p := e.ev.Params()
-	e.ledger.Remove(p.SessionLoadOf(e.a, s))
+	e.ledger.RemoveSparse(e.ev.SessionLoadSparse(e.a, s, e.scratch.Eval()))
 	sc := e.ev.Scenario()
 	for _, u := range sc.Session(s).Users {
 		e.a.SetUserAgent(u, assign.Unassigned)
@@ -180,7 +184,7 @@ func (e *Engine) push(ev event) {
 func (e *Engine) scheduleHop(s model.SessionID) {
 	rate := 0.0
 	if e.cfg.Mode == ExactCTMC {
-		r, err := SessionTotalRate(e.a, s, e.ev, e.ledger, e.cfg)
+		r, err := SessionTotalRateWith(e.a, s, e.ev, e.ledger, e.cfg, e.scratch)
 		if err == nil {
 			rate = r
 		}
@@ -194,7 +198,8 @@ func (e *Engine) scheduleHop(s model.SessionID) {
 }
 
 // Run advances virtual time to untilS, processing all events, and returns
-// samples: one immediately, one after every hop, and one at every
+// samples: one immediately, one after every hop (subject to
+// Config.HopSampling), one per arrival/departure, and one at every
 // sampleEveryS boundary (0 disables periodic sampling).
 func (e *Engine) Run(untilS, sampleEveryS float64) ([]Sample, error) {
 	var samples []Sample
@@ -233,7 +238,7 @@ func (e *Engine) Run(untilS, sampleEveryS float64) ([]Sample, error) {
 			if !e.active[ev.session] || ev.epoch != e.epochOf(ev.session) {
 				continue // stale event from a departed generation
 			}
-			res, err := HopSession(e.a, ev.session, e.ev, e.ledger, e.cfg, e.rng)
+			res, err := HopSessionWith(e.a, ev.session, e.ev, e.ledger, e.cfg, e.rng, e.scratch)
 			if err != nil {
 				return samples, fmt.Errorf("core: hop session %d: %w", ev.session, err)
 			}
@@ -244,7 +249,10 @@ func (e *Engine) Run(untilS, sampleEveryS float64) ([]Sample, error) {
 			if e.OnHop != nil {
 				e.OnHop(e.now, ev.session, res)
 			}
-			samples = append(samples, e.Snapshot())
+			if e.cfg.HopSampling == SampleEveryHop ||
+				(e.cfg.HopSampling == SampleOnMove && res.Moved) {
+				samples = append(samples, e.Snapshot())
+			}
 			e.scheduleHop(ev.session)
 		}
 	}
@@ -261,7 +269,9 @@ func (e *Engine) Run(untilS, sampleEveryS float64) ([]Sample, error) {
 	return samples, nil
 }
 
-// Snapshot measures the current system state over the active sessions.
+// Snapshot measures the current system state over the active sessions. It
+// reports through the engine's scratch, so sampling does not rebuild dense
+// per-session load vectors.
 func (e *Engine) Snapshot() Sample {
 	sc := e.ev.Scenario()
 	s := Sample{
@@ -276,7 +286,7 @@ func (e *Engine) Snapshot() Sample {
 		if !e.active[id] {
 			continue
 		}
-		rep := e.ev.ReportSession(e.a, id)
+		rep := e.ev.ReportSessionWith(e.a, id, e.scratch.Eval())
 		s.ActiveSessions++
 		s.TrafficMbps += rep.InterTraffic
 		s.Objective += rep.Objective

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"vconf/internal/assign"
 	"vconf/internal/cost"
@@ -26,6 +27,49 @@ type HopResult struct {
 	TotalRate float64
 }
 
+// HopScratch pools every reusable buffer one hop needs: the cost package's
+// evaluation scratch (sparse loads, delay matrix) plus the candidate-set
+// buffers of the jump sampling. One scratch per worker; not safe for
+// concurrent use.
+type HopScratch struct {
+	eval      *cost.Scratch
+	decisions []assign.Decision
+	ds        []assign.Decision // feasible candidates
+	phis      []float64         // noiseless Φ per feasible candidate
+	readings  []float64         // possibly noisy Φ readings
+	weights   []float64
+}
+
+// NewHopScratch builds a scratch sized for the evaluator's scenario.
+func NewHopScratch(ev *cost.Evaluator) *HopScratch {
+	return &HopScratch{eval: ev.NewScratch()}
+}
+
+// Eval exposes the underlying cost scratch so hosts (the engine's snapshot
+// path, the orchestrator's commit path) can reuse it between hops.
+func (scr *HopScratch) Eval() *cost.Scratch { return scr.eval }
+
+func (scr *HopScratch) ensure(ev *cost.Evaluator) {
+	if scr.eval == nil {
+		scr.eval = ev.NewScratch()
+		return
+	}
+	scr.eval.Ensure(ev)
+}
+
+// hopScratchPool recycles scratches for the pool-backed HopSession and
+// SessionTotalRate entry points, so callers without worker state still run
+// allocation-free at steady state.
+var hopScratchPool = sync.Pool{New: func() interface{} { return &HopScratch{} }}
+
+func acquireHopScratch(ev *cost.Evaluator) *HopScratch {
+	scr := hopScratchPool.Get().(*HopScratch)
+	scr.ensure(ev)
+	return scr
+}
+
+func releaseHopScratch(scr *HopScratch) { hopScratchPool.Put(scr) }
+
 // HopSession executes one HOP of Alg. 1 (lines 9–16) for session s:
 // enumerate all feasible single-variable neighbors, evaluate their local
 // objectives against the shared residual-capacity ledger, and migrate with
@@ -36,7 +80,146 @@ type HopResult struct {
 // mutated in place. Callers are responsible for mutual exclusion across
 // sessions (the virtual-time engine serializes events; Parallel uses the
 // FREEZE/UNFREEZE lock).
+//
+// Evaluation runs on the sparse delta pipeline (cost.Scratch) with a pooled
+// scratch; long-lived callers hold their own and use HopSessionWith. Setting
+// cfg.DenseEval selects the dense reference implementation instead — the two
+// pick bit-identical hop sequences for a fixed seed.
 func HopSession(
+	a *assign.Assignment,
+	s model.SessionID,
+	ev *cost.Evaluator,
+	ledger *cost.Ledger,
+	cfg Config,
+	rng *rand.Rand,
+) (HopResult, error) {
+	if cfg.DenseEval {
+		return hopSessionDense(a, s, ev, ledger, cfg, rng)
+	}
+	scr := acquireHopScratch(ev)
+	defer releaseHopScratch(scr)
+	return HopSessionWith(a, s, ev, ledger, cfg, rng, scr)
+}
+
+// HopSessionWith is HopSession with a caller-owned scratch: zero allocations
+// at steady state.
+func HopSessionWith(
+	a *assign.Assignment,
+	s model.SessionID,
+	ev *cost.Evaluator,
+	ledger *cost.Ledger,
+	cfg Config,
+	rng *rand.Rand,
+	scr *HopScratch,
+) (HopResult, error) {
+	if cfg.DenseEval {
+		return hopSessionDense(a, s, ev, ledger, cfg, rng)
+	}
+	scr.ensure(ev)
+	es := scr.eval
+
+	// Line 11: fetch residual capacities — remove s's own load so the
+	// ledger holds exactly the *other* sessions' usage. BeginSession also
+	// fills the per-flow delay base the candidate deltas patch against.
+	be := ev.BeginSession(a, s, es)
+	curLoad := es.CurLoad()
+	ledger.RemoveSparse(curLoad)
+
+	phiCur := be.Phi
+	phiCurReading := phiCur
+	if cfg.Noise != nil {
+		phiCurReading = cfg.Noise(phiCur)
+	}
+
+	// Line 12: F_s — all feasible solutions one decision away. Each
+	// candidate costs O(session) work: a sparse load rebuild, a
+	// touched-agents capacity check, and a delay re-evaluation of only the
+	// flows the decision moved.
+	scr.decisions = a.AppendSessionNeighborDecisions(scr.decisions[:0], s)
+	scr.ds = scr.ds[:0]
+	scr.phis = scr.phis[:0]
+	scr.readings = scr.readings[:0]
+	for _, d := range scr.decisions {
+		inv, err := a.Apply(d)
+		if err != nil {
+			ledger.AddSparse(curLoad)
+			return HopResult{}, err
+		}
+		load := ev.CandidateLoad(a, s, es)
+		// FitsRepairDelta (not Fits) so that after a runtime capacity
+		// degradation, sessions can still migrate off the overloaded agent
+		// instead of freezing; on a fully-feasible ledger it is identical
+		// to Fits.
+		if ledger.FitsRepairDelta(load, curLoad) {
+			if phi, ok := ev.CandidatePhi(a, s, d, es); ok {
+				reading := phi
+				if cfg.Noise != nil {
+					reading = cfg.Noise(phi)
+				}
+				scr.ds = append(scr.ds, d)
+				scr.phis = append(scr.phis, phi)
+				scr.readings = append(scr.readings, reading)
+			}
+		}
+		if _, err := a.Apply(inv); err != nil {
+			ledger.AddSparse(curLoad)
+			return HopResult{}, err
+		}
+	}
+
+	res := HopResult{PhiBefore: phiCur, PhiAfter: phiCur, Feasible: len(scr.ds)}
+	if len(scr.ds) == 0 {
+		ledger.AddSparse(curLoad)
+		return res, nil
+	}
+
+	// Line 13: sample the target ∝ exp(½β(Φ_f − Φ_f')), max-shifted so
+	// β = 400 cannot overflow float64.
+	halfBeta := 0.5 * cfg.Beta * cfg.ObjectiveScale
+	maxExp := math.Inf(-1)
+	for _, r := range scr.readings {
+		if e := halfBeta * (phiCurReading - r); e > maxExp {
+			maxExp = e
+		}
+	}
+	scr.weights = scr.weights[:0]
+	total := 0.0
+	for _, r := range scr.readings {
+		w := math.Exp(halfBeta*(phiCurReading-r) - maxExp)
+		scr.weights = append(scr.weights, w)
+		total += w
+	}
+	res.TotalRate = total * math.Exp(maxExp) // unshifted Σ weights (may be +Inf; only ExactCTMC uses it)
+
+	pick := rng.Float64() * total
+	chosen := len(scr.ds) - 1
+	acc := 0.0
+	for i, w := range scr.weights {
+		acc += w
+		if pick < acc {
+			chosen = i
+			break
+		}
+	}
+
+	d := scr.ds[chosen]
+	phiChosen := scr.phis[chosen]
+	if _, err := a.Apply(d); err != nil {
+		ledger.AddSparse(curLoad)
+		return HopResult{}, err
+	}
+	ledger.AddSparse(ev.CandidateLoad(a, s, es))
+	res.Moved = true
+	res.Decision = d
+	res.PhiAfter = phiChosen
+	return res, nil
+}
+
+// hopSessionDense is the dense reference implementation (pre-sparse
+// pipeline), kept verbatim for differential testing and before/after
+// benchmarking: every candidate pays a full SessionLoadOf, an O(NumAgents)
+// FitsRepair scan, and a from-scratch SessionDelaysOf.
+func hopSessionDense(
 	a *assign.Assignment,
 	s model.SessionID,
 	ev *cost.Evaluator,
@@ -46,8 +229,6 @@ func HopSession(
 ) (HopResult, error) {
 	p := ev.Params()
 
-	// Line 11: fetch residual capacities — remove s's own load so the
-	// ledger holds exactly the *other* sessions' usage.
 	curLoad := p.SessionLoadOf(a, s)
 	ledger.Remove(curLoad)
 
@@ -57,7 +238,6 @@ func HopSession(
 		phiCurReading = cfg.Noise(phiCur)
 	}
 
-	// Line 12: F_s — all feasible solutions one decision away.
 	decisions := a.SessionNeighborDecisions(s)
 	type candidate struct {
 		d          assign.Decision
@@ -72,10 +252,6 @@ func HopSession(
 			return HopResult{}, err
 		}
 		load := p.SessionLoadOf(a, s)
-		// FitsRepair (not Fits) so that after a runtime capacity
-		// degradation, sessions can still migrate off the overloaded agent
-		// instead of freezing; on a fully-feasible ledger it is identical
-		// to Fits.
 		if ledger.FitsRepair(load, curLoad) && cost.DelayFeasible(a, s) {
 			phi := ev.SessionObjective(a, s)
 			reading := phi
@@ -96,8 +272,6 @@ func HopSession(
 		return res, nil
 	}
 
-	// Line 13: sample the target ∝ exp(½β(Φ_f − Φ_f')), max-shifted so
-	// β = 400 cannot overflow float64.
 	halfBeta := 0.5 * cfg.Beta * cfg.ObjectiveScale
 	maxExp := math.Inf(-1)
 	for _, c := range cands {
@@ -111,7 +285,7 @@ func HopSession(
 		weights[i] = math.Exp(halfBeta*(phiCurReading-c.phiReading) - maxExp)
 		total += weights[i]
 	}
-	res.TotalRate = total * math.Exp(maxExp) // unshifted Σ weights (may be +Inf; only ExactCTMC uses it)
+	res.TotalRate = total * math.Exp(maxExp)
 
 	pick := rng.Float64() * total
 	chosen := len(cands) - 1
@@ -141,6 +315,63 @@ func HopSession(
 // weight that determines the ExactCTMC holding time. The ledger is restored
 // before returning.
 func SessionTotalRate(
+	a *assign.Assignment,
+	s model.SessionID,
+	ev *cost.Evaluator,
+	ledger *cost.Ledger,
+	cfg Config,
+) (float64, error) {
+	if cfg.DenseEval {
+		return sessionTotalRateDense(a, s, ev, ledger, cfg)
+	}
+	scr := acquireHopScratch(ev)
+	defer releaseHopScratch(scr)
+	return SessionTotalRateWith(a, s, ev, ledger, cfg, scr)
+}
+
+// SessionTotalRateWith is SessionTotalRate with a caller-owned scratch.
+func SessionTotalRateWith(
+	a *assign.Assignment,
+	s model.SessionID,
+	ev *cost.Evaluator,
+	ledger *cost.Ledger,
+	cfg Config,
+	scr *HopScratch,
+) (float64, error) {
+	if cfg.DenseEval {
+		return sessionTotalRateDense(a, s, ev, ledger, cfg)
+	}
+	scr.ensure(ev)
+	es := scr.eval
+
+	be := ev.BeginSession(a, s, es)
+	curLoad := es.CurLoad()
+	ledger.RemoveSparse(curLoad)
+	defer ledger.AddSparse(curLoad)
+
+	halfBeta := 0.5 * cfg.Beta * cfg.ObjectiveScale
+	total := 0.0
+	scr.decisions = a.AppendSessionNeighborDecisions(scr.decisions[:0], s)
+	for _, d := range scr.decisions {
+		inv, err := a.Apply(d)
+		if err != nil {
+			return 0, err
+		}
+		load := ev.CandidateLoad(a, s, es)
+		if ledger.FitsRepairDelta(load, curLoad) {
+			if phi, ok := ev.CandidatePhi(a, s, d, es); ok {
+				total += math.Exp(halfBeta * (be.Phi - phi))
+			}
+		}
+		if _, err := a.Apply(inv); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// sessionTotalRateDense is the dense reference for SessionTotalRate.
+func sessionTotalRateDense(
 	a *assign.Assignment,
 	s model.SessionID,
 	ev *cost.Evaluator,

@@ -96,6 +96,7 @@ func (oe *OptimisticParallel) Run(ctx context.Context, d time.Duration) error {
 }
 
 func (oe *OptimisticParallel) runSession(ctx context.Context, s model.SessionID, rng *rand.Rand, errs chan<- error) {
+	scr := NewHopScratch(oe.ev)
 	for {
 		wait := time.Duration(rng.ExpFloat64() * oe.cfg.MeanCountdownS * float64(oe.TimeScale))
 		timer := time.NewTimer(wait)
@@ -105,7 +106,7 @@ func (oe *OptimisticParallel) runSession(ctx context.Context, s model.SessionID,
 			return
 		case <-timer.C:
 		}
-		if err := oe.attemptHop(s, rng); err != nil {
+		if err := oe.attemptHop(s, rng, scr); err != nil {
 			select {
 			case errs <- fmt.Errorf("core: optimistic hop session %d: %w", s, err):
 			default:
@@ -115,43 +116,49 @@ func (oe *OptimisticParallel) runSession(ctx context.Context, s model.SessionID,
 	}
 }
 
-// attemptHop runs snapshot → evaluate → commit for one session.
-func (oe *OptimisticParallel) attemptHop(s model.SessionID, rng *rand.Rand) error {
-	p := oe.ev.Params()
+// attemptHop runs snapshot → evaluate → commit for one session. The
+// evaluation phase runs on the sparse pipeline with the goroutine's own
+// scratch; only the state snapshot itself still copies (that is the point of
+// the protocol — evaluate off-lock against a stable view).
+func (oe *OptimisticParallel) attemptHop(s model.SessionID, rng *rand.Rand, scr *HopScratch) error {
+	scr.ensure(oe.ev)
+	es := scr.Eval()
 
 	// ---- snapshot (read lock) ----
 	oe.mu.RLock()
 	snapshot := oe.a.Clone()
-	curLoad := p.SessionLoadOf(snapshot, s)
-	others := cost.NewLedger(oe.ev.Scenario())
-	down, up, tasks := oe.ledger.Usage()
-	othersLoad := &cost.SessionLoad{Down: down, Up: up, Tasks: tasks, Inter: make([]float64, len(down))}
-	others.Add(othersLoad)
-	others.Remove(curLoad)
+	others := oe.ledger.Clone()
 	oe.mu.RUnlock()
 
 	// ---- evaluate (no lock) ----
-	phiCur := oe.ev.SessionObjective(snapshot, s)
+	be := oe.ev.BeginSession(snapshot, s, es)
+	curLoad := es.CurLoad()
+	others.RemoveSparse(curLoad)
+	// The strict capacity check splits into a once-per-hop base-feasibility
+	// scan plus an O(touched) check per candidate (see Ledger.FitsTouched).
+	baseOK := others.Fits(nil)
+
+	phiCur := be.Phi
 	if oe.cfg.Noise != nil {
 		phiCur = oe.cfg.Noise(phiCur)
 	}
-	type candidate struct {
-		d   assign.Decision
-		phi float64
-	}
-	var cands []candidate
-	for _, d := range snapshot.SessionNeighborDecisions(s) {
+	scr.decisions = snapshot.AppendSessionNeighborDecisions(scr.decisions[:0], s)
+	scr.ds = scr.ds[:0]
+	scr.readings = scr.readings[:0]
+	for _, d := range scr.decisions {
 		inv, err := snapshot.Apply(d)
 		if err != nil {
 			return err
 		}
-		load := p.SessionLoadOf(snapshot, s)
-		if others.Fits(load) && cost.DelayFeasible(snapshot, s) {
-			phi := oe.ev.SessionObjective(snapshot, s)
-			if oe.cfg.Noise != nil {
-				phi = oe.cfg.Noise(phi)
+		load := oe.ev.CandidateLoad(snapshot, s, es)
+		if baseOK && others.FitsTouched(load) {
+			if phi, ok := oe.ev.CandidatePhi(snapshot, s, d, es); ok {
+				if oe.cfg.Noise != nil {
+					phi = oe.cfg.Noise(phi)
+				}
+				scr.ds = append(scr.ds, d)
+				scr.readings = append(scr.readings, phi)
 			}
-			cands = append(cands, candidate{d: d, phi: phi})
 		}
 		if _, err := snapshot.Apply(inv); err != nil {
 			return err
@@ -161,48 +168,49 @@ func (oe *OptimisticParallel) attemptHop(s model.SessionID, rng *rand.Rand) erro
 	oe.statsMu.Lock()
 	oe.hops++
 	oe.statsMu.Unlock()
-	if len(cands) == 0 {
+	if len(scr.ds) == 0 {
 		return nil
 	}
 
 	halfBeta := 0.5 * oe.cfg.Beta * oe.cfg.ObjectiveScale
 	maxExp := math.Inf(-1)
-	for _, c := range cands {
-		if e := halfBeta * (phiCur - c.phi); e > maxExp {
+	for _, phi := range scr.readings {
+		if e := halfBeta * (phiCur - phi); e > maxExp {
 			maxExp = e
 		}
 	}
 	total := 0.0
-	weights := make([]float64, len(cands))
-	for i, c := range cands {
-		weights[i] = math.Exp(halfBeta*(phiCur-c.phi) - maxExp)
-		total += weights[i]
+	scr.weights = scr.weights[:0]
+	for _, phi := range scr.readings {
+		w := math.Exp(halfBeta*(phiCur-phi) - maxExp)
+		scr.weights = append(scr.weights, w)
+		total += w
 	}
 	pick := rng.Float64() * total
-	chosen := len(cands) - 1
+	chosen := len(scr.ds) - 1
 	acc := 0.0
-	for i, w := range weights {
+	for i, w := range scr.weights {
 		acc += w
 		if pick < acc {
 			chosen = i
 			break
 		}
 	}
-	d := cands[chosen].d
+	d := scr.ds[chosen]
 
 	// ---- commit (write lock, re-validate) ----
 	oe.mu.Lock()
 	defer oe.mu.Unlock()
-	liveCur := p.SessionLoadOf(oe.a, s)
-	oe.ledger.Remove(liveCur)
+	liveCur := oe.ev.SessionLoadSparse(oe.a, s, es)
+	oe.ledger.RemoveSparse(liveCur)
 	inv, err := oe.a.Apply(d)
 	if err != nil {
-		oe.ledger.Add(liveCur)
+		oe.ledger.AddSparse(liveCur)
 		return err
 	}
-	newLoad := p.SessionLoadOf(oe.a, s)
-	if oe.ledger.Fits(newLoad) && cost.DelayFeasible(oe.a, s) {
-		oe.ledger.Add(newLoad)
+	newLoad := oe.ev.CandidateLoad(oe.a, s, es)
+	if oe.ledger.Fits(nil) && oe.ledger.FitsTouched(newLoad) && cost.DelayFeasible(oe.a, s) {
+		oe.ledger.AddSparse(newLoad)
 		oe.statsMu.Lock()
 		oe.moves++
 		oe.statsMu.Unlock()
@@ -213,7 +221,7 @@ func (oe *OptimisticParallel) attemptHop(s model.SessionID, rng *rand.Rand) erro
 	if _, err := oe.a.Apply(inv); err != nil {
 		return err
 	}
-	oe.ledger.Add(liveCur)
+	oe.ledger.AddSparse(liveCur)
 	oe.statsMu.Lock()
 	oe.aborts++
 	oe.statsMu.Unlock()

@@ -89,8 +89,11 @@ func (pe *Parallel) Run(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// runSession is the per-session WAIT/HOP loop (Alg. 1 lines 1–8).
+// runSession is the per-session WAIT/HOP loop (Alg. 1 lines 1–8). Each
+// session goroutine owns one hop scratch, so concurrent chains share no
+// evaluation buffers.
 func (pe *Parallel) runSession(ctx context.Context, s model.SessionID, rng *rand.Rand, errs chan<- error) {
+	scr := NewHopScratch(pe.ev)
 	for {
 		// WAIT: exponential countdown with mean 1/τ. Receiving FREEZE pauses
 		// the countdown in the paper; with a lock, the pause materializes as
@@ -107,7 +110,7 @@ func (pe *Parallel) runSession(ctx context.Context, s model.SessionID, rng *rand
 
 		// HOP under FREEZE.
 		pe.mu.Lock()
-		res, err := HopSession(pe.a, s, pe.ev, pe.ledger, pe.cfg, rng)
+		res, err := HopSessionWith(pe.a, s, pe.ev, pe.ledger, pe.cfg, rng, scr)
 		if err == nil {
 			pe.hops++
 			if res.Moved {

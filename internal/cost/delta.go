@@ -36,14 +36,18 @@ func TouchedSession(sc *model.Scenario, d assign.Decision) (model.SessionID, err
 
 // ObjectiveCache memoizes per-session objectives and loads for one evolving
 // assignment. Sessions marked inactive contribute nothing; dirty sessions
-// are recomputed lazily on the next query. Not safe for concurrent use —
-// the orchestrator queries it only under its commit lock.
+// are recomputed lazily on the next query — through the sparse evaluation
+// pipeline (an owned Scratch), so a refresh allocates nothing at steady
+// state and cached loads are SparseLoads ready for O(touched) ledger
+// accounting. Not safe for concurrent use — the orchestrator queries it only
+// under its commit lock.
 type ObjectiveCache struct {
 	ev     *Evaluator
 	phi    []float64
-	load   []*SessionLoad
+	load   []*SparseLoad
 	dirty  []bool
 	active []bool
+	scr    *Scratch
 
 	// recomputes counts lazy per-session re-evaluations, so tests and
 	// benchmarks can verify the delta path avoids full-scenario work.
@@ -56,21 +60,25 @@ func NewObjectiveCache(ev *Evaluator) *ObjectiveCache {
 	return &ObjectiveCache{
 		ev:     ev,
 		phi:    make([]float64, n),
-		load:   make([]*SessionLoad, n),
+		load:   make([]*SparseLoad, n),
 		dirty:  make([]bool, n),
 		active: make([]bool, n),
+		scr:    ev.NewScratch(),
 	}
 }
 
 // SetActive marks session s active (participating in the total) or inactive.
-// Activation marks the session dirty; deactivation clears its cached state.
+// Activation marks the session dirty; deactivation clears the cached
+// objective. The session's SparseLoad object is left untouched (it is only
+// reachable again through the next refresh, which overwrites it), so a load
+// pointer captured before the deactivation keeps its values — same safety
+// property the dense cache's nil-out provided.
 func (c *ObjectiveCache) SetActive(s model.SessionID, on bool) {
 	c.active[s] = on
 	if on {
 		c.dirty[s] = true
 	} else {
 		c.phi[s] = 0
-		c.load[s] = nil
 		c.dirty[s] = false
 	}
 }
@@ -118,14 +126,19 @@ func (c *ObjectiveCache) InvalidateDecision(d assign.Decision) error {
 	return nil
 }
 
-// refresh recomputes session s from the assignment if dirty.
+// refresh recomputes session s from the assignment if dirty, via the sparse
+// pipeline: the scratch computes load and Φ_s, and the result is copied into
+// the session's owned SparseLoad (reused across refreshes).
 func (c *ObjectiveCache) refresh(a *assign.Assignment, s model.SessionID) {
 	if !c.dirty[s] {
 		return
 	}
-	sl := c.ev.Params().SessionLoadOf(a, s)
-	c.phi[s] = c.ev.sessionObjectiveFromLoad(a, s, sl)
-	c.load[s] = sl
+	be := c.ev.BeginSession(a, s, c.scr)
+	c.phi[s] = be.Phi
+	if c.load[s] == nil {
+		c.load[s] = NewSparseLoad(c.ev.Scenario().NumAgents())
+	}
+	c.load[s].CopyFrom(c.scr.CurLoad())
 	c.dirty[s] = false
 	c.recomputes++
 }
@@ -140,9 +153,10 @@ func (c *ObjectiveCache) SessionObjective(a *assign.Assignment, s model.SessionI
 	return c.phi[s]
 }
 
-// SessionLoad returns session s's cached load vector (nil when inactive).
-// Callers must not mutate the returned load.
-func (c *ObjectiveCache) SessionLoad(a *assign.Assignment, s model.SessionID) *SessionLoad {
+// SessionLoad returns session s's cached sparse load (nil when inactive).
+// Callers must not mutate the returned load; it stays valid until the next
+// refresh of the same session.
+func (c *ObjectiveCache) SessionLoad(a *assign.Assignment, s model.SessionID) *SparseLoad {
 	if !c.active[s] {
 		return nil
 	}

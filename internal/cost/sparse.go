@@ -1,0 +1,708 @@
+package cost
+
+// This file implements the sparse, allocation-free hop evaluation pipeline.
+// A single-variable decision touches O(session size) agents, not the whole
+// fleet, so the steady-state candidate loop of Alg. 1 must not pay O(L) per
+// neighbor: SparseLoad keeps a touched-agent index list over dense scratch
+// arrays, Scratch holds every reusable buffer one evaluation needs, and the
+// Evaluator's BeginSession/CandidateLoad/CandidatePhi methods compute the
+// load, the capacity-delta feasibility inputs, and Φ_s incrementally — only
+// the flows whose endpoints moved are re-evaluated.
+//
+// Exactness contract: every sparse computation in this file is bit-identical
+// to its dense counterpart (SessionLoadOf, SessionDelaysOf, SessionObjective,
+// FitsRepair). Accumulations follow the same per-slot sequence of additions,
+// and cost sums iterate touched agents in ascending agent order, which is the
+// order the dense loops visit them (skipped zero entries are exact identity
+// additions). The differential tests in internal/core assert the contract by
+// replaying whole engine runs against the dense reference path.
+
+import (
+	"vconf/internal/assign"
+	"vconf/internal/model"
+)
+
+// SparseLoad is a session load (see SessionLoad) in sparse form: dense
+// per-agent arrays for O(1) indexing plus the list of touched agents, so
+// iteration, reset, ledger accounting, and cost sums are O(touched) instead
+// of O(NumAgents). The zero value is unusable; loads are created by
+// Evaluator.NewScratch, NewSparseLoad, or ObjectiveCache.
+type SparseLoad struct {
+	down, up, inter []float64
+	tasks           []int
+	touched         []int32
+	mark            []bool
+	sorted          bool
+}
+
+// NewSparseLoad creates an empty sparse load over numAgents agents.
+func NewSparseLoad(numAgents int) *SparseLoad {
+	sl := &SparseLoad{}
+	sl.ensure(numAgents)
+	return sl
+}
+
+func (sl *SparseLoad) ensure(numAgents int) {
+	if len(sl.down) == numAgents {
+		return
+	}
+	sl.down = make([]float64, numAgents)
+	sl.up = make([]float64, numAgents)
+	sl.inter = make([]float64, numAgents)
+	sl.tasks = make([]int, numAgents)
+	sl.mark = make([]bool, numAgents)
+	sl.touched = sl.touched[:0]
+	sl.sorted = true
+}
+
+// Reset clears the load in O(touched).
+func (sl *SparseLoad) Reset() {
+	for _, l := range sl.touched {
+		sl.down[l] = 0
+		sl.up[l] = 0
+		sl.inter[l] = 0
+		sl.tasks[l] = 0
+		sl.mark[l] = false
+	}
+	sl.touched = sl.touched[:0]
+	sl.sorted = true
+}
+
+func (sl *SparseLoad) touch(l model.AgentID) {
+	if !sl.mark[l] {
+		sl.mark[l] = true
+		sl.touched = append(sl.touched, int32(l))
+		sl.sorted = false
+	}
+}
+
+func (sl *SparseLoad) addDown(l model.AgentID, w float64) {
+	sl.touch(l)
+	sl.down[l] += w
+}
+
+func (sl *SparseLoad) addUp(l model.AgentID, w float64) {
+	sl.touch(l)
+	sl.up[l] += w
+}
+
+func (sl *SparseLoad) addTask(l model.AgentID) {
+	sl.touch(l)
+	sl.tasks[l]++
+}
+
+// addEdge records w Mbps of inter-agent traffic src → dst, mirroring
+// SessionLoad.addEdge.
+func (sl *SparseLoad) addEdge(src, dst model.AgentID, w float64) {
+	sl.touch(src)
+	sl.touch(dst)
+	sl.up[src] += w
+	sl.down[dst] += w
+	sl.inter[dst] += w
+}
+
+// sortTouched orders the touched list ascending so cost sums visit agents in
+// the same order as the dense loops (bit-identical floating-point sums).
+// Insertion sort: the list is a handful of entries.
+func (sl *SparseLoad) sortTouched() {
+	if sl.sorted {
+		return
+	}
+	t := sl.touched
+	for i := 1; i < len(t); i++ {
+		for j := i; j > 0 && t[j-1] > t[j]; j-- {
+			t[j-1], t[j] = t[j], t[j-1]
+		}
+	}
+	sl.sorted = true
+}
+
+// CopyFrom makes sl an exact copy of src (same agent-count dimensions).
+func (sl *SparseLoad) CopyFrom(src *SparseLoad) {
+	sl.ensure(len(src.down))
+	sl.Reset()
+	for _, l := range src.touched {
+		sl.mark[l] = true
+		sl.down[l] = src.down[l]
+		sl.up[l] = src.up[l]
+		sl.inter[l] = src.inter[l]
+		sl.tasks[l] = src.tasks[l]
+	}
+	sl.touched = append(sl.touched, src.touched...)
+	sl.sorted = src.sorted
+}
+
+// At returns the load components at agent l.
+func (sl *SparseLoad) At(l model.AgentID) (down, up, inter float64, tasks int) {
+	return sl.down[l], sl.up[l], sl.inter[l], sl.tasks[l]
+}
+
+// TotalInterTraffic returns Σ_l x_ls, bit-identical to the dense sum.
+func (sl *SparseLoad) TotalInterTraffic() float64 {
+	sl.sortTouched()
+	t := 0.0
+	for _, l := range sl.touched {
+		t += sl.inter[l]
+	}
+	return t
+}
+
+// TotalTasks returns Σ_l y_ls.
+func (sl *SparseLoad) TotalTasks() int {
+	n := 0
+	for _, l := range sl.touched {
+		n += sl.tasks[l]
+	}
+	return n
+}
+
+// Dense converts to the dense SessionLoad representation (freshly
+// allocated) — bridging for callers and tests outside the hot path.
+func (sl *SparseLoad) Dense() *SessionLoad {
+	L := len(sl.down)
+	out := &SessionLoad{
+		Down:  make([]float64, L),
+		Up:    make([]float64, L),
+		Tasks: make([]int, L),
+		Inter: make([]float64, L),
+	}
+	for _, l := range sl.touched {
+		out.Down[l] = sl.down[l]
+		out.Up[l] = sl.up[l]
+		out.Inter[l] = sl.inter[l]
+		out.Tasks[l] = sl.tasks[l]
+	}
+	return out
+}
+
+// MarkAgents sets set[l] = true for every agent carrying load (the predicate
+// the orchestrator's touched-session computation uses).
+func (sl *SparseLoad) MarkAgents(set []bool) {
+	for _, l := range sl.touched {
+		if sl.down[l] > 0 || sl.up[l] > 0 || sl.tasks[l] > 0 {
+			set[l] = true
+		}
+	}
+}
+
+// OverlapsAgents reports whether the load touches (with nonzero usage) any
+// agent marked in set.
+func (sl *SparseLoad) OverlapsAgents(set []bool) bool {
+	for _, l := range sl.touched {
+		if set[l] && (sl.down[l] > 0 || sl.up[l] > 0 || sl.tasks[l] > 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation scratch
+
+// mrKey dedups transcoding tasks of one source: a task is a distinct
+// (transcoder, output representation) pair.
+type mrKey struct {
+	m int32
+	r model.Representation
+}
+
+// edgeKey3 dedups transcoded-output edges: one copy per (transcoder,
+// destination agent, representation).
+type edgeKey3 struct {
+	m, lv int32
+	r     model.Representation
+}
+
+// delayChange is one undo-log entry of the candidate delay-delta pass.
+type delayChange struct {
+	pos int32
+	old float64
+}
+
+// Scratch bundles every reusable buffer a session evaluation needs: the
+// current and candidate sparse loads, the per-source dedup sets of the μ
+// traffic terms, and the per-flow delay matrix with per-user maxima that
+// CandidatePhi updates incrementally. A Scratch is not safe for concurrent
+// use; pool one per worker (core and the orchestrator shard pool do).
+type Scratch struct {
+	sc *model.Scenario
+
+	cur, cand SparseLoad
+
+	// Per-source-user dedup sets of the load computation.
+	transMark  []bool
+	transList  []int32
+	nativeMark []bool
+	nativeList []int32
+	taskKeys   []mrKey
+	sentEdges  []edgeKey3
+
+	// Delay state of the session prepared by BeginSession.
+	sid     model.SessionID
+	members []model.UserID
+	idx     []int32 // user → member index, -1 elsewhere
+	n       int
+	base    []float64 // n×n flow-delay matrix, row = source member index
+	userMax []float64
+	candMax []float64
+	changes []delayChange
+}
+
+// NewScratch returns a Scratch sized for the evaluator's scenario.
+func (e *Evaluator) NewScratch() *Scratch {
+	scr := &Scratch{}
+	scr.Ensure(e)
+	return scr
+}
+
+// Ensure (re)binds the scratch to the evaluator's scenario, resizing buffers
+// when dimensions changed. Cheap when already bound (pointer compare); call
+// it when reusing pooled scratches across evaluators.
+func (scr *Scratch) Ensure(e *Evaluator) {
+	sc := e.Scenario()
+	if scr.sc == sc {
+		return
+	}
+	scr.sc = sc
+	L := sc.NumAgents()
+	scr.cur.ensure(L)
+	scr.cur.Reset()
+	scr.cand.ensure(L)
+	scr.cand.Reset()
+	scr.transMark = make([]bool, L)
+	scr.transList = scr.transList[:0]
+	scr.nativeMark = make([]bool, L)
+	scr.nativeList = scr.nativeList[:0]
+	scr.taskKeys = scr.taskKeys[:0]
+	scr.sentEdges = scr.sentEdges[:0]
+	scr.idx = make([]int32, sc.NumUsers())
+	for i := range scr.idx {
+		scr.idx[i] = -1
+	}
+	scr.members = nil
+	scr.n = 0
+}
+
+// CurLoad returns the current-state load computed by the last BeginSession
+// (or SessionLoadSparse). Valid until the next call on this scratch.
+func (scr *Scratch) CurLoad() *SparseLoad { return &scr.cur }
+
+// CandLoad returns the candidate load computed by the last CandidateLoad.
+func (scr *Scratch) CandLoad() *SparseLoad { return &scr.cand }
+
+// sessionLoadSparse computes session s's load under a into dst, mirroring
+// Params.SessionLoadOf term by term (see that function for the μ formula
+// commentary). The per-slot accumulation sequence is identical, so results
+// are bit-identical to the dense computation.
+func (p Params) sessionLoadSparse(a *assign.Assignment, s model.SessionID, dst *SparseLoad, scr *Scratch) {
+	sc := a.Scenario()
+	dst.Reset()
+
+	for _, u := range sc.Session(s).Users {
+		k := a.UserAgent(u) // source agent of u
+		if k == assign.Unassigned {
+			continue
+		}
+		user := sc.User(u)
+		upRate := sc.Reps.Bitrate(user.Upstream)
+		parts := sc.Participants(u)
+
+		// Last-mile upstream and downstream (constraints (5)/(6) first terms).
+		dst.addDown(k, upRate)
+		for _, v := range parts {
+			dst.addUp(k, sc.Reps.Bitrate(sc.Downstream(u, v)))
+		}
+
+		// Transcoding agents of u's stream, and their ν tasks (deduped per
+		// distinct (transcoder, representation) pair).
+		scr.transList = scr.transList[:0]
+		scr.taskKeys = scr.taskKeys[:0]
+		for _, v := range parts {
+			if !sc.Theta(u, v) {
+				continue
+			}
+			f := model.Flow{Src: u, Dst: v}
+			m, ok := a.FlowAgent(f)
+			if !ok || m == assign.Unassigned {
+				continue
+			}
+			if !scr.transMark[m] {
+				scr.transMark[m] = true
+				scr.transList = append(scr.transList, int32(m))
+			}
+			r := sc.DownstreamRep(f)
+			dup := false
+			for _, tk := range scr.taskKeys {
+				if tk.m == int32(m) && tk.r == r {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				scr.taskKeys = append(scr.taskKeys, mrKey{m: int32(m), r: r})
+				dst.addTask(m)
+			}
+		}
+
+		// Term 1 of μ: one raw copy k → every transcoding agent m ≠ k.
+		for _, m32 := range scr.transList {
+			if m := model.AgentID(m32); m != k {
+				dst.addEdge(k, m, upRate)
+			}
+		}
+
+		// Term 2 of μ: raw stream k → agents hosting native-representation
+		// destinations, unless the raw copy already arrived for transcoding
+		// there (the (1−ν'_lu) factor).
+		scr.nativeList = scr.nativeList[:0]
+		for _, v := range parts {
+			if sc.Theta(u, v) {
+				continue
+			}
+			lv := a.UserAgent(v)
+			if lv != assign.Unassigned && lv != k && !scr.nativeMark[lv] {
+				scr.nativeMark[lv] = true
+				scr.nativeList = append(scr.nativeList, int32(lv))
+			}
+		}
+		for _, l32 := range scr.nativeList {
+			if !scr.transMark[l32] {
+				dst.addEdge(k, model.AgentID(l32), upRate)
+			}
+		}
+
+		// Term 3 of μ: transcoded stream at rep r from transcoder m to every
+		// agent hosting a destination demanding r; one copy per (m, agent, r).
+		scr.sentEdges = scr.sentEdges[:0]
+		for _, v := range parts {
+			if !sc.Theta(u, v) {
+				continue
+			}
+			f := model.Flow{Src: u, Dst: v}
+			m, ok := a.FlowAgent(f)
+			if !ok || m == assign.Unassigned {
+				continue
+			}
+			lv := a.UserAgent(v)
+			if lv == assign.Unassigned || lv == m {
+				continue
+			}
+			if p.StrictPaperTraffic && lv == k {
+				continue
+			}
+			r := sc.DownstreamRep(f)
+			dup := false
+			for _, ek := range scr.sentEdges {
+				if ek.m == int32(m) && ek.lv == int32(lv) && ek.r == r {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			scr.sentEdges = append(scr.sentEdges, edgeKey3{m: int32(m), lv: int32(lv), r: r})
+			dst.addEdge(m, lv, sc.Reps.Bitrate(r))
+		}
+
+		// Clear the per-user marks in O(touched).
+		for _, m32 := range scr.transList {
+			scr.transMark[m32] = false
+		}
+		for _, l32 := range scr.nativeList {
+			scr.nativeMark[l32] = false
+		}
+	}
+}
+
+// SessionLoadSparse computes session s's load into the scratch's CurLoad
+// with zero allocations, bit-identical to Params.SessionLoadOf.
+func (e *Evaluator) SessionLoadSparse(a *assign.Assignment, s model.SessionID, scr *Scratch) *SparseLoad {
+	scr.Ensure(e)
+	e.p.sessionLoadSparse(a, s, &scr.cur, scr)
+	return &scr.cur
+}
+
+// phiFromSparse assembles Φ_s from the delay mean and a sparse load exactly
+// as sessionObjectiveFromLoad does from a dense one.
+func (e *Evaluator) phiFromSparse(meanDelayMS float64, sl *SparseLoad) float64 {
+	phi := 0.0
+	if e.p.Alpha1 > 0 {
+		phi += e.p.Alpha1 * meanDelayMS
+	}
+	if e.p.Alpha2 > 0 {
+		sl.sortTouched()
+		g := 0.0
+		for _, l := range sl.touched {
+			if x := sl.inter[l]; x > 0 {
+				g += e.p.trafficCost(e.sc.Agent(model.AgentID(l)).TrafficPricePerMbps, x)
+			}
+		}
+		phi += e.p.Alpha2 * g
+	}
+	if e.p.Alpha3 > 0 {
+		sl.sortTouched()
+		h := 0.0
+		for _, l := range sl.touched {
+			if y := sl.tasks[l]; y > 0 {
+				h += e.p.transcodeCost(e.sc.Agent(model.AgentID(l)).TranscodePricePerTask, y)
+			}
+		}
+		phi += e.p.Alpha3 * h
+	}
+	return phi
+}
+
+// SessionEval summarizes one session's objective and delay picture.
+type SessionEval struct {
+	// Phi is Φ_s = α1·F + α2·G + α3·H, bit-identical to SessionObjective.
+	Phi float64
+	// MeanDelayMS is F's argument: mean over users of max incoming delay.
+	MeanDelayMS float64
+	// WorstMS is the largest flow delay in the session.
+	WorstMS float64
+}
+
+// DelayFeasible reports whether every flow respects the Dmax cap
+// (constraint (8)).
+func (se SessionEval) DelayFeasible(dMaxMS float64) bool { return se.WorstMS <= dMaxMS }
+
+// BeginSession prepares the scratch for evaluating session s's neighborhood
+// under assignment a: it computes the session's sparse load (CurLoad), fills
+// the per-flow delay matrix and per-user delay maxima, and returns the
+// current Φ_s and delay summary — all with zero allocations after warm-up.
+//
+// The hop pipeline calls BeginSession once per hop, then for each candidate:
+// Apply(d) → CandidateLoad → Ledger.FitsRepairDelta → CandidatePhi →
+// Apply(inverse). The base delay matrix always reflects the state a held at
+// BeginSession time; CandidatePhi restores it before returning.
+func (e *Evaluator) BeginSession(a *assign.Assignment, s model.SessionID, scr *Scratch) SessionEval {
+	scr.Ensure(e)
+	e.p.sessionLoadSparse(a, s, &scr.cur, scr)
+
+	// Rebind the member index table.
+	for _, u := range scr.members {
+		scr.idx[u] = -1
+	}
+	sc := e.sc
+	scr.sid = s
+	scr.members = sc.Session(s).Users
+	n := len(scr.members)
+	scr.n = n
+	for i, u := range scr.members {
+		scr.idx[u] = int32(i)
+	}
+	if cap(scr.base) < n*n {
+		scr.base = make([]float64, n*n)
+		scr.userMax = make([]float64, n)
+		scr.candMax = make([]float64, n)
+	}
+	scr.base = scr.base[:n*n]
+	scr.userMax = scr.userMax[:n]
+	scr.candMax = scr.candMax[:n]
+
+	out := SessionEval{}
+	if n >= 2 {
+		for i, u := range scr.members {
+			for _, v := range sc.Participants(u) {
+				j := scr.idx[v]
+				d := FlowDelayMS(a, model.Flow{Src: u, Dst: v})
+				scr.base[i*n+int(j)] = d
+			}
+		}
+		out.MeanDelayMS, out.WorstMS = scr.delaySummary(scr.userMax)
+	} else {
+		for i := range scr.userMax {
+			scr.userMax[i] = 0
+		}
+	}
+	out.Phi = e.phiFromSparse(out.MeanDelayMS, &scr.cur)
+	return out
+}
+
+// delaySummary computes per-user maxima (into maxBuf), their mean, and the
+// session-wide worst delay from the base matrix, exactly as SessionDelaysOf.
+func (scr *Scratch) delaySummary(maxBuf []float64) (meanOfMax, worst float64) {
+	n := scr.n
+	for j := 0; j < n; j++ {
+		maxBuf[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		row := scr.base[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d := row[j]
+			if d > maxBuf[j] {
+				maxBuf[j] = d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	sum := 0.0
+	for j := 0; j < n; j++ {
+		sum += maxBuf[j]
+	}
+	return sum / float64(n), worst
+}
+
+// CandidateLoad computes the candidate session load into CandLoad. The
+// assignment must already hold the candidate state (decision applied).
+func (e *Evaluator) CandidateLoad(a *assign.Assignment, s model.SessionID, scr *Scratch) *SparseLoad {
+	e.p.sessionLoadSparse(a, s, &scr.cand, scr)
+	return &scr.cand
+}
+
+// setBase overwrites one delay-matrix entry, logging the old value for
+// revert.
+func (scr *Scratch) setBase(pos int32, v float64) {
+	scr.changes = append(scr.changes, delayChange{pos: pos, old: scr.base[pos]})
+	scr.base[pos] = v
+}
+
+// CandidatePhi evaluates the candidate state's Φ_s and delay feasibility by
+// re-computing only the flows decision d moved: a UserMove re-evaluates the
+// moved member's incoming and outgoing flows (2(n−1) of n(n−1)), a FlowMove
+// exactly one. The assignment must hold the candidate state (d applied after
+// BeginSession), and CandidateLoad must have run for the same state. The
+// base delay matrix is restored before returning, so callers revert only the
+// assignment. Returns ok = false (and phi 0) when the candidate violates the
+// Dmax delay cap.
+func (e *Evaluator) CandidatePhi(a *assign.Assignment, s model.SessionID, d assign.Decision, scr *Scratch) (phi float64, ok bool) {
+	n := scr.n
+	mean := 0.0
+	if n >= 2 {
+		scr.changes = scr.changes[:0]
+		switch d.Kind {
+		case assign.UserMove:
+			iu := int(scr.idx[d.User])
+			u := scr.members[iu]
+			for j := 0; j < n; j++ {
+				if j == iu {
+					continue
+				}
+				v := scr.members[j]
+				scr.setBase(int32(iu*n+j), FlowDelayMS(a, model.Flow{Src: u, Dst: v}))
+				scr.setBase(int32(j*n+iu), FlowDelayMS(a, model.Flow{Src: v, Dst: u}))
+			}
+		case assign.FlowMove:
+			i, j := int(scr.idx[d.Flow.Src]), int(scr.idx[d.Flow.Dst])
+			scr.setBase(int32(i*n+j), FlowDelayMS(a, d.Flow))
+		}
+		var worst float64
+		mean, worst = scr.delaySummary(scr.candMax)
+		// Restore the base matrix to the BeginSession state.
+		for i := len(scr.changes) - 1; i >= 0; i-- {
+			scr.base[scr.changes[i].pos] = scr.changes[i].old
+		}
+		if worst > e.sc.DMaxMS {
+			return 0, false
+		}
+	}
+	return e.phiFromSparse(mean, &scr.cand), true
+}
+
+// ReportSessionWith evaluates one session like ReportSession but through the
+// scratch: zero allocations, bit-identical observables.
+func (e *Evaluator) ReportSessionWith(a *assign.Assignment, s model.SessionID, scr *Scratch) SessionReport {
+	be := e.BeginSession(a, s, scr)
+	return SessionReport{
+		Session:       s,
+		Objective:     be.Phi,
+		InterTraffic:  scr.cur.TotalInterTraffic(),
+		Tasks:         scr.cur.TotalTasks(),
+		MeanDelayMS:   be.MeanDelayMS,
+		WorstDelayMS:  be.WorstMS,
+		DelayFeasible: be.WorstMS <= e.sc.DMaxMS,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ledger sparse operations
+
+// AddSparse accumulates a sparse session load into the ledger in O(touched).
+func (g *Ledger) AddSparse(sl *SparseLoad) {
+	for _, l := range sl.touched {
+		g.down[l] += sl.down[l]
+		g.up[l] += sl.up[l]
+		g.tasks[l] += sl.tasks[l]
+	}
+}
+
+// RemoveSparse subtracts a sparse session load from the ledger in
+// O(touched).
+func (g *Ledger) RemoveSparse(sl *SparseLoad) {
+	for _, l := range sl.touched {
+		g.down[l] -= sl.down[l]
+		g.up[l] -= sl.up[l]
+		g.tasks[l] -= sl.tasks[l]
+	}
+}
+
+// fitsRepairAt is the per-agent FitsRepair condition.
+func (g *Ledger) fitsRepairAt(l int, candDown, candUp float64, candTasks int, curDown, curUp float64, curTasks int) bool {
+	const eps = 1e-9
+	capDown, capUp, capTasks := g.effectiveCaps(l)
+	newDown := g.down[l] + candDown
+	newUp := g.up[l] + candUp
+	newTasks := g.tasks[l] + candTasks
+	oldDown := g.down[l] + curDown
+	oldUp := g.up[l] + curUp
+	oldTasks := g.tasks[l] + curTasks
+	if newDown > capDown+eps && newDown > oldDown+eps {
+		return false
+	}
+	if newUp > capUp+eps && newUp > oldUp+eps {
+		return false
+	}
+	if newTasks > capTasks && newTasks > oldTasks {
+		return false
+	}
+	return true
+}
+
+// FitsRepairDelta is FitsRepair restricted to the agents candidate or
+// current touch — exact: on any other agent both loads contribute zero, so
+// the repair condition (do not worsen an already-overloaded agent) holds
+// trivially there regardless of the background ledger.
+func (g *Ledger) FitsRepairDelta(candidate, current *SparseLoad) bool {
+	for _, l32 := range candidate.touched {
+		l := int(l32)
+		if !g.fitsRepairAt(l, candidate.down[l], candidate.up[l], candidate.tasks[l],
+			current.down[l], current.up[l], current.tasks[l]) {
+			return false
+		}
+	}
+	for _, l32 := range current.touched {
+		if candidate.mark[l32] {
+			continue // already checked above
+		}
+		l := int(l32)
+		if !g.fitsRepairAt(l, 0, 0, 0, current.down[l], current.up[l], current.tasks[l]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FitsTouched is the strict capacity check (constraints (5)–(7)) restricted
+// to the agents the candidate touches. It equals Fits(candidate) whenever
+// the background ledger alone is feasible; callers that may run over a
+// degraded or overloaded ledger must check Fits(nil) once per evaluation
+// round and AND it in (or use FitsRepairDelta, which needs no such guard).
+func (g *Ledger) FitsTouched(candidate *SparseLoad) bool {
+	const eps = 1e-9
+	for _, l32 := range candidate.touched {
+		l := int(l32)
+		capDown, capUp, capTasks := g.effectiveCaps(l)
+		if g.down[l]+candidate.down[l] > capDown+eps ||
+			g.up[l]+candidate.up[l] > capUp+eps ||
+			g.tasks[l]+candidate.tasks[l] > capTasks {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,243 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"vconf/internal/assign"
+	"vconf/internal/model"
+)
+
+// sparseScenario: 2 sessions × 3 users over 4 agents with transcoding flows
+// and tight-but-feasible capacities.
+func sparseScenario(t *testing.T) *model.Scenario {
+	t.Helper()
+	b := model.NewBuilder(nil)
+	rs := b.Reps()
+	r360, _ := rs.ByName("360p")
+	r720, _ := rs.ByName("720p")
+	r1080, _ := rs.ByName("1080p")
+	for i := 0; i < 4; i++ {
+		b.AddAgent(model.Agent{Upload: 200, Download: 200, TranscodeSlots: 4,
+			SigmaMS: model.UniformSigma(rs.Len(), 40)})
+	}
+	for s := 0; s < 2; s++ {
+		sid := b.AddSession("s")
+		u0 := b.AddUser("a", sid, r1080, nil)
+		u1 := b.AddUser("b", sid, r720, nil)
+		b.AddUser("c", sid, r720, nil)
+		b.DemandFrom(u1, u0, r360)
+	}
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// randomComplete assigns every variable uniformly at random.
+func randomComplete(sc *model.Scenario, rng *rand.Rand) *assign.Assignment {
+	a := assign.New(sc)
+	for u := 0; u < sc.NumUsers(); u++ {
+		a.SetUserAgent(model.UserID(u), model.AgentID(rng.Intn(sc.NumAgents())))
+	}
+	for _, f := range a.Flows() {
+		a.SetFlowAgent(f, model.AgentID(rng.Intn(sc.NumAgents())))
+	}
+	return a
+}
+
+func TestSparseLoadMatchesDenseOnRandomStates(t *testing.T) {
+	sc := sparseScenario(t)
+	ev, err := NewEvaluator(sc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := ev.NewScratch()
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		a := randomComplete(sc, rng)
+		for s := 0; s < sc.NumSessions(); s++ {
+			sid := model.SessionID(s)
+			dense := ev.Params().SessionLoadOf(a, sid)
+			sparse := ev.SessionLoadSparse(a, sid, scr)
+			asDense := sparse.Dense()
+			for l := 0; l < sc.NumAgents(); l++ {
+				if dense.Down[l] != asDense.Down[l] || dense.Up[l] != asDense.Up[l] ||
+					dense.Inter[l] != asDense.Inter[l] || dense.Tasks[l] != asDense.Tasks[l] {
+					t.Fatalf("trial %d session %d agent %d: sparse load differs from dense", trial, s, l)
+				}
+			}
+			if dense.TotalInterTraffic() != sparse.TotalInterTraffic() ||
+				dense.TotalTasks() != sparse.TotalTasks() {
+				t.Fatalf("trial %d session %d: totals differ", trial, s)
+			}
+			if phi := ev.SessionObjective(a, sid); phi != ev.BeginSession(a, sid, scr).Phi {
+				t.Fatalf("trial %d session %d: Φ differs: dense %v sparse %v",
+					trial, s, phi, ev.BeginSession(a, sid, scr).Phi)
+			}
+		}
+	}
+}
+
+func TestFitsDeltaChecksMatchDense(t *testing.T) {
+	sc := sparseScenario(t)
+	ev, err := NewEvaluator(sc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ev.Params()
+	scr := ev.NewScratch()
+	rng := rand.New(rand.NewSource(9))
+	cur := NewSparseLoad(sc.NumAgents())
+	agree := map[bool]int{}
+	for trial := 0; trial < 300; trial++ {
+		base := randomComplete(sc, rng)
+		ledger := NewLedger(sc)
+		for s := 0; s < sc.NumSessions(); s++ {
+			ledger.Add(p.SessionLoadOf(base, model.SessionID(s)))
+		}
+		// Occasionally degrade an agent so the repair branch is exercised
+		// against an overloaded ledger.
+		if trial%3 == 0 {
+			if err := ledger.SetCapacityScale(model.AgentID(rng.Intn(sc.NumAgents())), 0.3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := model.SessionID(rng.Intn(sc.NumSessions()))
+		curDense := p.SessionLoadOf(base, s)
+		cur.CopyFrom(ev.SessionLoadSparse(base, s, scr))
+		ledger.Remove(curDense)
+
+		cand := randomComplete(sc, rng)
+		candDense := p.SessionLoadOf(cand, s)
+		candSparse := ev.SessionLoadSparse(cand, s, scr)
+
+		denseRepair := ledger.FitsRepair(candDense, curDense)
+		sparseRepair := ledger.FitsRepairDelta(candSparse, cur)
+		if denseRepair != sparseRepair {
+			t.Fatalf("trial %d: FitsRepair %v vs FitsRepairDelta %v", trial, denseRepair, sparseRepair)
+		}
+		denseFits := ledger.Fits(candDense)
+		sparseFits := ledger.Fits(nil) && ledger.FitsTouched(candSparse)
+		if denseFits != sparseFits {
+			t.Fatalf("trial %d: Fits %v vs FitsTouched %v", trial, denseFits, sparseFits)
+		}
+		agree[denseRepair]++
+	}
+	if agree[true] == 0 || agree[false] == 0 {
+		t.Fatalf("capacity checks never exercised both outcomes: %v", agree)
+	}
+}
+
+func TestSparseLoadHelpers(t *testing.T) {
+	sc := sparseScenario(t)
+	ev, err := NewEvaluator(sc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign.New(sc)
+	for _, u := range sc.Session(0).Users {
+		a.SetUserAgent(u, 1)
+	}
+	for _, f := range a.SessionFlows(0) {
+		if err := a.SetFlowAgent(f, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scr := ev.NewScratch()
+	sl := ev.SessionLoadSparse(a, 0, scr)
+
+	set := make([]bool, sc.NumAgents())
+	sl.MarkAgents(set)
+	if !set[1] || !set[2] {
+		t.Fatalf("MarkAgents missed loaded agents: %v", set)
+	}
+	if set[0] || set[3] {
+		t.Fatalf("MarkAgents marked idle agents: %v", set)
+	}
+	if !sl.OverlapsAgents(set) {
+		t.Fatal("load must overlap its own agent set")
+	}
+	other := make([]bool, sc.NumAgents())
+	other[3] = true
+	if sl.OverlapsAgents(other) {
+		t.Fatal("load must not overlap an untouched agent")
+	}
+
+	cp := NewSparseLoad(sc.NumAgents())
+	cp.CopyFrom(sl)
+	if cp.TotalInterTraffic() != sl.TotalInterTraffic() || cp.TotalTasks() != sl.TotalTasks() {
+		t.Fatal("CopyFrom changed totals")
+	}
+	down, up, inter, tasks := cp.At(2)
+	d2, u2, i2, t2 := sl.At(2)
+	if down != d2 || up != u2 || inter != i2 || tasks != t2 {
+		t.Fatal("CopyFrom changed per-agent values")
+	}
+	cp.Reset()
+	if cp.TotalInterTraffic() != 0 || cp.TotalTasks() != 0 {
+		t.Fatal("Reset left residual load")
+	}
+
+	// Ledger round-trip: AddSparse then RemoveSparse restores emptiness.
+	ledger := NewLedger(sc)
+	ledger.AddSparse(sl)
+	if ledger.Fits(nil) != true {
+		t.Fatal("single session must fit")
+	}
+	ledger.RemoveSparse(sl)
+	gd, gu, gt := ledger.Usage()
+	for l := range gd {
+		if gd[l] != 0 || gu[l] != 0 || gt[l] != 0 {
+			t.Fatalf("ledger not empty after sparse round-trip at agent %d", l)
+		}
+	}
+}
+
+func TestObjectiveCacheServesSparseLoads(t *testing.T) {
+	sc := sparseScenario(t)
+	ev, err := NewEvaluator(sc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	a := randomComplete(sc, rng)
+	cache := NewObjectiveCache(ev)
+	cache.SetActive(0, true)
+	cache.SetActive(1, true)
+
+	for s := 0; s < 2; s++ {
+		sid := model.SessionID(s)
+		want := ev.Params().SessionLoadOf(a, sid)
+		got := cache.SessionLoad(a, sid).Dense()
+		for l := 0; l < sc.NumAgents(); l++ {
+			if want.Down[l] != got.Down[l] || want.Tasks[l] != got.Tasks[l] {
+				t.Fatalf("cache load differs for session %d agent %d", s, l)
+			}
+		}
+		if cache.SessionObjective(a, sid) != ev.SessionObjective(a, sid) {
+			t.Fatalf("cache Φ differs for session %d", s)
+		}
+	}
+	// Mutate session 0, invalidate, and verify the refreshed load reuses the
+	// owned buffers while reflecting the new state.
+	before := cache.SessionLoad(a, 0)
+	a.SetUserAgent(sc.Session(0).Users[0], model.AgentID(3))
+	cache.Invalidate(0)
+	after := cache.SessionLoad(a, 0)
+	if before != after {
+		t.Fatal("cache must reuse the owned SparseLoad across refreshes")
+	}
+	want := ev.Params().SessionLoadOf(a, 0)
+	got := after.Dense()
+	for l := 0; l < sc.NumAgents(); l++ {
+		if want.Down[l] != got.Down[l] {
+			t.Fatalf("refreshed load stale at agent %d", l)
+		}
+	}
+	cache.SetActive(0, false)
+	if cache.SessionLoad(a, 0) != nil {
+		t.Fatal("inactive session must read nil load")
+	}
+}

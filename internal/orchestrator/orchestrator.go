@@ -151,7 +151,6 @@ type EventReport struct {
 type Orchestrator struct {
 	ev   *cost.Evaluator
 	sc   *model.Scenario
-	p    cost.Params
 	cfg  Config
 	boot core.Bootstrapper
 
@@ -159,6 +158,9 @@ type Orchestrator struct {
 	a      *assign.Assignment
 	ledger *cost.Ledger
 	cache  *cost.ObjectiveCache
+	// scr is the commit-path evaluation scratch, guarded by the commit lock
+	// (workers hold their own; see pool.go).
+	scr    *cost.Scratch
 	rt     *confsim.Runtime
 	now    float64
 	stats  Stats
@@ -185,12 +187,12 @@ func New(ev *cost.Evaluator, boot core.Bootstrapper, cfg Config) (*Orchestrator,
 	o := &Orchestrator{
 		ev:     ev,
 		sc:     sc,
-		p:      ev.Params(),
 		cfg:    cfg,
 		boot:   boot,
 		a:      assign.New(sc),
 		ledger: cost.NewLedger(sc),
 		cache:  cost.NewObjectiveCache(ev),
+		scr:    ev.NewScratch(),
 		tasks:  make(chan reoptTask),
 	}
 	for i := 0; i < cfg.Shards; i++ {
@@ -314,7 +316,7 @@ func (o *Orchestrator) applyDeparture(timeS float64, s model.SessionID) ([]model
 		return nil, false, nil
 	}
 	agents := o.agentsOf(o.cache.SessionLoad(o.a, s))
-	o.ledger.Remove(o.cache.SessionLoad(o.a, s))
+	o.ledger.RemoveSparse(o.cache.SessionLoad(o.a, s))
 	for _, u := range o.sc.Session(s).Users {
 		o.a.SetUserAgent(u, assign.Unassigned)
 	}
@@ -341,33 +343,25 @@ func (o *Orchestrator) advanceClock(timeS float64) {
 }
 
 // agentsOf returns the set of agents a session load touches.
-func (o *Orchestrator) agentsOf(sl *cost.SessionLoad) []bool {
+func (o *Orchestrator) agentsOf(sl *cost.SparseLoad) []bool {
 	set := make([]bool, o.sc.NumAgents())
-	if sl == nil {
-		return set
-	}
-	for l := range set {
-		if sl.Down[l] > 0 || sl.Up[l] > 0 || sl.Tasks[l] > 0 {
-			set[l] = true
-		}
+	if sl != nil {
+		sl.MarkAgents(set)
 	}
 	return set
 }
 
 // touchedLocked lists active sessions (≠ trigger) with load on any of the
 // given agents, in ascending session order. Caller holds the commit lock.
+// Each membership test is O(touched agents of the session), not O(fleet).
 func (o *Orchestrator) touchedLocked(trigger model.SessionID, agents []bool) []model.SessionID {
 	var out []model.SessionID
 	for _, s := range o.cache.ActiveSessions() {
 		if s == trigger {
 			continue
 		}
-		sl := o.cache.SessionLoad(o.a, s)
-		for l := range agents {
-			if agents[l] && (sl.Down[l] > 0 || sl.Up[l] > 0 || sl.Tasks[l] > 0) {
-				out = append(out, s)
-				break
-			}
+		if o.cache.SessionLoad(o.a, s).OverlapsAgents(agents) {
+			out = append(out, s)
 		}
 	}
 	return out

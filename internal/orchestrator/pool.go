@@ -7,7 +7,6 @@ import (
 
 	"vconf/internal/assign"
 	"vconf/internal/core"
-	"vconf/internal/cost"
 	"vconf/internal/model"
 )
 
@@ -47,10 +46,13 @@ func (o *Orchestrator) dispatch(sessions []model.SessionID) time.Duration {
 	return time.Since(start)
 }
 
-// worker is one shard: it refines tasks until the pool closes.
+// worker is one shard: it refines tasks until the pool closes. Each worker
+// owns one hop scratch, so refinement walks run allocation-free on the
+// sparse pipeline without sharing buffers across shards.
 func (o *Orchestrator) worker() {
+	scr := core.NewHopScratch(o.ev)
 	for t := range o.tasks {
-		o.refine(t)
+		o.refine(t, scr)
 		t.wg.Done()
 	}
 }
@@ -69,7 +71,7 @@ type proposal struct {
 
 // refine snapshots the live state, runs a bounded warm-started Markov walk
 // for the task's session on the snapshot, and merges the best state found.
-func (o *Orchestrator) refine(t reoptTask) {
+func (o *Orchestrator) refine(t reoptTask, scr *core.HopScratch) {
 	// Snapshot under the commit lock: clone the assignment and ledger so
 	// the walk runs without blocking other shards or the event loop.
 	o.mu.Lock()
@@ -109,7 +111,7 @@ func (o *Orchestrator) refine(t reoptTask) {
 	rng := rand.New(rand.NewSource(t.seed))
 	improved := false
 	for i := 0; i < o.cfg.HopBudget; i++ {
-		res, err := core.HopSession(a, t.session, o.ev, ledger, o.cfg.Core, rng)
+		res, err := core.HopSessionWith(a, t.session, o.ev, ledger, o.cfg.Core, rng, scr)
 		if err != nil {
 			o.reportErr(err)
 			return
@@ -168,13 +170,13 @@ func (o *Orchestrator) commit(p proposal) {
 	}
 
 	curLoad := o.cache.SessionLoad(o.a, p.session)
-	o.ledger.Remove(curLoad)
+	o.ledger.RemoveSparse(curLoad)
 	invs := make([]assign.Decision, 0, len(ds))
 	rollback := func() {
 		for i := len(invs) - 1; i >= 0; i-- {
 			o.a.Apply(invs[i])
 		}
-		o.ledger.Add(curLoad)
+		o.ledger.AddSparse(curLoad)
 		o.stats.Rejects++
 	}
 	for _, d := range ds {
@@ -186,15 +188,17 @@ func (o *Orchestrator) commit(p proposal) {
 		}
 		invs = append(invs, inv)
 	}
-	newLoad := o.p.SessionLoadOf(o.a, p.session)
-	newPhi := o.ev.SessionObjective(o.a, p.session)
-	if !o.ledger.FitsRepair(newLoad, curLoad) ||
-		!cost.DelayFeasible(o.a, p.session) ||
-		newPhi >= curPhi-o.cfg.ImprovementEps {
+	// Re-evaluate the proposed state through the commit scratch: sparse
+	// load, delta capacity check, and Φ with delay feasibility in one pass.
+	newEval := o.ev.BeginSession(o.a, p.session, o.scr)
+	newLoad := o.scr.CurLoad()
+	if !o.ledger.FitsRepairDelta(newLoad, curLoad) ||
+		!newEval.DelayFeasible(o.sc.DMaxMS) ||
+		newEval.Phi >= curPhi-o.cfg.ImprovementEps {
 		rollback()
 		return
 	}
-	o.ledger.Add(newLoad)
+	o.ledger.AddSparse(newLoad)
 	o.cache.Invalidate(p.session)
 	o.stats.Commits++
 	if o.rt != nil {

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vconf/internal/model"
+)
+
+// FleetConfig sizes a synthetic large-fleet scenario. The EC2-site workloads
+// top out at the paper's 7 agents; performance work on the hop pipeline
+// needs fleets of hundreds of agents, so this generator fabricates agents
+// with bounded synthetic delay matrices instead of drawing from real sites.
+type FleetConfig struct {
+	// Seed drives every random choice.
+	Seed int64
+	// NumAgents is the fleet size (any positive count — not limited to the
+	// EC2 site list).
+	NumAgents int
+	// NumUsers is the user population, partitioned into sessions of
+	// MinSessionSize..MaxSessionSize members.
+	NumUsers       int
+	MinSessionSize int
+	MaxSessionSize int
+}
+
+// DefaultFleetConfig returns the hop-benchmark fleet: 100 agents, 60 users.
+func DefaultFleetConfig(seed int64) FleetConfig {
+	return FleetConfig{
+		Seed:           seed,
+		NumAgents:      100,
+		NumUsers:       60,
+		MinSessionSize: 3,
+		MaxSessionSize: 5,
+	}
+}
+
+// GenerateSyntheticFleet builds a deterministic scenario with an
+// arbitrarily large agent fleet. Delays are synthesized within bounds that
+// keep every assignment under the default Dmax (H ≤ 40 ms, D ≤ 80 ms,
+// σ = 40 ms ⇒ worst path 280 ms), so capacity-unconstrained chains explore
+// the full neighbor structure — the shape hop-pipeline benchmarks need.
+func GenerateSyntheticFleet(cfg FleetConfig) (*model.Scenario, error) {
+	if cfg.NumAgents < 1 || cfg.NumUsers < 2 {
+		return nil, fmt.Errorf("workload: fleet needs ≥1 agent and ≥2 users, got %d/%d",
+			cfg.NumAgents, cfg.NumUsers)
+	}
+	if cfg.MinSessionSize < 2 || cfg.MaxSessionSize < cfg.MinSessionSize {
+		return nil, fmt.Errorf("workload: invalid fleet session size range [%d, %d]",
+			cfg.MinSessionSize, cfg.MaxSessionSize)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := model.NewBuilder(nil)
+	rs := b.Reps()
+	r360, _ := rs.ByName("360p")
+	r720, _ := rs.ByName("720p")
+	r1080, _ := rs.ByName("1080p")
+
+	for i := 0; i < cfg.NumAgents; i++ {
+		b.AddAgent(model.Agent{
+			Name:           fmt.Sprintf("agent-%03d", i),
+			Upload:         UnlimitedMbps,
+			Download:       UnlimitedMbps,
+			TranscodeSlots: UnlimitedSlots,
+			SigmaMS:        model.UniformSigma(rs.Len(), 40),
+		})
+	}
+
+	// Sessions of MinSessionSize..MaxSessionSize users; the first member
+	// uploads 1080p and the others demand 360p from it, so every session
+	// carries transcoding flows.
+	var users, sessions int
+	for users < cfg.NumUsers {
+		size := cfg.MinSessionSize + rng.Intn(cfg.MaxSessionSize-cfg.MinSessionSize+1)
+		if rem := cfg.NumUsers - users; size > rem {
+			if rem < cfg.MinSessionSize {
+				break // drop a remainder too small to form a session
+			}
+			size = rem
+		}
+		sid := b.AddSession(fmt.Sprintf("fleet-%03d", sessions))
+		sessions++
+		first := b.AddUser("src", sid, r1080, nil)
+		for i := 1; i < size; i++ {
+			up := r720
+			if i%2 == 0 {
+				up = r1080
+			}
+			u := b.AddUser("dst", sid, up, nil)
+			b.DemandFrom(u, first, r360)
+		}
+		users += size
+	}
+
+	// Bounded synthetic delay matrices: deterministic in the seed.
+	L := cfg.NumAgents
+	d := make([][]float64, L)
+	for i := range d {
+		d[i] = make([]float64, L)
+	}
+	for i := 0; i < L; i++ {
+		for j := i + 1; j < L; j++ {
+			v := 10 + 70*rng.Float64()
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	h := make([][]float64, L)
+	for l := range h {
+		h[l] = make([]float64, users)
+		for u := range h[l] {
+			h[l][u] = 5 + 35*rng.Float64()
+		}
+	}
+	b.SetInterAgentDelays(d)
+	b.SetAgentUserDelays(h)
+	return b.Build()
+}
