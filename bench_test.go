@@ -485,7 +485,7 @@ func BenchmarkAblationHopMode(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				boot := func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error {
+				boot := func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
 					return baseline.AssignSessionNearest(a, s, cost.DefaultParams(), ledger)
 				}
 				if err := eng.ActivateSession(0, boot); err != nil {

@@ -37,8 +37,13 @@ func GenerateChurn(cfg ChurnConfig) ([]ChurnEvent, error) {
 // documentation for the architecture).
 type Orchestrator = orchestrator.Orchestrator
 
-// OrchestratorConfig tunes the orchestrator: shard count, per-task hop
-// budget, touched-set cap and the refinement chain parameters.
+// OrchestratorConfig tunes the orchestrator: Shards sets the solver worker
+// count, LedgerShards the capacity-ledger stripe count (0 = one ID-range
+// shard per worker via the lock-striped internal/shard pipeline, -1 = the
+// legacy single-lock commit path kept for differential benchmarks),
+// CommitRetries the bounded retry budget after cross-shard commit races,
+// plus the per-task hop budget, touched-set cap, N_ngbr candidate window
+// (Core.NeighborWindow) and the refinement chain parameters.
 type OrchestratorConfig = orchestrator.Config
 
 // OrchestratorStats aggregates orchestrator activity counters.

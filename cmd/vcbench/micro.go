@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"vconf"
 	"vconf/internal/assign"
@@ -19,6 +21,7 @@ import (
 	"vconf/internal/core"
 	"vconf/internal/cost"
 	"vconf/internal/model"
+	"vconf/internal/orchestrator"
 	"vconf/internal/workload"
 )
 
@@ -32,12 +35,41 @@ type microResult struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// shardSweepPoint is one events/sec measurement of the orchestrator at a
+// fixed worker count and a varying capacity-ledger stripe count.
+type shardSweepPoint struct {
+	Name    string `json:"name"`
+	Shards  int    `json:"shards"`
+	Workers int    `json:"workers"`
+	Agents  int    `json:"agents"`
+	Events  int    `json:"events"`
+	// EventsPerSec is the headline throughput: churn events fully processed
+	// (admission + incremental re-optimization barrier) per wall second.
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	Commits      int     `json:"commits"`
+	Conflicts    int     `json:"conflicts"`
+	Rejects      int     `json:"rejects"`
+	Dropped      int     `json:"dropped"`
+}
+
 // microReport is the BENCH_<n>.json payload.
 type microReport struct {
 	GeneratedBy string        `json:"generated_by"`
 	Description string        `json:"description"`
 	Benchmarks  []microResult `json:"benchmarks"`
-	// Speedups maps benchmark family → dense-ns / sparse-ns.
+	// ShardSweep is the OrchestratorEvent events/sec-vs-shard-count sweep:
+	// identical fleet and schedule, shard count n = n workers over an
+	// n-stripe ledger (n = 1: the legacy single-lock path).
+	ShardSweep []shardSweepPoint `json:"shard_sweep,omitempty"`
+	// HardwareParallelCeiling is the host's measured raw 2-way CPU speedup
+	// (2 × serial-time / dual-goroutine-time of a pure spin loop). Shared
+	// or throttled vCPUs push it well below 2; the shard sweep's scaling
+	// is bounded by it, so read the two together (their ratio is the
+	// sweep's parallel efficiency, also recorded under Speedups).
+	HardwareParallelCeiling float64 `json:"hardware_parallel_ceiling,omitempty"`
+	// Speedups maps benchmark family → dense-ns / sparse-ns (and the shard
+	// sweep's max-shards / 1-shard throughput ratio).
 	Speedups map[string]float64 `json:"speedups"`
 }
 
@@ -167,13 +199,168 @@ func orchestratorBench(seed int64, dense bool) (testing.BenchmarkResult, int, er
 	return res, sc.NumAgents(), benchErr
 }
 
+// measureParallelCeiling measures this machine's raw 2-way CPU speedup: the
+// wall-clock ratio of one spin worker to two concurrent ones. Cloud
+// containers frequently expose vCPUs that share execution resources, so the
+// achievable parallel speedup can sit well below the vCPU count; the shard
+// sweep reports its scaling next to this ceiling so the curve is
+// interpretable on any host.
+func measureParallelCeiling() float64 {
+	burn := func(n int) float64 {
+		x := 1.0001
+		for i := 0; i < n; i++ {
+			x = x*1.0000001 + 0.000001
+			if x > 2 {
+				x -= 1
+			}
+		}
+		return x
+	}
+	const work = 100_000_000
+	start := time.Now()
+	burn(work)
+	serial := time.Since(start)
+	start = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			burn(work)
+		}()
+	}
+	wg.Wait()
+	par := time.Since(start)
+	return 2 * serial.Seconds() / par.Seconds()
+}
+
+// shardSweepStack builds the contention workload the shard sweep runs: a
+// regional synthetic fleet whose clustered sessions overlap heavily on
+// their home regions' agents (re-optimization sets near the cap) with
+// transcoding slots as the scarce resource, plus a dense churn schedule.
+func shardSweepStack(fleetAgents int, seed int64) (*cost.Evaluator, core.Bootstrapper, []workload.Event, error) {
+	fc := workload.DefaultFleetConfig(seed)
+	fc.NumAgents = fleetAgents
+	fc.NumUsers = 12 * fleetAgents
+	fc.MinSessionSize = 4
+	fc.MaxSessionSize = 6
+	fc.Regions = 4
+	fc.AgentBandwidthMbps = 5000
+	fc.AgentTranscodeSlots = 6
+	sc, err := workload.GenerateSyntheticFleet(fc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p := cost.DefaultParams()
+	ev, err := cost.NewEvaluator(sc, p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	boot := func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
+		return baseline.AssignSessionNearest(a, s, p, ledger)
+	}
+	events, err := workload.PoissonSchedule(workload.ChurnConfig{
+		Seed:            seed,
+		HorizonS:        300,
+		ArrivalRatePerS: 1.2,
+		MeanHoldS:       80,
+		NumSessions:     sc.NumSessions(),
+	})
+	return ev, boot, events, err
+}
+
+// runShardSweep measures OrchestratorEvent throughput (full churn events
+// per wall second, admission + re-optimization barrier included) as a
+// function of the orchestrator's shard count: n solver workers over an
+// n-stripe capacity ledger. The 1-shard point runs the legacy single-lock
+// commit path — one worker, one global commit mutex, the pre-subsystem
+// configuration that the sharded P=1 pipeline is proven bit-identical to.
+// A final reference point re-runs the single-lock backend at the maximum
+// worker count, so the curve separates worker scaling from what the
+// stripe pipeline itself contributes (the striped-vs-single-lock speedup
+// at equal workers). Fleet and schedule are identical across points.
+func runShardSweep(shardCounts []int, fleetAgents int, seed int64) ([]shardSweepPoint, error) {
+	ev, boot, events, err := shardSweepStack(fleetAgents, seed)
+	if err != nil {
+		return nil, err
+	}
+	run := func(name string, workers, ledgerShards, shardsLabel int) (shardSweepPoint, error) {
+		cfg := orchestrator.DefaultConfig(seed)
+		cfg.Shards = workers
+		cfg.LedgerShards = ledgerShards
+		cfg.HopBudget = 8
+		cfg.MaxReoptSessions = 16
+		cfg.Core.NeighborWindow = 4
+		best := shardSweepPoint{}
+		// Two repetitions, keep the higher throughput (fresh orchestrator
+		// each time: the schedule replays identically).
+		for rep := 0; rep < 2; rep++ {
+			orc, err := orchestrator.New(ev, boot, cfg)
+			if err != nil {
+				return best, err
+			}
+			start := time.Now()
+			if _, err := orc.Run(events, 0); err != nil {
+				orc.Close()
+				return best, err
+			}
+			elapsed := time.Since(start)
+			st := orc.Stats()
+			orc.Close()
+			eps := float64(st.Events) / elapsed.Seconds()
+			if eps > best.EventsPerSec {
+				best = shardSweepPoint{
+					Name:         name,
+					Shards:       shardsLabel,
+					Workers:      workers,
+					Agents:       fleetAgents,
+					Events:       st.Events,
+					EventsPerSec: eps,
+					NsPerEvent:   float64(elapsed.Nanoseconds()) / float64(st.Events),
+					Commits:      st.Commits,
+					Conflicts:    st.Conflicts,
+					Rejects:      st.Rejects,
+					Dropped:      st.Dropped,
+				}
+			}
+		}
+		return best, nil
+	}
+	points := make([]shardSweepPoint, 0, len(shardCounts)+1)
+	for _, shards := range shardCounts {
+		ledger := shards
+		if shards == 1 {
+			ledger = -1 // legacy single-lock path (≡ sharded P=1)
+		}
+		pt, err := run(fmt.Sprintf("OrchestratorEvent/shards=%d", shards), shards, ledger, shards)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	// Lock-isolation reference: single global commit lock at the sweep's
+	// maximum worker count.
+	maxW := shardCounts[len(shardCounts)-1]
+	ref, err := run(fmt.Sprintf("OrchestratorEvent/single-lock-%dworkers", maxW), maxW, -1, 1)
+	if err != nil {
+		return nil, err
+	}
+	points = append(points, ref)
+	return points, nil
+}
+
 // runMicro executes the micro-benchmark suite. fleetAgents sizes the
 // HopSession fleet (≥100 for the acceptance numbers; -quick shrinks it).
 func runMicro(w io.Writer, format string, fleetAgents int, seed int64) error {
 	rep := microReport{
 		GeneratedBy: "vcbench -run micro",
-		Description: "Hop-pipeline hot paths, dense reference (before) vs sparse zero-allocation pipeline (after)",
-		Speedups:    map[string]float64{},
+		Description: "Hop-pipeline hot paths (dense reference vs sparse pipeline) plus the sharded-ledger " +
+			"orchestrator sweep: events/sec vs shard count, where n shards = n solver workers over an " +
+			"n-stripe capacity ledger and n=1 is the legacy single-lock commit path (bit-identical to " +
+			"sharded P=1). Wall-clock scaling is bounded by hardware_parallel_ceiling — on shared-vCPU " +
+			"hosts that ceiling sits well below the vCPU count, so judge the sweep by its parallel " +
+			"efficiency (scaling/ceiling), not by the shard count.",
+		Speedups: map[string]float64{},
 	}
 	add := func(family string, agents int, denseRes, sparseRes testing.BenchmarkResult) {
 		d := record(family+"/dense", agents, denseRes)
@@ -214,6 +401,31 @@ func runMicro(w io.Writer, format string, fleetAgents int, seed int64) error {
 	}
 	add("OrchestratorEvent", agents, orcDense, orcSparse)
 
+	shardCounts := []int{1, 2, 4, 8}
+	sweepAgents := fleetAgents
+	if sweepAgents < 100 {
+		shardCounts = []int{1, 2}
+	}
+	sweep, err := runShardSweep(shardCounts, sweepAgents, seed)
+	if err != nil {
+		return fmt.Errorf("micro: shard sweep: %w", err)
+	}
+	rep.ShardSweep = sweep
+	rep.HardwareParallelCeiling = measureParallelCeiling()
+	if n := len(shardCounts); len(sweep) > n && sweep[0].EventsPerSec > 0 {
+		maxPt, refPt := sweep[n-1], sweep[n] // max-shards point, single-lock-at-max-workers reference
+		scaling := maxPt.EventsPerSec / sweep[0].EventsPerSec
+		rep.Speedups["OrchestratorEvent/shards"] = scaling
+		if rep.HardwareParallelCeiling > 0 {
+			rep.Speedups["OrchestratorEvent/shards-parallel-efficiency"] =
+				scaling / rep.HardwareParallelCeiling
+		}
+		if refPt.EventsPerSec > 0 {
+			rep.Speedups["OrchestratorEvent/striped-vs-single-lock"] =
+				maxPt.EventsPerSec / refPt.EventsPerSec
+		}
+	}
+
 	if format == "json" {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -222,6 +434,10 @@ func runMicro(w io.Writer, format string, fleetAgents int, seed int64) error {
 	for _, r := range rep.Benchmarks {
 		fmt.Fprintf(w, "micro | %-24s | agents %3d | %12.0f ns/op | %6d allocs/op | %8d B/op\n",
 			r.Name, r.Agents, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	for _, p := range rep.ShardSweep {
+		fmt.Fprintf(w, "micro | %-28s | agents %3d | %8.1f events/sec | %4d commits | %4d conflicts | %4d rejects\n",
+			p.Name, p.Agents, p.EventsPerSec, p.Commits, p.Conflicts, p.Rejects)
 	}
 	for fam, sp := range rep.Speedups {
 		fmt.Fprintf(w, "micro | speedup %-16s | %.2fx\n", fam, sp)

@@ -76,12 +76,12 @@ func run(args []string, w io.Writer) error {
 	switch *initName {
 	case "agrank":
 		opts := agrank.DefaultOptions(2)
-		boot = func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error {
+		boot = func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
 			_, err := agrank.BootstrapSession(a, s, p, ledger, opts)
 			return err
 		}
 	case "nrst":
-		boot = func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error {
+		boot = func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
 			return baseline.AssignSessionNearest(a, s, p, ledger)
 		}
 	default:

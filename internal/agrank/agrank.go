@@ -86,7 +86,7 @@ type Result struct {
 // ledger's residual capacities, assigns users and transcoding tasks, and on
 // success adds the session's load to the ledger. On failure every decision
 // of the session is rolled back.
-func BootstrapSession(a *assign.Assignment, s model.SessionID, p cost.Params, ledger *cost.Ledger, opts Options) (*Result, error) {
+func BootstrapSession(a *assign.Assignment, s model.SessionID, p cost.Params, ledger cost.LedgerAPI, opts Options) (*Result, error) {
 	sc := a.Scenario()
 	if err := opts.validate(sc.NumAgents()); err != nil {
 		return nil, err
@@ -118,7 +118,7 @@ func BootstrapSession(a *assign.Assignment, s model.SessionID, p cost.Params, le
 // Bootstrap runs AgRank over every session in ID order. It stops at the
 // first infeasible session (callers treat any error as a failed scenario in
 // success-rate experiments).
-func Bootstrap(a *assign.Assignment, p cost.Params, ledger *cost.Ledger, opts Options) error {
+func Bootstrap(a *assign.Assignment, p cost.Params, ledger cost.LedgerAPI, opts Options) error {
 	sc := a.Scenario()
 	for s := 0; s < sc.NumSessions(); s++ {
 		if _, err := BootstrapSession(a, model.SessionID(s), p, ledger, opts); err != nil {
@@ -129,7 +129,7 @@ func Bootstrap(a *assign.Assignment, p cost.Params, ledger *cost.Ledger, opts Op
 }
 
 // rankSession performs steps (1)–(3): candidate collection and ranking.
-func rankSession(sc *model.Scenario, s model.SessionID, ledger *cost.Ledger, opts Options) *Result {
+func rankSession(sc *model.Scenario, s model.SessionID, ledger cost.LedgerAPI, opts Options) *Result {
 	members := sc.Session(s).Users
 
 	// N(u): top n_ngbr nearest agents per user; N(s): their union.
@@ -188,7 +188,7 @@ func rankSession(sc *model.Scenario, s model.SessionID, ledger *cost.Ledger, opt
 // sum-normalized across candidates; the σ component rewards faster
 // transcoders (inverse mean latency, sum-normalized), since smaller σ means
 // a more capable agent.
-func seedRanks(sc *model.Scenario, potential []model.AgentID, ledger *cost.Ledger) []float64 {
+func seedRanks(sc *model.Scenario, potential []model.AgentID, ledger cost.LedgerAPI) []float64 {
 	down, up, tasks := ledger.Usage()
 	n := len(potential)
 	resUp := make([]float64, n)
@@ -331,7 +331,7 @@ func buildDhat(sc *model.Scenario, potential []model.AgentID, rowNormalize bool)
 // concentration from dragging far-away users past Dmax — without it a
 // top-ranked hub can be capacity-feasible yet delay-infeasible for users on
 // other continents.
-func admitUsers(a *assign.Assignment, s model.SessionID, p cost.Params, ledger *cost.Ledger, res *Result) error {
+func admitUsers(a *assign.Assignment, s model.SessionID, p cost.Params, ledger cost.LedgerAPI, res *Result) error {
 	sc := a.Scenario()
 	for _, u := range sc.Session(s).Users {
 		admitted := false
@@ -394,7 +394,7 @@ func partialDelayOK(a *assign.Assignment, s model.SessionID) bool {
 // otherwise transcode at the (single) destination's agent. Each placement
 // falls back through the session's candidates by rank, then through all
 // agents, whenever the incremental load does not fit.
-func placeTranscoding(a *assign.Assignment, s model.SessionID, p cost.Params, ledger *cost.Ledger, res *Result) error {
+func placeTranscoding(a *assign.Assignment, s model.SessionID, p cost.Params, ledger cost.LedgerAPI, res *Result) error {
 	sc := a.Scenario()
 
 	// Group the session's transcoding flows by (source, output rep).

@@ -26,7 +26,7 @@ var ErrInfeasible = errors.New("baseline: session admission infeasible")
 // success the session's load is added to the ledger. On failure the
 // session's variables are rolled back to Unassigned and ErrInfeasible is
 // returned (wrapped with detail).
-func AssignSessionNearest(a *assign.Assignment, s model.SessionID, p cost.Params, ledger *cost.Ledger) error {
+func AssignSessionNearest(a *assign.Assignment, s model.SessionID, p cost.Params, ledger cost.LedgerAPI) error {
 	sc := a.Scenario()
 	for _, u := range sc.Session(s).Users {
 		a.SetUserAgent(u, sc.NearestAgent(u))
@@ -54,7 +54,7 @@ func AssignSessionNearest(a *assign.Assignment, s model.SessionID, p cost.Params
 // It stops at the first infeasible session, leaving earlier sessions
 // admitted in the assignment and ledger; callers running success-rate
 // experiments treat any error as a failed scenario.
-func Assign(a *assign.Assignment, p cost.Params, ledger *cost.Ledger) error {
+func Assign(a *assign.Assignment, p cost.Params, ledger cost.LedgerAPI) error {
 	sc := a.Scenario()
 	for s := 0; s < sc.NumSessions(); s++ {
 		if err := AssignSessionNearest(a, model.SessionID(s), p, ledger); err != nil {
@@ -79,7 +79,7 @@ func rollbackSession(a *assign.Assignment, s model.SessionID) {
 // RemoveSession evicts an admitted session: subtracts its load from the
 // ledger and clears its decision variables. Used by the dynamics experiments
 // when sessions depart (Fig. 5).
-func RemoveSession(a *assign.Assignment, s model.SessionID, p cost.Params, ledger *cost.Ledger) {
+func RemoveSession(a *assign.Assignment, s model.SessionID, p cost.Params, ledger cost.LedgerAPI) {
 	ledger.Remove(p.SessionLoadOf(a, s))
 	rollbackSession(a, s)
 }

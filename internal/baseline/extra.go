@@ -24,7 +24,7 @@ import (
 // AssignSessionRandom bootstraps session s uniformly at random over agents
 // (users and transcoding tasks independently), retrying up to maxTries to
 // find a feasible draw. On success the load is added to the ledger.
-func AssignSessionRandom(a *assign.Assignment, s model.SessionID, p cost.Params, ledger *cost.Ledger, rng *rand.Rand, maxTries int) error {
+func AssignSessionRandom(a *assign.Assignment, s model.SessionID, p cost.Params, ledger cost.LedgerAPI, rng *rand.Rand, maxTries int) error {
 	sc := a.Scenario()
 	if maxTries < 1 {
 		maxTries = 1
@@ -51,7 +51,7 @@ func AssignSessionRandom(a *assign.Assignment, s model.SessionID, p cost.Params,
 }
 
 // AssignRandom bootstraps every session randomly in ID order.
-func AssignRandom(a *assign.Assignment, p cost.Params, ledger *cost.Ledger, seed int64, maxTries int) error {
+func AssignRandom(a *assign.Assignment, p cost.Params, ledger cost.LedgerAPI, seed int64, maxTries int) error {
 	sc := a.Scenario()
 	rng := rand.New(rand.NewSource(seed))
 	for s := 0; s < sc.NumSessions(); s++ {
@@ -67,7 +67,7 @@ func AssignRandom(a *assign.Assignment, p cost.Params, ledger *cost.Ledger, seed
 // whose capacity can absorb the whole session. Transcoding runs at the same
 // agent, so the session generates zero inter-agent traffic — the
 // delay-driven "topology control" extreme.
-func AssignSessionSingleAgent(a *assign.Assignment, s model.SessionID, p cost.Params, ledger *cost.Ledger) error {
+func AssignSessionSingleAgent(a *assign.Assignment, s model.SessionID, p cost.Params, ledger cost.LedgerAPI) error {
 	sc := a.Scenario()
 	bestAgent := model.AgentID(-1)
 	bestDelay := math.Inf(1)
@@ -92,7 +92,7 @@ func AssignSessionSingleAgent(a *assign.Assignment, s model.SessionID, p cost.Pa
 }
 
 // AssignSingleAgent bootstraps every session onto its best single agent.
-func AssignSingleAgent(a *assign.Assignment, p cost.Params, ledger *cost.Ledger) error {
+func AssignSingleAgent(a *assign.Assignment, p cost.Params, ledger cost.LedgerAPI) error {
 	sc := a.Scenario()
 	for s := 0; s < sc.NumSessions(); s++ {
 		if err := AssignSessionSingleAgent(a, model.SessionID(s), p, ledger); err != nil {

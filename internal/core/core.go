@@ -93,6 +93,13 @@ type Config struct {
 	// one. The two are bit-identical for fixed seeds; the flag exists for
 	// differential tests and before/after benchmarking.
 	DenseEval bool
+	// NeighborWindow caps the hop candidate set to each variable's k
+	// delay-nearest agents (the paper's N_ngbr pruning, Fig. 10), cutting
+	// per-hop cost from O(L·session) to O(k·session) at controlled
+	// optimality loss. 0 (default) keeps the full neighbor scan — for fixed
+	// seeds the output is then unchanged. Applies to the sparse pipeline;
+	// the dense reference always scans every agent.
+	NeighborWindow int
 }
 
 // DefaultConfig returns the paper's settings: β = 400, 10 s countdowns.
@@ -123,13 +130,18 @@ func (c Config) Validate() error {
 	if c.HopSampling < SampleEveryHop || c.HopSampling > SampleNever {
 		return fmt.Errorf("core: invalid hop sampling policy %d", c.HopSampling)
 	}
+	if c.NeighborWindow < 0 {
+		return fmt.Errorf("core: neighbor window must be non-negative, got %d", c.NeighborWindow)
+	}
 	return nil
 }
 
 // Bootstrapper installs an initial feasible assignment for one session and
 // accounts it in the ledger (adapters wrap baseline.AssignSessionNearest and
-// agrank.BootstrapSession).
-type Bootstrapper func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error
+// agrank.BootstrapSession). It takes the ledger API rather than the dense
+// implementation so the same bootstrap policies admit sessions against the
+// orchestrator's lock-striped sharded ledger (internal/shard).
+type Bootstrapper func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error
 
 // Sample is one observation of the system state at a virtual time.
 type Sample struct {

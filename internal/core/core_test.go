@@ -91,7 +91,7 @@ func newEval(t testing.TB, sc *model.Scenario) *cost.Evaluator {
 }
 
 func nrstBoot(p cost.Params) Bootstrapper {
-	return func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error {
+	return func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
 		return baseline.AssignSessionNearest(a, s, p, ledger)
 	}
 }
@@ -772,7 +772,7 @@ func TestPriceHeterogeneitySteersTranscoding(t *testing.T) {
 	}
 	// Bootstrap by hand: users at their near agents, transcoding at the
 	// expensive tertiary agent.
-	boot := func(a *assign.Assignment, sid model.SessionID, ledger *cost.Ledger) error {
+	boot := func(a *assign.Assignment, sid model.SessionID, ledger cost.LedgerAPI) error {
 		a.SetUserAgent(u0, 0)
 		a.SetUserAgent(u1, 1)
 		if err := a.SetFlowAgent(model.Flow{Src: u0, Dst: u1}, 2); err != nil {

@@ -38,6 +38,11 @@ type HopScratch struct {
 	phis      []float64         // noiseless Φ per feasible candidate
 	readings  []float64         // possibly noisy Φ readings
 	weights   []float64
+	// nbrIdx caches the proximity index backing Config.NeighborWindow > 0,
+	// keyed by the scenario it was built for and the window size.
+	nbrIdx    *assign.ProximityIndex
+	nbrIdxSc  *model.Scenario
+	nbrWindow int
 }
 
 // NewHopScratch builds a scratch sized for the evaluator's scenario.
@@ -69,6 +74,24 @@ func acquireHopScratch(ev *cost.Evaluator) *HopScratch {
 }
 
 func releaseHopScratch(scr *HopScratch) { hopScratchPool.Put(scr) }
+
+// appendNeighbors enumerates session s's candidate decisions, applying the
+// configured N_ngbr candidate window (0 = full scan). The proximity index
+// behind a positive window is built once per (scenario, window) and cached
+// on the scratch, so steady-state hops stay allocation-free.
+func (scr *HopScratch) appendNeighbors(a *assign.Assignment, s model.SessionID, cfg Config) []assign.Decision {
+	if cfg.NeighborWindow <= 0 {
+		return a.AppendSessionNeighborDecisions(scr.decisions[:0], s)
+	}
+	sc := a.Scenario()
+	if scr.nbrIdx == nil || scr.nbrIdxSc != sc || scr.nbrWindow != cfg.NeighborWindow {
+		scr.nbrIdx = assign.NewProximityIndex(sc, cfg.NeighborWindow)
+		scr.nbrIdxSc = sc
+		scr.nbrWindow = cfg.NeighborWindow
+	}
+	return a.AppendSessionNeighborDecisionsOpts(scr.decisions[:0], s,
+		assign.NeighborOptions{Window: cfg.NeighborWindow, Index: scr.nbrIdx})
+}
 
 // HopSession executes one HOP of Alg. 1 (lines 9–16) for session s:
 // enumerate all feasible single-variable neighbors, evaluate their local
@@ -131,11 +154,12 @@ func HopSessionWith(
 		phiCurReading = cfg.Noise(phiCur)
 	}
 
-	// Line 12: F_s — all feasible solutions one decision away. Each
+	// Line 12: F_s — all feasible solutions one decision away (windowed to
+	// the k nearest agents per variable when cfg.NeighborWindow > 0). Each
 	// candidate costs O(session) work: a sparse load rebuild, a
 	// touched-agents capacity check, and a delay re-evaluation of only the
 	// flows the decision moved.
-	scr.decisions = a.AppendSessionNeighborDecisions(scr.decisions[:0], s)
+	scr.decisions = scr.appendNeighbors(a, s, cfg)
 	scr.ds = scr.ds[:0]
 	scr.phis = scr.phis[:0]
 	scr.readings = scr.readings[:0]
@@ -351,7 +375,7 @@ func SessionTotalRateWith(
 
 	halfBeta := 0.5 * cfg.Beta * cfg.ObjectiveScale
 	total := 0.0
-	scr.decisions = a.AppendSessionNeighborDecisions(scr.decisions[:0], s)
+	scr.decisions = scr.appendNeighbors(a, s, cfg)
 	for _, d := range scr.decisions {
 		inv, err := a.Apply(d)
 		if err != nil {

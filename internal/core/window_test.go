@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vconf/internal/cost"
+	"vconf/internal/model"
+)
+
+// TestHopSessionNeighborWindowFullMatchesOff: a window covering the whole
+// fleet must reproduce the unwindowed hop sequence bit for bit — same
+// decisions, same objectives, same ledger state — over a long replay.
+func TestHopSessionNeighborWindowFullMatchesOff(t *testing.T) {
+	ev, aOff, ledgerOff := allocFixture(t, 6)
+	_, aWin, ledgerWin := allocFixture(t, 6)
+	sessions := ev.Scenario().NumSessions()
+
+	cfgOff := DefaultConfig(6)
+	cfgWin := DefaultConfig(6)
+	cfgWin.NeighborWindow = ev.Scenario().NumAgents()
+
+	rngOff := rand.New(rand.NewSource(99))
+	rngWin := rand.New(rand.NewSource(99))
+	scrOff := NewHopScratch(ev)
+	scrWin := NewHopScratch(ev)
+	for i := 0; i < 300; i++ {
+		s := model.SessionID(i % sessions)
+		resOff, err := HopSessionWith(aOff, s, ev, ledgerOff, cfgOff, rngOff, scrOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resWin, err := HopSessionWith(aWin, s, ev, ledgerWin, cfgWin, rngWin, scrWin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resOff.Moved != resWin.Moved || resOff.Decision != resWin.Decision ||
+			math.Float64bits(resOff.PhiAfter) != math.Float64bits(resWin.PhiAfter) ||
+			resOff.Feasible != resWin.Feasible {
+			t.Fatalf("hop %d diverged: off %+v, windowed %+v", i, resOff, resWin)
+		}
+	}
+	// The fixtures are distinct scenario instances; compare encodings.
+	if aOff.Encode() != aWin.Encode() {
+		t.Fatal("assignments diverged under a full-fleet window")
+	}
+}
+
+// TestHopSessionNeighborWindowPruned: with a small window the chain still
+// runs, stays capacity- and delay-feasible, and evaluates strictly fewer
+// candidates per hop than the full scan.
+func TestHopSessionNeighborWindowPruned(t *testing.T) {
+	ev, a, ledger := allocFixture(t, 7)
+	sessions := ev.Scenario().NumSessions()
+	cfg := DefaultConfig(7)
+	cfg.NeighborWindow = 2
+	rng := rand.New(rand.NewSource(7))
+	scr := NewHopScratch(ev)
+
+	fullPerHop := 0
+	{
+		cfgFull := DefaultConfig(7)
+		res, err := HopSessionWith(a.Clone(), 0, ev, ledger.Clone(), cfgFull, rand.New(rand.NewSource(7)), NewHopScratch(ev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullPerHop = res.Feasible
+	}
+
+	moved := false
+	for i := 0; i < 200; i++ {
+		s := model.SessionID(i % sessions)
+		res, err := HopSessionWith(a, s, ev, ledger, cfg, rng, scr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved = moved || res.Moved
+		if s == 0 && res.Feasible >= fullPerHop {
+			t.Fatalf("window 2 evaluated %d feasible candidates, full scan %d", res.Feasible, fullPerHop)
+		}
+		if res.Moved && !cost.DelayFeasible(a, s) {
+			t.Fatalf("windowed hop %d violated the delay cap", i)
+		}
+	}
+	if !moved {
+		t.Fatal("windowed chain never moved")
+	}
+	if !ledger.Fits(nil) {
+		t.Fatal("windowed chain left the ledger overfull")
+	}
+}

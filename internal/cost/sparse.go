@@ -175,6 +175,26 @@ func (sl *SparseLoad) Dense() *SessionLoad {
 	return out
 }
 
+// NewSparseLoadFromDense converts a dense SessionLoad into a freshly
+// allocated sparse one (touched = slots with any nonzero component, in
+// ascending agent order) — the inverse bridge of Dense, for callers and
+// tests that assemble loads outside the evaluation pipeline.
+func NewSparseLoadFromDense(d *SessionLoad) *SparseLoad {
+	sl := NewSparseLoad(len(d.Down))
+	for l := range d.Down {
+		if d.Down[l] == 0 && d.Up[l] == 0 && d.Inter[l] == 0 && d.Tasks[l] == 0 {
+			continue
+		}
+		sl.touch(model.AgentID(l))
+		sl.down[l] = d.Down[l]
+		sl.up[l] = d.Up[l]
+		sl.inter[l] = d.Inter[l]
+		sl.tasks[l] = d.Tasks[l]
+	}
+	sl.sorted = true
+	return sl
+}
+
 // MarkAgents sets set[l] = true for every agent carrying load (the predicate
 // the orchestrator's touched-session computation uses).
 func (sl *SparseLoad) MarkAgents(set []bool) {

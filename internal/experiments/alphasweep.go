@@ -193,7 +193,7 @@ func optimizeFrom(sc *model.Scenario, start *assign.Assignment, p cost.Params, d
 // used to start Alg. 1 runs from an existing bootstrap without recomputing
 // it for every α case.
 func SnapshotBootstrapper(src *assign.Assignment, p cost.Params) core.Bootstrapper {
-	return func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error {
+	return func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
 		sc := a.Scenario()
 		for _, u := range sc.Session(s).Users {
 			a.SetUserAgent(u, src.UserAgent(u))

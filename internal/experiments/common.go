@@ -36,12 +36,12 @@ func AgRank(nngbr int) InitPolicy {
 // Bootstrapper adapts the policy to the core engine's bootstrap hook.
 func (ip InitPolicy) Bootstrapper(p cost.Params) core.Bootstrapper {
 	if ip.NNgbr == 0 {
-		return func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error {
+		return func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
 			return baseline.AssignSessionNearest(a, s, p, ledger)
 		}
 	}
 	opts := agrank.DefaultOptions(ip.NNgbr)
-	return func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error {
+	return func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
 		_, err := agrank.BootstrapSession(a, s, p, ledger, opts)
 		return err
 	}

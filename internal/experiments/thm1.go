@@ -121,7 +121,7 @@ func empiricalMeanPhi(ev *cost.Evaluator, enum *exact.Enumeration, beta float64,
 		return 0, err
 	}
 	p := ev.Params()
-	boot := func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error {
+	boot := func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
 		return baseline.AssignSessionNearest(a, s, p, ledger)
 	}
 	if err := eng.ActivateSession(0, boot); err != nil {

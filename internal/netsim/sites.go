@@ -46,6 +46,14 @@ func PrototypeSites() []Site {
 	return all[:6] // OR, VA, SP, IR, SG, TO
 }
 
+// AnchorSites returns the full anchor-city pool (copy) — the metropolitan
+// areas user nodes cluster around. Workload generators that need regional
+// structure beyond the 7 EC2 sites (workload.GenerateSyntheticFleet's
+// regional mode) draw their region anchors from this list.
+func AnchorSites() []Site {
+	return append([]Site(nil), anchorCities...)
+}
+
 // anchorCities is the pool of metropolitan areas user nodes cluster around.
 // The mix mirrors the historical PlanetLab footprint: mostly North America
 // and Europe, a solid Asian contingent, a few nodes elsewhere.

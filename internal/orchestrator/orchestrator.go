@@ -17,10 +17,20 @@
 //     that snapshot the state, run a bounded Markov-approximation
 //     refinement (core.HopSession) warm-started from the live assignment,
 //     and keep the best state seen along the walk.
-//  3. Each worker's proposal is merged back under the commit lock with
-//     optimistic validation: capacity (FitsRepair), delay cap, and strict
-//     objective improvement are re-checked against the *current* state, so
-//     concurrent proposals can never corrupt feasibility.
+//  3. Each worker's proposal is merged back through the lock-striped
+//     capacity ledger (internal/shard): the proposal's touched agents are
+//     routed to their ID-range shards, those shards are locked in
+//     canonical order, capacity is re-validated per shard against *live*
+//     usage (FitsRepairDelta), and the swap is applied atomically. Commits
+//     whose routes are disjoint hold disjoint lock sets and proceed fully
+//     in parallel; a commit that loses a cross-shard race (a routed
+//     shard's epoch moved since the worker's snapshot) retries against a
+//     fresh snapshot a bounded number of times. Delay and
+//     objective-improvement guards don't need locking at all: Φ_s depends
+//     only on session s's own variables, and a session is owned by at most
+//     one task per event. Config.LedgerShards < 0 selects the legacy
+//     single-lock commit path instead (bit-identical at P = 1), kept for
+//     differential tests and before/after benchmarks.
 //  4. Accepted proposals become data-plane migrations: when a
 //     confsim.Runtime is attached, every committed decision runs the
 //     dual-feed protocol (§V-A), so re-optimization never interrupts
@@ -46,6 +56,7 @@ import (
 	"vconf/internal/core"
 	"vconf/internal/cost"
 	"vconf/internal/model"
+	"vconf/internal/shard"
 	"vconf/internal/workload"
 )
 
@@ -54,6 +65,21 @@ type Config struct {
 	// Shards is the solver pool size (worker goroutines). Defaults to
 	// GOMAXPROCS.
 	Shards int
+	// LedgerShards selects the capacity-ledger backend and its stripe
+	// count. 0 (default) runs the lock-striped shard pipeline
+	// (internal/shard) with one ID-range shard per worker; a positive value
+	// fixes the shard count explicitly (clamped to the agent count); -1
+	// selects the legacy single-lock commit path (snapshot and commit both
+	// serialize on one mutex), kept for differential testing and
+	// before/after benchmarks. The P=1 sharded pipeline is bit-identical to
+	// the single-lock path.
+	LedgerShards int
+	// CommitRetries bounds how many times a worker re-snapshots and
+	// re-walks after losing a cross-shard commit race (shard.Conflict).
+	// 0 defaults to 2; -1 disables retries entirely (every conflict
+	// becomes a reject — useful for bounding worst-case task latency and
+	// for measuring raw conflict rates). Sharded backend only.
+	CommitRetries int
 	// HopBudget bounds the Markov refinement walk per re-optimization task.
 	// Defaults to 24 hops.
 	HopBudget int
@@ -88,9 +114,19 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ImprovementEps == 0 {
 		c.ImprovementEps = 1e-9
 	}
+	switch {
+	case c.CommitRetries == 0:
+		c.CommitRetries = 2
+	case c.CommitRetries == -1:
+		c.CommitRetries = 0
+	}
 	if c.Shards < 1 || c.HopBudget < 1 || c.MaxReoptSessions < 1 || c.ImprovementEps < 0 {
 		return c, fmt.Errorf("orchestrator: invalid config: shards=%d hops=%d reopt=%d eps=%v",
 			c.Shards, c.HopBudget, c.MaxReoptSessions, c.ImprovementEps)
+	}
+	if c.LedgerShards < -1 || c.CommitRetries < 0 {
+		return c, fmt.Errorf("orchestrator: invalid config: ledger shards=%d commit retries=%d",
+			c.LedgerShards, c.CommitRetries)
 	}
 	if err := c.Core.Validate(); err != nil {
 		return c, err
@@ -117,6 +153,11 @@ type Stats struct {
 	Commits  int
 	Rejects  int
 	NoChange int
+	// Conflicts counts sharded commit attempts that lost a cross-shard race
+	// (a routed shard's epoch moved and validation failed); each one either
+	// retried against a fresh snapshot or, past the retry budget, became a
+	// Reject.
+	Conflicts int
 	// Migrations counts data-plane decisions executed (≥ Commits: one commit
 	// can migrate several variables).
 	Migrations int
@@ -154,9 +195,24 @@ type Orchestrator struct {
 	cfg  Config
 	boot core.Bootstrapper
 
-	mu     sync.Mutex // the commit lock
-	a      *assign.Assignment
-	ledger *cost.Ledger
+	// mu is the state lock: it guards the cache, stats, runtime mirror,
+	// clock and error slot, plus — in single-lock mode only — every
+	// assignment and ledger access. In sharded mode capacity lives behind
+	// the shard ledger's own stripe locks, and assignment accesses from
+	// workers are serialized by session ownership (see dispatch), so mu is
+	// held only for brief metadata updates.
+	mu sync.Mutex
+	a  *assign.Assignment
+	// ledger is the authoritative capacity ledger; exactly one of the two
+	// concrete backends below is non-nil behind it.
+	ledger cost.LedgerAPI
+	dense  *cost.Ledger  // single-lock backend (Config.LedgerShards < 0)
+	shl    *shard.Ledger // lock-striped backend (default)
+	// nbrIdx is the proximity index behind Core.NeighborWindow > 0,
+	// shared read-only by workers: it defines each session's candidate
+	// agent set, which lets sharded workers snapshot only the shards their
+	// walk can read (O(session·window) instead of O(fleet) per task).
+	nbrIdx *assign.ProximityIndex
 	cache  *cost.ObjectiveCache
 	// scr is the commit-path evaluation scratch, guarded by the commit lock
 	// (workers hold their own; see pool.go).
@@ -185,15 +241,28 @@ func New(ev *cost.Evaluator, boot core.Bootstrapper, cfg Config) (*Orchestrator,
 	}
 	sc := ev.Scenario()
 	o := &Orchestrator{
-		ev:     ev,
-		sc:     sc,
-		cfg:    cfg,
-		boot:   boot,
-		a:      assign.New(sc),
-		ledger: cost.NewLedger(sc),
-		cache:  cost.NewObjectiveCache(ev),
-		scr:    ev.NewScratch(),
-		tasks:  make(chan reoptTask),
+		ev:    ev,
+		sc:    sc,
+		cfg:   cfg,
+		boot:  boot,
+		a:     assign.New(sc),
+		cache: cost.NewObjectiveCache(ev),
+		scr:   ev.NewScratch(),
+		tasks: make(chan reoptTask),
+	}
+	if cfg.LedgerShards < 0 {
+		o.dense = cost.NewLedger(sc)
+		o.ledger = o.dense
+	} else {
+		p := cfg.LedgerShards
+		if p == 0 {
+			p = cfg.Shards
+		}
+		o.shl = shard.New(sc, p)
+		o.ledger = o.shl
+	}
+	if w := cfg.Core.NeighborWindow; w > 0 && w < sc.NumAgents() {
+		o.nbrIdx = assign.NewProximityIndex(sc, w)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		go o.worker()
@@ -464,8 +533,10 @@ func (o *Orchestrator) Recomputes() int {
 }
 
 // CheckInvariants verifies the live state: every active session complete
-// and delay-feasible, and the ledger within every capacity. Used by tests
-// after every event.
+// and delay-feasible, the ledger within every capacity, and the ledger
+// usage reconciling against the active sessions' loads recomputed from the
+// assignment — which catches lost, duplicated or half-committed sessions
+// after concurrent commit storms. Used by tests after every event.
 func (o *Orchestrator) CheckInvariants() error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -478,6 +549,31 @@ func (o *Orchestrator) CheckInvariants() error {
 		}
 		if !cost.DelayFeasible(o.a, s) {
 			return fmt.Errorf("orchestrator: active session %d violates the delay cap", s)
+		}
+	}
+	// Reconciliation: ledger usage must equal Σ active-session loads.
+	// Task counts are integers and must match exactly; bandwidth sums were
+	// accumulated in commit order, so they get float-accumulation slack.
+	want := cost.NewLedger(o.sc)
+	p := o.ev.Params()
+	for _, s := range o.cache.ActiveSessions() {
+		want.Add(p.SessionLoadOf(o.a, s))
+	}
+	gotDown, gotUp, gotTasks := o.ledger.Usage()
+	wantDown, wantUp, wantTasks := want.Usage()
+	const eps = 1e-6
+	for l := 0; l < o.sc.NumAgents(); l++ {
+		if gotTasks[l] != wantTasks[l] {
+			return fmt.Errorf("orchestrator: agent %d ledger tasks %d, assignment implies %d",
+				l, gotTasks[l], wantTasks[l])
+		}
+		if diff := gotDown[l] - wantDown[l]; diff > eps || diff < -eps {
+			return fmt.Errorf("orchestrator: agent %d ledger download %.9f, assignment implies %.9f",
+				l, gotDown[l], wantDown[l])
+		}
+		if diff := gotUp[l] - wantUp[l]; diff > eps || diff < -eps {
+			return fmt.Errorf("orchestrator: agent %d ledger upload %.9f, assignment implies %.9f",
+				l, gotUp[l], wantUp[l])
 		}
 	}
 	return nil

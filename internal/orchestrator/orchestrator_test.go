@@ -25,7 +25,7 @@ func testStack(t testing.TB, wl workload.Config) (*cost.Evaluator, core.Bootstra
 		t.Fatal(err)
 	}
 	opts := agrank.DefaultOptions(2)
-	boot := func(a *assign.Assignment, s model.SessionID, ledger *cost.Ledger) error {
+	boot := func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
 		_, err := agrank.BootstrapSession(a, s, p, ledger, opts)
 		return err
 	}

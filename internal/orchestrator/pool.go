@@ -7,7 +7,9 @@ import (
 
 	"vconf/internal/assign"
 	"vconf/internal/core"
+	"vconf/internal/cost"
 	"vconf/internal/model"
+	"vconf/internal/shard"
 )
 
 // reoptTask is one unit of shard-pool work: re-optimize one session's
@@ -29,9 +31,14 @@ func taskSeed(seed int64, s model.SessionID, eventIdx int) int64 {
 	return int64(z >> 1)
 }
 
-// dispatch hands the session set to the shard pool and blocks until every
+// dispatch hands the session set to the worker pool and blocks until every
 // task has been refined and merged (the per-event barrier), returning the
 // wall-clock latency — the orchestrator's headline responsiveness metric.
+//
+// The barrier is also what makes the lock-free parts of the sharded commit
+// pipeline sound: within one dispatch the event loop is parked and every
+// session appears in at most one task, so a task is the only goroutine
+// reading or writing its session's variables in the live assignment.
 func (o *Orchestrator) dispatch(sessions []model.SessionID) time.Duration {
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -46,16 +53,252 @@ func (o *Orchestrator) dispatch(sessions []model.SessionID) time.Duration {
 	return time.Since(start)
 }
 
-// worker is one shard: it refines tasks until the pool closes. Each worker
-// owns one hop scratch, so refinement walks run allocation-free on the
-// sparse pipeline without sharing buffers across shards.
+// workerState is one worker's private buffers: the hop scratch, a dense
+// snapshot ledger with its epoch stamps and commit route (sharded mode),
+// a private assignment the refinement walk mutates, and the proposal
+// buffers. Everything is reused across tasks, so steady-state refinement
+// allocates nothing beyond the per-task RNG.
+type workerState struct {
+	scr *core.HopScratch
+	// Sharded-pipeline state (nil/unused in single-lock mode).
+	snap      *cost.Ledger
+	epochs    shard.Epochs
+	route     shard.Route
+	snapRoute shard.Route
+	agents    []model.AgentID
+	aw        *assign.Assignment
+	cur       *cost.SparseLoad
+	userTo    []model.AgentID
+	flowTo    []model.AgentID
+	ds        []assign.Decision
+}
+
+// worker is one solver shard: it refines tasks until the pool closes.
 func (o *Orchestrator) worker() {
-	scr := core.NewHopScratch(o.ev)
+	w := &workerState{scr: core.NewHopScratch(o.ev)}
+	if o.shl != nil {
+		w.snap = cost.NewLedger(o.sc)
+		w.epochs = make(shard.Epochs, 0, o.shl.NumShards())
+		w.aw = assign.New(o.sc)
+		w.cur = cost.NewSparseLoad(o.sc.NumAgents())
+	}
 	for t := range o.tasks {
-		o.refine(t, scr)
+		if o.shl != nil {
+			o.refineSharded(t, w)
+		} else {
+			o.refineSingleLock(t, w.scr)
+		}
 		t.wg.Done()
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Sharded commit pipeline
+
+// refineSharded runs one re-optimization task against the lock-striped
+// ledger: snapshot the capacity state shard by shard (epoch-stamped), walk
+// the Markov refinement on worker-private state, and commit the best-seen
+// proposal through shard.Ledger.CommitDelta — locking only the shards the
+// proposal touches, so commits with disjoint routes proceed fully in
+// parallel. A bounded retry loop re-snapshots and re-walks when a commit
+// loses a cross-shard race (shard.Conflict).
+//
+// No lock guards the live assignment accesses here: the dispatch barrier
+// guarantees this task is the sole owner of its session's variables (see
+// dispatch), and o.mu is taken only for the brief stats/cache/runtime
+// update after a successful capacity commit.
+func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
+	if !o.cache.Active(t.session) {
+		return
+	}
+	rng := rand.New(rand.NewSource(t.seed))
+	users := o.sc.Session(t.session).Users
+	flows := o.a.SessionFlowsShared(t.session)
+	w.userTo = growAgents(w.userTo, len(users))
+	w.flowTo = growAgents(w.flowTo, len(flows))
+
+	for attempt := 0; ; attempt++ {
+		// Epoch-stamped capacity snapshot plus a private copy of the
+		// session's decision variables: everything the walk reads. With a
+		// candidate window configured, the walk can only read the session's
+		// current agents plus the members' window agents, so only the
+		// shards covering that set are copied — O(session·window) instead
+		// of O(fleet) per task.
+		if o.nbrIdx != nil {
+			w.agents = w.agents[:0]
+			for _, u := range users {
+				if l := o.a.UserAgent(u); l >= 0 {
+					w.agents = append(w.agents, l)
+				}
+				w.agents = append(w.agents, o.nbrIdx.UserWindow(u)...)
+			}
+			for _, f := range flows {
+				if l, _ := o.a.FlowAgent(f); l >= 0 {
+					w.agents = append(w.agents, l)
+				}
+			}
+			o.shl.ResetRoute(&w.snapRoute)
+			o.shl.RouteAgents(&w.snapRoute, w.agents)
+			w.epochs = o.shl.SnapshotRoute(w.snap, w.epochs, &w.snapRoute)
+		} else {
+			w.epochs = o.shl.SnapshotInto(w.snap, w.epochs[:0])
+		}
+		for _, u := range users {
+			w.aw.SetUserAgent(u, o.a.UserAgent(u))
+		}
+		for _, f := range flows {
+			l, _ := o.a.FlowAgent(f)
+			if err := w.aw.SetFlowAgent(f, l); err != nil {
+				o.reportErr(err)
+				return
+			}
+		}
+
+		es := w.scr.Eval()
+		startPhi := o.ev.BeginSession(w.aw, t.session, es).Phi
+		w.cur.CopyFrom(es.CurLoad())
+
+		// Bounded refinement from the warm start, remembering the best
+		// session-local objective seen: the chain may pass through worse
+		// states (that is what lets it escape local minima).
+		bestPhi := startPhi
+		improved := false
+		for i, u := range users {
+			w.userTo[i] = w.aw.UserAgent(u)
+		}
+		for i, f := range flows {
+			w.flowTo[i], _ = w.aw.FlowAgent(f)
+		}
+		for i := 0; i < o.cfg.HopBudget; i++ {
+			res, err := core.HopSessionWith(w.aw, t.session, o.ev, w.snap, o.cfg.Core, rng, w.scr)
+			if err != nil {
+				o.reportErr(err)
+				return
+			}
+			if !res.Moved {
+				break // no feasible neighbor: the walk is stuck
+			}
+			if res.PhiAfter < bestPhi-o.cfg.ImprovementEps {
+				bestPhi = res.PhiAfter
+				for i, u := range users {
+					w.userTo[i] = w.aw.UserAgent(u)
+				}
+				for i, f := range flows {
+					w.flowTo[i], _ = w.aw.FlowAgent(f)
+				}
+				improved = true
+			}
+		}
+		if !improved {
+			o.bump(&o.stats.NoChange)
+			return
+		}
+
+		// Rewind the private assignment to the best-seen state and derive
+		// the net decisions against the live state.
+		for i, u := range users {
+			w.aw.SetUserAgent(u, w.userTo[i])
+		}
+		for i, f := range flows {
+			if err := w.aw.SetFlowAgent(f, w.flowTo[i]); err != nil {
+				o.reportErr(err)
+				return
+			}
+		}
+		w.ds = w.ds[:0]
+		for i, u := range users {
+			if o.a.UserAgent(u) != w.userTo[i] {
+				w.ds = append(w.ds, assign.Decision{Kind: assign.UserMove, User: u, To: w.userTo[i]})
+			}
+		}
+		for i, f := range flows {
+			if cur, _ := o.a.FlowAgent(f); cur != w.flowTo[i] {
+				w.ds = append(w.ds, assign.Decision{Kind: assign.FlowMove, Flow: f, To: w.flowTo[i]})
+			}
+		}
+		if len(w.ds) == 0 {
+			o.bump(&o.stats.NoChange)
+			return
+		}
+
+		// Re-evaluate the proposed state through the sparse pipeline and
+		// re-check improvement and the delay cap — the same guards the
+		// single-lock commit path applies.
+		newEval := o.ev.BeginSession(w.aw, t.session, es)
+		newLoad := es.CurLoad()
+		if newEval.Phi >= startPhi-o.cfg.ImprovementEps {
+			o.bump(&o.stats.NoChange)
+			return
+		}
+		if !newEval.DelayFeasible(o.sc.DMaxMS) {
+			o.bump(&o.stats.Rejects)
+			return
+		}
+
+		// Capacity is the only state other sessions contend on: route,
+		// lock, re-validate and apply atomically in the shard pipeline.
+		switch o.shl.CommitDelta(newLoad, w.cur, w.epochs, &w.route) {
+		case shard.Committed:
+			for _, d := range w.ds {
+				if _, err := o.a.Apply(d); err != nil {
+					o.reportErr(err)
+					return
+				}
+			}
+			o.mu.Lock()
+			o.cache.Invalidate(t.session)
+			o.stats.Commits++
+			if o.rt != nil {
+				for _, d := range w.ds {
+					if err := o.rt.Migrate(o.now, d); err != nil {
+						o.refErr = err
+						o.mu.Unlock()
+						return
+					}
+				}
+				o.stats.Migrations += len(w.ds)
+			}
+			o.mu.Unlock()
+			return
+		case shard.Conflict:
+			// A sibling commit changed a routed shard after our snapshot:
+			// the walk ran on stale residual capacities. Retry bounded.
+			o.bump(&o.stats.Conflicts)
+			if attempt < o.cfg.CommitRetries {
+				continue
+			}
+			o.bump(&o.stats.Rejects)
+			return
+		default: // shard.Infeasible
+			o.bump(&o.stats.Rejects)
+			return
+		}
+	}
+}
+
+// bump increments one stats counter under the state lock.
+func (o *Orchestrator) bump(counter *int) {
+	o.mu.Lock()
+	*counter++
+	o.mu.Unlock()
+}
+
+// growAgents resizes a reused agent-ID buffer to n entries.
+func growAgents(buf []model.AgentID, n int) []model.AgentID {
+	if cap(buf) < n {
+		return make([]model.AgentID, n)
+	}
+	return buf[:n]
+}
+
+// ---------------------------------------------------------------------------
+// Single-lock reference pipeline (Config.LedgerShards < 0)
+//
+// The pre-sharding commit path, kept verbatim: snapshot and commit both
+// serialize on o.mu, proposals validate against the dense ledger while
+// holding it. The P=1 sharded pipeline is bit-identical to this path (the
+// differential tests replay identical schedules through both); it remains
+// the before/after baseline for the shard-count benchmarks.
 
 // proposal is the outcome of one refinement walk: the session's best-seen
 // variable values and their (exact, session-local) objective.
@@ -69,18 +312,19 @@ type proposal struct {
 	phi    float64
 }
 
-// refine snapshots the live state, runs a bounded warm-started Markov walk
-// for the task's session on the snapshot, and merges the best state found.
-func (o *Orchestrator) refine(t reoptTask, scr *core.HopScratch) {
+// refineSingleLock snapshots the live state under the commit lock, runs a
+// bounded warm-started Markov walk on the snapshot, and merges the best
+// state found.
+func (o *Orchestrator) refineSingleLock(t reoptTask, scr *core.HopScratch) {
 	// Snapshot under the commit lock: clone the assignment and ledger so
-	// the walk runs without blocking other shards or the event loop.
+	// the walk runs without blocking other workers or the event loop.
 	o.mu.Lock()
 	if !o.cache.Active(t.session) {
 		o.mu.Unlock()
 		return
 	}
 	a := o.a.Clone()
-	ledger := o.ledger.Clone()
+	ledger := o.dense.Clone()
 	startPhi := o.cache.SessionObjective(o.a, t.session)
 	o.mu.Unlock()
 
@@ -105,9 +349,7 @@ func (o *Orchestrator) refine(t reoptTask, scr *core.HopScratch) {
 	capture()
 
 	// Bounded refinement: walk the chain from the warm start, remembering
-	// the best session-local objective seen. The chain may pass through
-	// worse states (that is what lets it escape local minima); the best-seen
-	// state is what gets proposed.
+	// the best session-local objective seen.
 	rng := rand.New(rand.NewSource(t.seed))
 	improved := false
 	for i := 0; i < o.cfg.HopBudget; i++ {
@@ -131,15 +373,15 @@ func (o *Orchestrator) refine(t reoptTask, scr *core.HopScratch) {
 		o.mu.Unlock()
 		return
 	}
-	o.commit(prop)
+	o.commitSingleLock(prop)
 }
 
-// commit merges a proposal under the commit lock with optimistic
+// commitSingleLock merges a proposal under the commit lock with optimistic
 // validation: the session must still be active, the net decisions must
 // still fit capacity and the delay cap against the *current* ledger, and
 // the objective must still strictly improve. Accepted decisions are
 // mirrored to the data plane as dual-feed migrations.
-func (o *Orchestrator) commit(p proposal) {
+func (o *Orchestrator) commitSingleLock(p proposal) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if !o.cache.Active(p.session) {
@@ -170,13 +412,13 @@ func (o *Orchestrator) commit(p proposal) {
 	}
 
 	curLoad := o.cache.SessionLoad(o.a, p.session)
-	o.ledger.RemoveSparse(curLoad)
+	o.dense.RemoveSparse(curLoad)
 	invs := make([]assign.Decision, 0, len(ds))
 	rollback := func() {
 		for i := len(invs) - 1; i >= 0; i-- {
 			o.a.Apply(invs[i])
 		}
-		o.ledger.AddSparse(curLoad)
+		o.dense.AddSparse(curLoad)
 		o.stats.Rejects++
 	}
 	for _, d := range ds {
@@ -192,13 +434,13 @@ func (o *Orchestrator) commit(p proposal) {
 	// load, delta capacity check, and Φ with delay feasibility in one pass.
 	newEval := o.ev.BeginSession(o.a, p.session, o.scr)
 	newLoad := o.scr.CurLoad()
-	if !o.ledger.FitsRepairDelta(newLoad, curLoad) ||
+	if !o.dense.FitsRepairDelta(newLoad, curLoad) ||
 		!newEval.DelayFeasible(o.sc.DMaxMS) ||
 		newEval.Phi >= curPhi-o.cfg.ImprovementEps {
 		rollback()
 		return
 	}
-	o.ledger.AddSparse(newLoad)
+	o.dense.AddSparse(newLoad)
 	o.cache.Invalidate(p.session)
 	o.stats.Commits++
 	if o.rt != nil {

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+
+	"vconf/internal/model"
+)
+
+// TestRegionalFleetStructure: the Regions > 0 generator must produce
+// deterministic scenarios with genuine geographic structure — intra-region
+// agent pairs much closer than cross-region ones, users nearest to their
+// home region's agents, skewed per-region capacities, and finite caps.
+func TestRegionalFleetStructure(t *testing.T) {
+	cfg := DefaultFleetConfig(5)
+	cfg.NumAgents = 24
+	cfg.NumUsers = 60
+	cfg.Regions = 4
+	sc, err := GenerateSyntheticFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumAgents() != 24 {
+		t.Fatalf("agents = %d", sc.NumAgents())
+	}
+
+	// Determinism: identical config ⇒ identical matrices and capacities.
+	sc2, err := GenerateSyntheticFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sc.NumAgents(); i++ {
+		a1, a2 := sc.Agent(model.AgentID(i)), sc2.Agent(model.AgentID(i))
+		if a1.Upload != a2.Upload || a1.TranscodeSlots != a2.TranscodeSlots {
+			t.Fatalf("agent %d capacities diverged across identical seeds", i)
+		}
+		for j := 0; j < sc.NumAgents(); j++ {
+			if sc.D(model.AgentID(i), model.AgentID(j)) != sc2.D(model.AgentID(i), model.AgentID(j)) {
+				t.Fatalf("D[%d][%d] diverged across identical seeds", i, j)
+			}
+		}
+	}
+
+	// Agents are assigned to regions round-robin: i and i+Regions share a
+	// region, i and i+1 do not. Same-region pairs must be far closer.
+	r := cfg.Regions
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < sc.NumAgents(); i++ {
+		for j := i + 1; j < sc.NumAgents(); j++ {
+			d := sc.D(model.AgentID(i), model.AgentID(j))
+			if i%r == j%r {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra*2 >= inter {
+		t.Fatalf("no regional delay structure: mean intra %.1f ms vs inter %.1f ms", intra, inter)
+	}
+
+	// Capacities are finite and skewed across regions.
+	minUp, maxUp := 1e18, 0.0
+	for i := 0; i < sc.NumAgents(); i++ {
+		up := sc.Agent(model.AgentID(i)).Upload
+		if up >= UnlimitedMbps {
+			t.Fatalf("agent %d unlimited in regional mode", i)
+		}
+		if up < minUp {
+			minUp = up
+		}
+		if up > maxUp {
+			maxUp = up
+		}
+	}
+	if maxUp == minUp {
+		t.Fatal("regional capacity skew produced uniform capacities")
+	}
+
+	// Every user's nearest agent should usually sit in a small H-delay
+	// neighborhood (the home metro): require a majority of users within
+	// 30 ms of their nearest agent.
+	near := 0
+	for u := 0; u < sc.NumUsers(); u++ {
+		l := sc.NearestAgent(model.UserID(u))
+		if sc.H(l, model.UserID(u)) < 30 {
+			near++
+		}
+	}
+	if near*2 < sc.NumUsers() {
+		t.Fatalf("only %d/%d users have a nearby agent", near, sc.NumUsers())
+	}
+}
+
+// TestRegionalFleetLegacyPathUnchanged: Regions == 0 must keep the legacy
+// uniform generator (unlimited capacities, bounded uniform delays).
+func TestRegionalFleetLegacyPathUnchanged(t *testing.T) {
+	sc, err := GenerateSyntheticFleet(DefaultFleetConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sc.NumAgents(); i++ {
+		ag := sc.Agent(model.AgentID(i))
+		if ag.Upload != UnlimitedMbps || ag.TranscodeSlots != UnlimitedSlots {
+			t.Fatalf("legacy fleet agent %d gained finite capacities", i)
+		}
+	}
+	for i := 0; i < sc.NumAgents(); i++ {
+		for j := i + 1; j < sc.NumAgents(); j++ {
+			d := sc.D(model.AgentID(i), model.AgentID(j))
+			if d < 10 || d > 80 {
+				t.Fatalf("legacy delay D[%d][%d] = %v outside [10, 80]", i, j, d)
+			}
+		}
+	}
+}
+
+// TestRegionalFleetZeroSentinels: negative skew / cross-region values mean
+// an explicit zero (uniform capacities, purely intra-region sessions).
+func TestRegionalFleetZeroSentinels(t *testing.T) {
+	cfg := DefaultFleetConfig(6)
+	cfg.NumAgents = 12
+	cfg.Regions = 3
+	cfg.RegionCapacitySkew = -1
+	cfg.CrossRegionFrac = -1
+	sc, err := GenerateSyntheticFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up0 := sc.Agent(0).Upload
+	for i := 0; i < sc.NumAgents(); i++ {
+		if sc.Agent(model.AgentID(i)).Upload != up0 {
+			t.Fatalf("skew -1 (explicit zero) still varied capacities: agent %d %v vs %v",
+				i, sc.Agent(model.AgentID(i)).Upload, up0)
+		}
+	}
+}
+
+// TestRegionalFleetValidation rejects malformed regional knobs.
+func TestRegionalFleetValidation(t *testing.T) {
+	bad := DefaultFleetConfig(1)
+	bad.Regions = 2
+	bad.RegionCapacitySkew = 1.5
+	if _, err := GenerateSyntheticFleet(bad); err == nil {
+		t.Fatal("skew ≥ 1 accepted")
+	}
+	bad = DefaultFleetConfig(1)
+	bad.Regions = 2
+	bad.CrossRegionFrac = 2
+	if _, err := GenerateSyntheticFleet(bad); err == nil {
+		t.Fatal("cross-region fraction > 1 accepted")
+	}
+	bad = DefaultFleetConfig(1)
+	bad.Regions = 2
+	bad.AgentBandwidthMbps = -5
+	if _, err := GenerateSyntheticFleet(bad); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+}

@@ -259,12 +259,12 @@ func (s *Solver) Params() Params { return s.params }
 // bootstrapper builds the per-session bootstrap hook.
 func (s *Solver) bootstrapper() core.Bootstrapper {
 	if s.init == InitNearest {
-		return func(a *assign.Assignment, sid model.SessionID, ledger *cost.Ledger) error {
+		return func(a *assign.Assignment, sid model.SessionID, ledger cost.LedgerAPI) error {
 			return baseline.AssignSessionNearest(a, sid, s.params, ledger)
 		}
 	}
 	opts := agrank.DefaultOptions(s.nngbr)
-	return func(a *assign.Assignment, sid model.SessionID, ledger *cost.Ledger) error {
+	return func(a *assign.Assignment, sid model.SessionID, ledger cost.LedgerAPI) error {
 		_, err := agrank.BootstrapSession(a, sid, s.params, ledger, opts)
 		return err
 	}
