@@ -599,6 +599,43 @@ func BenchmarkOrchestratorEvent(b *testing.B) {
 	}
 }
 
+// BenchmarkEventPipeline drives the pipelined event scheduler over a seeded
+// churn schedule through the facade (Pipeline on, several events in
+// flight), reporting events/sec and the scheduler's overlap telemetry —
+// the streaming counterpart of BenchmarkOrchestratorChurn's barrier path.
+func BenchmarkEventPipeline(b *testing.B) {
+	solver, events := churnFixture(b, 3)
+	cfg := vconf.DefaultOrchestratorConfig(3)
+	cfg.Pipeline = true
+	cfg.MaxInFlight = 4
+	cfg.Core.NeighborWindow = 4
+	var processed, inFlightPeak int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		orc, err := solver.NewOrchestrator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := orc.Run(events, 300); err != nil {
+			orc.Close()
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		st := orc.Stats()
+		orc.Close()
+		processed += st.Events
+		if st.InFlightPeak > inFlightPeak {
+			inFlightPeak = st.InFlightPeak
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(inFlightPeak), "in-flight-peak")
+}
+
 // BenchmarkDeltaVsFullObjective compares delta-evaluated objective queries
 // (the orchestrator hot path) against full-scenario re-evaluation.
 func BenchmarkDeltaVsFullObjective(b *testing.B) {

@@ -43,7 +43,11 @@ type Orchestrator = orchestrator.Orchestrator
 // legacy single-lock commit path kept for differential benchmarks),
 // CommitRetries the bounded retry budget after cross-shard commit races,
 // plus the per-task hop budget, touched-set cap, N_ngbr candidate window
-// (Core.NeighborWindow) and the refinement chain parameters.
+// (Core.NeighborWindow) and the refinement chain parameters. Pipeline
+// switches event handling onto the dependency-aware scheduler
+// (internal/pipeline) so churn events with disjoint conflict footprints
+// overlap end-to-end, bounded by MaxInFlight and widened by
+// FootprintSlack; reports still arrive in schedule order.
 type OrchestratorConfig = orchestrator.Config
 
 // OrchestratorStats aggregates orchestrator activity counters.

@@ -1,0 +1,213 @@
+// Pipeline-sweep mode: `vcbench -run pipeline -format json > BENCH_4.json`
+// measures churn-event throughput of the pipelined event scheduler against
+// the serial per-event barrier path — same fleet, same follow-the-sun
+// schedule, same solver configuration, varying only Config.Pipeline and the
+// in-flight cap. The workload is deliberately low-conflict (regional fleet,
+// purely intra-region sessions, candidate windows on, per-agent ledger
+// stripes) so event footprints are mostly disjoint and the scheduler's
+// overlap — not commit-conflict retries — is what the sweep exercises.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"vconf/internal/agrank"
+	"vconf/internal/assign"
+	"vconf/internal/core"
+	"vconf/internal/cost"
+	"vconf/internal/model"
+	"vconf/internal/orchestrator"
+	"vconf/internal/workload"
+)
+
+// pipelinePoint is one events/sec measurement.
+type pipelinePoint struct {
+	Name string `json:"name"`
+	// Mode is "serial" (per-event barrier, pre-PR behavior) or "pipelined".
+	Mode        string `json:"mode"`
+	MaxInFlight int    `json:"max_in_flight"`
+	Workers     int    `json:"workers"`
+	Agents      int    `json:"agents"`
+	Events      int    `json:"events"`
+	// EventsPerSec is the headline throughput: churn events fully processed
+	// (admission + incremental re-optimization) per wall second.
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	Commits      int     `json:"commits"`
+	Conflicts    int     `json:"conflicts"`
+	Rejects      int     `json:"rejects"`
+	Dropped      int     `json:"dropped"`
+	// Scheduler telemetry (zero on the serial point).
+	AdmissionStalls int `json:"admission_stalls"`
+	ReoptWaits      int `json:"reopt_waits"`
+	QueueDepthPeak  int `json:"queue_depth_peak"`
+	InFlightPeak    int `json:"in_flight_peak"`
+	// Per-event re-optimization latency percentiles in milliseconds.
+	ReoptP50Ms float64 `json:"reopt_p50_ms"`
+	ReoptP99Ms float64 `json:"reopt_p99_ms"`
+}
+
+// pipelineReport is the BENCH_4.json payload.
+type pipelineReport struct {
+	GeneratedBy string `json:"generated_by"`
+	Description string `json:"description"`
+	// HardwareParallelCeiling is the host's measured raw 2-way CPU speedup;
+	// on shared-vCPU hosts the sweep's scaling is bounded by it.
+	HardwareParallelCeiling float64         `json:"hardware_parallel_ceiling"`
+	Points                  []pipelinePoint `json:"points"`
+	// Speedups maps pipelined/in-flight=N → events-per-sec ratio over the
+	// serial barrier point.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// pipelineStack builds the sweep's fixtures: a regional windowed fleet with
+// purely intra-region sessions and a follow-the-sun diurnal churn schedule
+// aligned with the fleet's session home regions.
+func pipelineStack(fleetAgents int, horizonS float64, seed int64) (*cost.Evaluator, core.Bootstrapper, []workload.Event, error) {
+	const regions = 8
+	fc := workload.DefaultFleetConfig(seed)
+	fc.NumAgents = fleetAgents
+	fc.NumUsers = 8 * fleetAgents
+	fc.MinSessionSize = 4
+	fc.MaxSessionSize = 6
+	fc.Regions = regions
+	fc.CrossRegionFrac = -1 // explicit zero: footprints stay regional
+	fc.AgentBandwidthMbps = 3000
+	fc.AgentTranscodeSlots = 12
+	sc, homes, err := workload.GenerateSyntheticFleetRegions(fc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p := cost.DefaultParams()
+	ev, err := cost.NewEvaluator(sc, p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opts := agrank.DefaultOptions(3)
+	boot := func(a *assign.Assignment, s model.SessionID, ledger cost.LedgerAPI) error {
+		_, err := agrank.BootstrapSession(a, s, p, ledger, opts)
+		return err
+	}
+	events, err := workload.PoissonSchedule(workload.ChurnConfig{
+		Seed:            seed,
+		HorizonS:        horizonS,
+		ArrivalRatePerS: 1.5,
+		MeanHoldS:       70,
+		NumSessions:     sc.NumSessions(),
+		Diurnal: &workload.DiurnalConfig{
+			DayS:          horizonS, // one full virtual day over the run
+			Amplitude:     0.8,
+			PeakFrac:      workload.FollowTheSunPeaks(regions),
+			SessionRegion: homes,
+		},
+	})
+	return ev, boot, events, err
+}
+
+// runPipelineSweep measures the serial barrier path and the pipelined
+// scheduler at increasing in-flight caps over identical fixtures, best of
+// two repetitions each (fresh orchestrator per repetition: the schedule
+// replays identically).
+func runPipelineSweep(w io.Writer, format string, fleetAgents int, horizonS float64, seed int64) error {
+	ev, boot, events, err := pipelineStack(fleetAgents, horizonS, seed)
+	if err != nil {
+		return fmt.Errorf("pipeline sweep: %w", err)
+	}
+	run := func(name, mode string, maxInFlight int) (pipelinePoint, error) {
+		cfg := orchestrator.DefaultConfig(seed)
+		cfg.Shards = 4
+		cfg.LedgerShards = fleetAgents // per-agent stripes: maximal disjointness
+		cfg.HopBudget = 12
+		cfg.MaxReoptSessions = 4
+		cfg.Core.NeighborWindow = 4
+		if mode == "pipelined" {
+			cfg.Pipeline = true
+			cfg.MaxInFlight = maxInFlight
+		}
+		best := pipelinePoint{}
+		for rep := 0; rep < 2; rep++ {
+			orc, err := orchestrator.New(ev, boot, cfg)
+			if err != nil {
+				return best, err
+			}
+			start := time.Now()
+			if _, err := orc.Run(events, 0); err != nil {
+				orc.Close()
+				return best, err
+			}
+			elapsed := time.Since(start)
+			st := orc.Stats()
+			orc.Close()
+			eps := float64(st.Events) / elapsed.Seconds()
+			if eps > best.EventsPerSec {
+				best = pipelinePoint{
+					Name:            name,
+					Mode:            mode,
+					MaxInFlight:     maxInFlight,
+					Workers:         cfg.Shards,
+					Agents:          fleetAgents,
+					Events:          st.Events,
+					EventsPerSec:    eps,
+					NsPerEvent:      float64(elapsed.Nanoseconds()) / float64(st.Events),
+					Commits:         st.Commits,
+					Conflicts:       st.Conflicts,
+					Rejects:         st.Rejects,
+					Dropped:         st.Dropped,
+					AdmissionStalls: st.AdmissionStalls,
+					ReoptWaits:      st.ReoptWaits,
+					QueueDepthPeak:  st.QueueDepthPeak,
+					InFlightPeak:    st.InFlightPeak,
+					ReoptP50Ms:      float64(st.ReoptP50) / 1e6,
+					ReoptP99Ms:      float64(st.ReoptP99) / 1e6,
+				}
+			}
+		}
+		return best, nil
+	}
+
+	rep := pipelineReport{
+		GeneratedBy: "vcbench -run pipeline",
+		Description: "Pipelined event scheduler vs the serial per-event barrier: churn events/sec over an " +
+			"identical low-conflict workload (regional fleet, intra-region sessions, follow-the-sun " +
+			"diurnal schedule, candidate windows, per-agent ledger stripes). The serial point is the " +
+			"pre-pipeline orchestrator (Pipeline off, bit-identical to prior releases and to the " +
+			"pipelined path at max_in_flight=1 by differential test); pipelined points vary only the " +
+			"in-flight cap. Wall-clock scaling is bounded by hardware_parallel_ceiling — judge speedups " +
+			"against it on shared-vCPU hosts.",
+		Speedups: map[string]float64{},
+	}
+	serial, err := run("OrchestratorEvent/serial-barrier", "serial", 1)
+	if err != nil {
+		return fmt.Errorf("pipeline sweep: serial: %w", err)
+	}
+	rep.Points = append(rep.Points, serial)
+	for _, inflight := range []int{1, 2, 4, 8} {
+		pt, err := run(fmt.Sprintf("EventPipeline/in-flight=%d", inflight), "pipelined", inflight)
+		if err != nil {
+			return fmt.Errorf("pipeline sweep: in-flight %d: %w", inflight, err)
+		}
+		rep.Points = append(rep.Points, pt)
+		if serial.EventsPerSec > 0 {
+			rep.Speedups[fmt.Sprintf("EventPipeline/in-flight=%d-vs-serial", inflight)] =
+				pt.EventsPerSec / serial.EventsPerSec
+		}
+	}
+	rep.HardwareParallelCeiling = measureParallelCeiling()
+
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	for _, p := range rep.Points {
+		fmt.Fprintf(w, "pipeline | %-32s | agents %3d | %8.1f events/sec | %4d commits | %4d conflicts | in-flight peak %d\n",
+			p.Name, p.Agents, p.EventsPerSec, p.Commits, p.Conflicts, p.InFlightPeak)
+	}
+	for fam, sp := range rep.Speedups {
+		fmt.Fprintf(w, "pipeline | speedup %-32s | %.2fx\n", fam, sp)
+	}
+	return nil
+}

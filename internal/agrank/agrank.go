@@ -103,15 +103,18 @@ func BootstrapSession(a *assign.Assignment, s model.SessionID, p cost.Params, le
 		return res, err
 	}
 	load := p.SessionLoadOf(a, s)
-	if !ledger.Fits(load) {
-		rollbackSession(a, s)
-		return res, fmt.Errorf("%w: session %d final load exceeds capacity", ErrInfeasible, s)
-	}
 	if !cost.DelayFeasible(a, s) {
 		rollbackSession(a, s)
 		return res, fmt.Errorf("%w: session %d violates the delay cap", ErrInfeasible, s)
 	}
-	ledger.Add(load)
+	// Atomic check-then-add: with the pipelined orchestrator, admission
+	// runs while worker commits mutate the ledger, so a separate
+	// Fits-then-Add could validate against usage a concurrent commit then
+	// grows past capacity.
+	if !ledger.TryAdd(load) {
+		rollbackSession(a, s)
+		return res, fmt.Errorf("%w: session %d final load exceeds capacity", ErrInfeasible, s)
+	}
 	return res, nil
 }
 

@@ -38,15 +38,16 @@ func AssignSessionNearest(a *assign.Assignment, s model.SessionID, p cost.Params
 		}
 	}
 	load := p.SessionLoadOf(a, s)
-	if !ledger.Fits(load) {
-		rollbackSession(a, s)
-		return fmt.Errorf("%w: session %d exceeds agent capacity under nearest assignment", ErrInfeasible, s)
-	}
 	if !cost.DelayFeasible(a, s) {
 		rollbackSession(a, s)
 		return fmt.Errorf("%w: session %d violates the delay cap under nearest assignment", ErrInfeasible, s)
 	}
-	ledger.Add(load)
+	// Atomic check-then-add (see LedgerAPI.TryAdd): admission must not
+	// validate against usage a concurrent worker commit then grows.
+	if !ledger.TryAdd(load) {
+		rollbackSession(a, s)
+		return fmt.Errorf("%w: session %d exceeds agent capacity under nearest assignment", ErrInfeasible, s)
+	}
 	return nil
 }
 

@@ -40,8 +40,9 @@ func AssignSessionRandom(a *assign.Assignment, s model.SessionID, p cost.Params,
 			}
 		}
 		load := p.SessionLoadOf(a, s)
-		if ledger.Fits(load) && cost.DelayFeasible(a, s) {
-			ledger.Add(load)
+		// Atomic check-then-add (see LedgerAPI.TryAdd): final admission must
+		// not validate against usage a concurrent commit then grows.
+		if cost.DelayFeasible(a, s) && ledger.TryAdd(load) {
 			return nil
 		}
 	}
@@ -87,7 +88,13 @@ func AssignSessionSingleAgent(a *assign.Assignment, s model.SessionID, p cost.Pa
 		return fmt.Errorf("%w: session %d fits no single agent", ErrInfeasible, s)
 	}
 	placeSessionAt(a, s, bestAgent)
-	ledger.Add(p.SessionLoadOf(a, s))
+	// The scan's Fits ran arbitrarily earlier; re-validate and account in
+	// one critical section (single-owner contexts always succeed here).
+	if !ledger.TryAdd(p.SessionLoadOf(a, s)) {
+		rollbackSession(a, s)
+		return fmt.Errorf("%w: session %d lost its single-agent capacity to a concurrent admission",
+			ErrInfeasible, s)
+	}
 	return nil
 }
 

@@ -143,6 +143,26 @@ func (c *ObjectiveCache) refresh(a *assign.Assignment, s model.SessionID) {
 	c.recomputes++
 }
 
+// Prime installs a freshly evaluated objective and load for session s and
+// marks it clean, without touching the assignment. The pipelined
+// orchestrator's commit path feeds it from the committing worker's own
+// BeginSession evaluation, so objective queries never recompute an
+// in-flight session from the shared assignment. phi and load must describe
+// s's committed state (they are bit-identical to what a refresh would
+// compute, since Φ_s is a pure function of the session's variables).
+// Inactive sessions are ignored.
+func (c *ObjectiveCache) Prime(s model.SessionID, phi float64, load *SparseLoad) {
+	if !c.active[s] {
+		return
+	}
+	c.phi[s] = phi
+	if c.load[s] == nil {
+		c.load[s] = NewSparseLoad(c.ev.Scenario().NumAgents())
+	}
+	c.load[s].CopyFrom(load)
+	c.dirty[s] = false
+}
+
 // SessionObjective returns Φ_s, recomputing only if s is dirty. Inactive
 // sessions read as zero.
 func (c *ObjectiveCache) SessionObjective(a *assign.Assignment, s model.SessionID) float64 {

@@ -30,6 +30,12 @@ type LedgerAPI interface {
 	// Fits reports whether the ledger plus the candidate respects every
 	// capacity; nil checks the ledger alone.
 	Fits(candidate *SessionLoad) bool
+	// TryAdd atomically checks Fits(load) and, on success, accounts the
+	// load — one critical section, so admissions racing concurrent commits
+	// (the pipelined orchestrator) can never overshoot capacity the way a
+	// separate Fits-then-Add could. Bootstrap policies must use it for
+	// their final admission step.
+	TryAdd(load *SessionLoad) bool
 	// FitsRepair and FitsRepairDelta are the repair-semantics checks (see
 	// Ledger.FitsRepair): replacing current with candidate must not worsen
 	// any already-overloaded agent.
@@ -48,6 +54,18 @@ type LedgerAPI interface {
 
 // Compile-time check: the dense ledger satisfies the API.
 var _ LedgerAPI = (*Ledger)(nil)
+
+// TryAdd implements the atomic check-then-add admission. The dense ledger
+// is single-owner (no internal locking), so this is the two calls fused —
+// kept on the interface so bootstrap code is backend-agnostic and the
+// sharded backend can make the same step genuinely atomic.
+func (g *Ledger) TryAdd(load *SessionLoad) bool {
+	if !g.Fits(load) {
+		return false
+	}
+	g.Add(load)
+	return true
+}
 
 // Touched returns the indices of the agents the load touches, in insertion
 // order. The slice is shared with the load: callers must not mutate it or

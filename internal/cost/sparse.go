@@ -195,6 +195,19 @@ func NewSparseLoadFromDense(d *SessionLoad) *SparseLoad {
 	return sl
 }
 
+// AppendAgents appends the IDs of agents carrying load (MarkAgents'
+// predicate) to dst in ascending order and returns it — the committed
+// agent-set extraction the pipelined orchestrator's footprint index uses.
+func (sl *SparseLoad) AppendAgents(dst []model.AgentID) []model.AgentID {
+	sl.sortTouched()
+	for _, l := range sl.touched {
+		if sl.down[l] > 0 || sl.up[l] > 0 || sl.tasks[l] > 0 {
+			dst = append(dst, model.AgentID(l))
+		}
+	}
+	return dst
+}
+
 // MarkAgents sets set[l] = true for every agent carrying load (the predicate
 // the orchestrator's touched-session computation uses).
 func (sl *SparseLoad) MarkAgents(set []bool) {

@@ -45,6 +45,7 @@ package orchestrator
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"time"
@@ -56,6 +57,7 @@ import (
 	"vconf/internal/core"
 	"vconf/internal/cost"
 	"vconf/internal/model"
+	"vconf/internal/pipeline"
 	"vconf/internal/shard"
 	"vconf/internal/workload"
 )
@@ -89,6 +91,29 @@ type Config struct {
 	// ImprovementEps is the minimum Φ_s decrease a proposal must deliver to
 	// commit; smaller deltas are dropped as noise. Defaults to 1e-9.
 	ImprovementEps float64
+	// Pipeline switches HandleEvent/Run onto the dependency-aware event
+	// scheduler (internal/pipeline): multiple events proceed concurrently
+	// when their conflict footprints (owned sessions + routed ledger
+	// stripes) are disjoint, and queue behind the specific events they
+	// conflict with otherwise; reports still retire in arrival order. False
+	// (the default) keeps the per-event barrier path verbatim. Requires the
+	// sharded ledger backend (LedgerShards ≥ 0); with MaxInFlight = 1 the
+	// pipelined path is bit-identical to the serial one (differential
+	// tests pin it). Public snapshot methods (Assignment, CheckInvariants,
+	// ...) must only be called quiesced: between HandleEvent calls or after
+	// Run returns.
+	Pipeline bool
+	// MaxInFlight bounds concurrently in-flight events in pipelined mode
+	// (admitted, re-optimization not yet complete). Defaults to Shards.
+	MaxInFlight int
+	// FootprintSlack widens each event's stripe footprint by that many
+	// neighboring ID-range stripes per side (pipelined mode): larger
+	// footprints admit less in parallel but lose fewer commits to
+	// cross-event conflicts. -1 claims every stripe (fully conservative:
+	// re-optimization stages serialize). Default 0. Without a candidate
+	// window (Core.NeighborWindow = 0) walks can reach any agent, so
+	// footprints always cover every stripe regardless of slack.
+	FootprintSlack int
 	// Core parameterizes the refinement chain (β, objective scale, seed).
 	// The countdown is irrelevant here — workers hop back to back.
 	Core core.Config
@@ -128,6 +153,18 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("orchestrator: invalid config: ledger shards=%d commit retries=%d",
 			c.LedgerShards, c.CommitRetries)
 	}
+	if c.Pipeline {
+		if c.LedgerShards < 0 {
+			return c, fmt.Errorf("orchestrator: Pipeline requires the sharded ledger backend (LedgerShards ≥ 0)")
+		}
+		if c.MaxInFlight == 0 {
+			c.MaxInFlight = c.Shards
+		}
+		if c.MaxInFlight < 1 || c.FootprintSlack < -1 {
+			return c, fmt.Errorf("orchestrator: invalid pipeline config: max in-flight=%d footprint slack=%d",
+				c.MaxInFlight, c.FootprintSlack)
+		}
+	}
 	if err := c.Core.Validate(); err != nil {
 		return c, err
 	}
@@ -165,6 +202,72 @@ type Stats struct {
 	// per event (the shard-pool barrier).
 	ReoptTotal time.Duration
 	ReoptMax   time.Duration
+	// ReoptP50 and ReoptP99 are per-event re-optimization latency
+	// percentiles, estimated from a fixed log-scale histogram (quarter-
+	// octave buckets, so values carry ≈±12% bucket resolution at O(1)
+	// memory regardless of run length).
+	ReoptP50 time.Duration
+	ReoptP99 time.Duration
+	// AdmissionStalls, ReoptWaits, QueueDepthPeak and InFlightPeak are
+	// pipelined-scheduler telemetry (zero with Pipeline off): events whose
+	// admission had to wait (in-flight cap or a claimed trigger session),
+	// events whose re-optimization queued behind a conflicting in-flight
+	// event, and the high-water marks of the pending queue and the
+	// in-flight set.
+	AdmissionStalls int
+	ReoptWaits      int
+	QueueDepthPeak  int
+	InFlightPeak    int
+}
+
+// latencyHist is the fixed-size log-scale latency histogram behind the
+// Stats percentiles: quarter-octave buckets over nanoseconds, so adds are
+// O(1) and memory is constant for arbitrarily long runs.
+type latencyHist struct {
+	counts [256]int
+	n      int
+}
+
+func (h *latencyHist) add(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	idx := 0
+	if ns > 0 {
+		e := bits.Len64(ns) - 1
+		frac := 0
+		if e >= 2 {
+			frac = int((ns >> uint(e-2)) & 3)
+		}
+		idx = e*4 + frac
+		if idx >= len(h.counts) {
+			idx = len(h.counts) - 1
+		}
+	}
+	h.counts[idx]++
+	h.n++
+}
+
+// percentile returns the lower bound of the bucket holding the q-quantile.
+func (h *latencyHist) percentile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	target := int(q*float64(h.n) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	acc := 0
+	for i, c := range h.counts {
+		acc += c
+		if c > 0 && acc >= target {
+			e, frac := i/4, uint64(i%4)
+			base := uint64(1) << uint(e)
+			if e < 2 {
+				frac = 0
+			}
+			return time.Duration(base + base*frac/4)
+		}
+	}
+	return 0
 }
 
 // EventReport describes the handling of one churn event.
@@ -220,7 +323,17 @@ type Orchestrator struct {
 	rt     *confsim.Runtime
 	now    float64
 	stats  Stats
+	lat    latencyHist
 	refErr error // first worker error, surfaced by the next HandleEvent
+
+	// Pipelined-mode state (nil/unused with Config.Pipeline off). pipe is
+	// the dependency-aware event scheduler; touchIdx[s] is active session
+	// s's committed agent set (ascending, nonzero-usage agents), maintained
+	// under mu at every bootstrap/commit/departure so footprint and
+	// touched-set computation never read an in-flight session's assignment
+	// state.
+	pipe     *pipeline.Scheduler
+	touchIdx [][]model.AgentID
 
 	tasks     chan reoptTask
 	closeOnce sync.Once
@@ -264,15 +377,29 @@ func New(ev *cost.Evaluator, boot core.Bootstrapper, cfg Config) (*Orchestrator,
 	if w := cfg.Core.NeighborWindow; w > 0 && w < sc.NumAgents() {
 		o.nbrIdx = assign.NewProximityIndex(sc, w)
 	}
+	if cfg.Pipeline {
+		sch, err := pipeline.New(pipeline.Config{MaxInFlight: cfg.MaxInFlight})
+		if err != nil {
+			return nil, err
+		}
+		o.pipe = sch
+		o.touchIdx = make([][]model.AgentID, sc.NumSessions())
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		go o.worker()
 	}
 	return o, nil
 }
 
-// Close stops the shard pool. The orchestrator must not be used afterwards.
+// Close stops the event scheduler (draining in-flight events) and the shard
+// pool. The orchestrator must not be used afterwards.
 func (o *Orchestrator) Close() {
-	o.closeOnce.Do(func() { close(o.tasks) })
+	o.closeOnce.Do(func() {
+		if o.pipe != nil {
+			o.pipe.Close()
+		}
+		close(o.tasks)
+	})
 }
 
 // AttachRuntime wires a data-plane runtime: subsequent arrivals, departures
@@ -286,8 +413,15 @@ func (o *Orchestrator) AttachRuntime(rt *confsim.Runtime) {
 }
 
 // HandleEvent applies one churn event and runs the incremental
-// re-optimization it triggers, blocking until the shard pool drains.
+// re-optimization it triggers, blocking until the shard pool drains. In
+// pipelined mode it submits the event to the scheduler and blocks until the
+// event retires — which, since events retire in arrival order, also means
+// the orchestrator is quiesced when it returns; stream events through Run
+// to overlap them.
 func (o *Orchestrator) HandleEvent(e workload.Event) (EventReport, error) {
+	if o.pipe != nil {
+		return o.handleEventPipelined(e)
+	}
 	if err := o.takeRefErr(); err != nil {
 		return EventReport{}, err
 	}
@@ -333,6 +467,7 @@ func (o *Orchestrator) HandleEvent(e workload.Event) (EventReport, error) {
 	if rep.Latency > o.stats.ReoptMax {
 		o.stats.ReoptMax = rep.Latency
 	}
+	o.lat.add(rep.Latency)
 	rep.Objective = o.cache.TotalObjective(o.a)
 	rep.ActiveSessions = o.cache.NumActive()
 	o.mu.Unlock()
@@ -454,8 +589,14 @@ func (o *Orchestrator) capReopt(trigger model.SessionID, touched []model.Session
 
 // Run processes an event schedule in order. When a runtime is attached, the
 // data plane is ticked across event gaps and to horizonS at the end, so
-// dual-feed overheads land in telemetry. Returns the per-event reports.
+// dual-feed overheads land in telemetry. Returns the per-event reports. In
+// pipelined mode events are streamed into the scheduler and overlap when
+// their footprints allow; reports still come back in schedule order, and
+// the orchestrator is fully drained when Run returns.
 func (o *Orchestrator) Run(events []workload.Event, horizonS float64) ([]EventReport, error) {
+	if o.pipe != nil {
+		return o.runPipelined(events, horizonS)
+	}
 	reports := make([]EventReport, 0, len(events))
 	for _, e := range events {
 		if rt := o.runtime(); rt != nil {
@@ -515,9 +656,27 @@ func (o *Orchestrator) Now() float64 {
 	return o.now
 }
 
-// Stats returns a copy of the activity counters.
-func (o *Orchestrator) Stats() Stats { return o.snapshotStats() }
+// Stats returns a copy of the activity counters, including the latency
+// percentiles and (in pipelined mode) the scheduler telemetry.
+func (o *Orchestrator) Stats() Stats {
+	o.mu.Lock()
+	st := o.stats
+	st.ReoptP50 = o.lat.percentile(0.50)
+	st.ReoptP99 = o.lat.percentile(0.99)
+	o.mu.Unlock()
+	if o.pipe != nil {
+		ps := o.pipe.Stats()
+		st.AdmissionStalls = ps.AdmissionStalls
+		st.ReoptWaits = ps.ReoptWaits
+		st.QueueDepthPeak = ps.QueueDepthPeak
+		st.InFlightPeak = ps.InFlightPeak
+	}
+	return st
+}
 
+// snapshotStats copies the raw counters only — the serial HandleEvent path
+// diffs it around each dispatch, so it skips the derived percentile and
+// scheduler-telemetry fills Stats performs.
 func (o *Orchestrator) snapshotStats() Stats {
 	o.mu.Lock()
 	defer o.mu.Unlock()

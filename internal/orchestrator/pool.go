@@ -13,11 +13,45 @@ import (
 )
 
 // reoptTask is one unit of shard-pool work: re-optimize one session's
-// variables by a bounded Markov refinement walk.
+// variables by a bounded Markov refinement walk. tally, when non-nil
+// (pipelined mode), attributes the task's outcome to its event so per-event
+// reports stay exact while events overlap.
 type reoptTask struct {
 	session model.SessionID
 	seed    int64
 	wg      *sync.WaitGroup
+	tally   *eventTally
+}
+
+// eventTally accumulates one pipelined event's task outcomes; its fields
+// are guarded by o.mu alongside the global stats counters.
+type eventTally struct {
+	commits, rejects, noChange int
+}
+
+// bumpTask increments a global outcome counter and, for pipelined events,
+// the matching per-event tally slot, under the state lock.
+func (o *Orchestrator) bumpTask(global, local *int) {
+	o.mu.Lock()
+	*global++
+	if local != nil {
+		*local++
+	}
+	o.mu.Unlock()
+}
+
+func (t reoptTask) noChangeSlot() *int {
+	if t.tally == nil {
+		return nil
+	}
+	return &t.tally.noChange
+}
+
+func (t reoptTask) rejectSlot() *int {
+	if t.tally == nil {
+		return nil
+	}
+	return &t.tally.rejects
 }
 
 // taskSeed derives a deterministic per-task RNG seed, so a task's walk
@@ -190,7 +224,7 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 			}
 		}
 		if !improved {
-			o.bump(&o.stats.NoChange)
+			o.bumpTask(&o.stats.NoChange, t.noChangeSlot())
 			return
 		}
 
@@ -217,7 +251,7 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 			}
 		}
 		if len(w.ds) == 0 {
-			o.bump(&o.stats.NoChange)
+			o.bumpTask(&o.stats.NoChange, t.noChangeSlot())
 			return
 		}
 
@@ -227,11 +261,11 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 		newEval := o.ev.BeginSession(w.aw, t.session, es)
 		newLoad := es.CurLoad()
 		if newEval.Phi >= startPhi-o.cfg.ImprovementEps {
-			o.bump(&o.stats.NoChange)
+			o.bumpTask(&o.stats.NoChange, t.noChangeSlot())
 			return
 		}
 		if !newEval.DelayFeasible(o.sc.DMaxMS) {
-			o.bump(&o.stats.Rejects)
+			o.bumpTask(&o.stats.Rejects, t.rejectSlot())
 			return
 		}
 
@@ -245,9 +279,26 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 					return
 				}
 			}
+			// Pipelined mode keeps the touched-set index and the objective
+			// cache current from the committing worker's own evaluation, so
+			// no later admission or retire ever recomputes this session from
+			// the shared assignment while another event may own it. The
+			// agent extraction runs on worker-private state before taking mu.
+			var idxAgents []model.AgentID
+			if o.pipe != nil {
+				idxAgents = newLoad.AppendAgents(nil)
+			}
 			o.mu.Lock()
-			o.cache.Invalidate(t.session)
+			if o.pipe != nil {
+				o.cache.Prime(t.session, newEval.Phi, newLoad)
+				o.touchIdx[t.session] = idxAgents
+			} else {
+				o.cache.Invalidate(t.session)
+			}
 			o.stats.Commits++
+			if t.tally != nil {
+				t.tally.commits++
+			}
 			if o.rt != nil {
 				for _, d := range w.ds {
 					if err := o.rt.Migrate(o.now, d); err != nil {
@@ -267,10 +318,10 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 			if attempt < o.cfg.CommitRetries {
 				continue
 			}
-			o.bump(&o.stats.Rejects)
+			o.bumpTask(&o.stats.Rejects, t.rejectSlot())
 			return
 		default: // shard.Infeasible
-			o.bump(&o.stats.Rejects)
+			o.bumpTask(&o.stats.Rejects, t.rejectSlot())
 			return
 		}
 	}

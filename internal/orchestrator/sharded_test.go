@@ -30,11 +30,17 @@ func runSchedule(t *testing.T, wl workload.Config, events []workload.Event, cfg 
 	return o.Assignment().Encode(), o.Objective(), o.Stats()
 }
 
-// coreStats strips the wall-clock fields, which legitimately differ across
-// runs.
+// coreStats strips the wall-clock fields (and the scheduler telemetry
+// derived from timing), which legitimately differ across runs.
 func coreStats(s Stats) Stats {
 	s.ReoptTotal = 0
 	s.ReoptMax = 0
+	s.ReoptP50 = 0
+	s.ReoptP99 = 0
+	s.AdmissionStalls = 0
+	s.ReoptWaits = 0
+	s.QueueDepthPeak = 0
+	s.InFlightPeak = 0
 	return s
 }
 

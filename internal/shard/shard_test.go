@@ -390,3 +390,109 @@ func BenchmarkShardCommit(b *testing.B) {
 		})
 	}
 }
+
+// tryAddFixture builds a finite-capacity scenario plus a fabricated dense
+// load sized so each agent absorbs only a few copies — the admission shape
+// TryAdd exists for.
+func tryAddFixture(t testing.TB) (*model.Scenario, *cost.SessionLoad) {
+	t.Helper()
+	wl := workload.Prototype(17)
+	wl.MeanBandwidthMbps = 100 // per-agent caps land in [70, 130]
+	wl.MeanTranscodeSlots = 40
+	sc, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := sc.NumAgents()
+	load := &cost.SessionLoad{
+		Down:  make([]float64, L),
+		Up:    make([]float64, L),
+		Tasks: make([]int, L),
+		Inter: make([]float64, L),
+	}
+	for l := 0; l < L; l++ {
+		load.Down[l] = 30
+		load.Up[l] = 30
+		load.Tasks[l] = 1
+	}
+	return sc, load
+}
+
+// TestShardTryAddMatchesDense pins TryAdd semantics against the dense
+// reference: copy-for-copy identical admission decisions, identical usage,
+// and a refused TryAdd leaves the ledger untouched.
+func TestShardTryAddMatchesDense(t *testing.T) {
+	sc, load := tryAddFixture(t)
+	for _, shards := range []int{1, 4} {
+		dense := cost.NewLedger(sc)
+		sl := New(sc, shards)
+		admitted := 0
+		for i := 0; i < 16; i++ {
+			okD := dense.TryAdd(load)
+			okS := sl.TryAdd(load)
+			if okD != okS {
+				t.Fatalf("shards=%d copy %d: dense %v, sharded %v", shards, i, okD, okS)
+			}
+			if okD {
+				admitted++
+			}
+		}
+		if admitted == 0 || admitted == 16 {
+			t.Fatalf("shards=%d fixture never gated: admitted %d/16", shards, admitted)
+		}
+		dDown, dUp, dTasks := dense.Usage()
+		sDown, sUp, sTasks := sl.Usage()
+		for l := 0; l < sc.NumAgents(); l++ {
+			if dDown[l] != sDown[l] || dUp[l] != sUp[l] || dTasks[l] != sTasks[l] {
+				t.Fatalf("shards=%d agent %d usage diverged after refusals", shards, l)
+			}
+		}
+		if !sl.Fits(nil) {
+			t.Fatalf("shards=%d TryAdd overshot capacity: %v", shards, sl.Violations())
+		}
+	}
+}
+
+// TestShardTryAddAtomicStorm hammers TryAdd/Remove from many goroutines:
+// because the check and the add share one critical section, the ledger must
+// be capacity-feasible at every instant — concurrent committers and
+// admissions can never interleave into an overshoot. Run under -race in CI.
+func TestShardTryAddAtomicStorm(t *testing.T) {
+	sc, load := tryAddFixture(t)
+	sl := New(sc, 5)
+	const workers = 12
+	const iters = 300
+	var wg sync.WaitGroup
+	fail := atomic.Bool{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if sl.TryAdd(load) {
+					// A successful admission can never leave the ledger
+					// infeasible, and later TryAdds only admit what fits, so
+					// feasibility must hold at every observation point.
+					if !sl.Fits(nil) {
+						fail.Store(true)
+						return
+					}
+					sl.Remove(load)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fail.Load() {
+		t.Fatalf("TryAdd admitted past capacity under contention: %v", sl.Violations())
+	}
+	if !sl.Fits(nil) {
+		t.Fatal("storm left the ledger infeasible")
+	}
+	down, up, tasks := sl.Usage()
+	for l := range down {
+		if down[l] != 0 || up[l] != 0 || tasks[l] != 0 {
+			t.Fatalf("storm leaked usage at agent %d: %v/%v/%d", l, down[l], up[l], tasks[l])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package workload
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -40,6 +41,70 @@ type ChurnConfig struct {
 	// InitialActive sessions are active at t = 0 (their departures are
 	// scheduled like everyone else's).
 	InitialActive int
+	// Diurnal, when non-nil, modulates arrivals with per-region time-of-day
+	// rate curves (follow-the-sun load). Nil keeps the homogeneous Poisson
+	// generator, byte-identical per seed.
+	Diurnal *DiurnalConfig
+}
+
+// DiurnalConfig turns the homogeneous arrival process into a
+// non-homogeneous one with a per-region time-of-day rate curve: region r
+// arrives at rate λ·w_r·(1 + A·cos(2π(t/DayS − PeakFrac[r]))), where w_r is
+// the region's share of the session pool — so each region's load peaks at
+// its own local afternoon and troughs half a (virtual) day away, the
+// follow-the-sun shape of real conferencing fleets. Implemented by exact
+// Poisson thinning, so schedules stay deterministic per seed.
+type DiurnalConfig struct {
+	// DayS is the virtual day length in seconds (the curve's period).
+	DayS float64
+	// Amplitude A ∈ [0, 1]: rates swing between (1−A)·λ_r and (1+A)·λ_r.
+	Amplitude float64
+	// PeakFrac[r] is region r's peak time as a fraction of the day;
+	// FollowTheSunPeaks staggers them evenly.
+	PeakFrac []float64
+	// SessionRegion maps every scenario session ID (0..NumSessions-1) to a
+	// region index into PeakFrac — GenerateSyntheticFleetRegions produces
+	// this alongside regional fleets.
+	SessionRegion []int
+}
+
+// FollowTheSunPeaks returns n regional peak fractions staggered evenly
+// across the day — region i peaks at i/n of a day, the canonical
+// follow-the-sun configuration.
+func FollowTheSunPeaks(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) / float64(n)
+	}
+	return out
+}
+
+// RegionRate returns region r's instantaneous rate multiplier at time t.
+func (d DiurnalConfig) RegionRate(r int, t float64) float64 {
+	return 1 + d.Amplitude*math.Cos(2*math.Pi*(t/d.DayS-d.PeakFrac[r]))
+}
+
+func (d DiurnalConfig) validate(numSessions int) error {
+	if d.DayS <= 0 {
+		return fmt.Errorf("workload: diurnal day length must be positive")
+	}
+	if d.Amplitude < 0 || d.Amplitude > 1 {
+		return fmt.Errorf("workload: diurnal amplitude %v outside [0, 1]", d.Amplitude)
+	}
+	if len(d.PeakFrac) < 1 {
+		return fmt.Errorf("workload: diurnal config needs at least one region peak")
+	}
+	if len(d.SessionRegion) < numSessions {
+		return fmt.Errorf("workload: diurnal session-region map covers %d of %d sessions",
+			len(d.SessionRegion), numSessions)
+	}
+	for s, r := range d.SessionRegion[:numSessions] {
+		if r < 0 || r >= len(d.PeakFrac) {
+			return fmt.Errorf("workload: session %d mapped to region %d outside [0, %d)",
+				s, r, len(d.PeakFrac))
+		}
+	}
+	return nil
 }
 
 // Validate checks the configuration.
@@ -49,6 +114,9 @@ func (c ChurnConfig) Validate() error {
 	}
 	if c.NumSessions < 1 || c.InitialActive < 0 || c.InitialActive > c.NumSessions {
 		return fmt.Errorf("workload: invalid session counts %d/%d", c.InitialActive, c.NumSessions)
+	}
+	if c.Diurnal != nil {
+		return c.Diurnal.validate(c.NumSessions)
 	}
 	return nil
 }
@@ -78,10 +146,15 @@ func (h *departureHeap) Pop() interface{} {
 // an exponential hold time, and departed sessions return to the idle pool
 // for reuse. Events are returned in time order; every departure follows its
 // matching arrival (initially-active sessions depart without a recorded
-// arrival, since they are active before t = 0).
+// arrival, since they are active before t = 0). With Diurnal set, arrivals
+// follow the per-region time-of-day curves instead (see diurnalSchedule);
+// the homogeneous path is untouched and byte-identical per seed.
 func PoissonSchedule(cfg ChurnConfig) ([]Event, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Diurnal != nil {
+		return diurnalSchedule(cfg)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -120,6 +193,90 @@ func PoissonSchedule(cfg ChurnConfig) ([]Event, error) {
 		idle = idle[1:]
 		events = append(events, Event{TimeS: t, Kind: EventArrival, Session: s})
 		heap.Push(&deps, departure{timeS: t + rng.ExpFloat64()*cfg.MeanHoldS, session: s})
+	}
+	flushUntil(cfg.HorizonS)
+	return events, nil
+}
+
+// diurnalSchedule is the Diurnal path of PoissonSchedule: a
+// non-homogeneous Poisson process per region, realized by exact thinning of
+// one merged candidate process. Candidates arrive at the constant peak rate
+// Λmax = λ·(1+A) (region shares w_r sum to 1); each candidate picks a
+// region with probability w_r and survives with probability
+// M_r(t)/(1+A) — the standard thinning construction, so the surviving
+// stream is exactly the target non-homogeneous process. Departures reuse
+// the shared exponential-hold heap; departed sessions return to their
+// region's idle pool.
+func diurnalSchedule(cfg ChurnConfig) ([]Event, error) {
+	d := cfg.Diurnal
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	R := len(d.PeakFrac)
+
+	// Region shares w_r ∝ the region's session-pool size: a region with
+	// more sessions carries proportionally more of the global rate λ.
+	poolSize := make([]int, R)
+	for s := 0; s < cfg.NumSessions; s++ {
+		poolSize[d.SessionRegion[s]]++
+	}
+	cumShare := make([]float64, R)
+	acc := 0.0
+	for r := 0; r < R; r++ {
+		acc += float64(poolSize[r]) / float64(cfg.NumSessions)
+		cumShare[r] = acc
+	}
+
+	// Per-region idle pools; sessions below InitialActive start live.
+	idle := make([][]int, R)
+	var deps departureHeap
+	for s := 0; s < cfg.NumSessions; s++ {
+		if s < cfg.InitialActive {
+			heap.Push(&deps, departure{timeS: rng.ExpFloat64() * cfg.MeanHoldS, session: s})
+		} else {
+			r := d.SessionRegion[s]
+			idle[r] = append(idle[r], s)
+		}
+	}
+
+	var events []Event
+	flushUntil := func(t float64) {
+		for len(deps) > 0 && deps[0].timeS <= t {
+			dep := heap.Pop(&deps).(departure)
+			if dep.timeS >= cfg.HorizonS {
+				continue
+			}
+			events = append(events, Event{TimeS: dep.timeS, Kind: EventDeparture, Session: dep.session})
+			r := d.SessionRegion[dep.session]
+			idle[r] = append(idle[r], dep.session)
+		}
+	}
+
+	maxRate := cfg.ArrivalRatePerS * (1 + d.Amplitude)
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / maxRate
+		if t >= cfg.HorizonS {
+			break
+		}
+		// Draw the candidate's region and thinning acceptance before the
+		// flush, so the random sequence is a pure function of the seed.
+		u := rng.Float64()
+		r := R - 1
+		for i, c := range cumShare {
+			if u < c {
+				r = i
+				break
+			}
+		}
+		accept := rng.Float64() < d.RegionRate(r, t)/(1+d.Amplitude)
+		hold := rng.ExpFloat64() * cfg.MeanHoldS
+		flushUntil(t)
+		if !accept || len(idle[r]) == 0 {
+			continue // thinned out, or the region's pool is exhausted
+		}
+		s := idle[r][0]
+		idle[r] = idle[r][1:]
+		events = append(events, Event{TimeS: t, Kind: EventArrival, Session: s})
+		heap.Push(&deps, departure{timeS: t + hold, session: s})
 	}
 	flushUntil(cfg.HorizonS)
 	return events, nil

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// diurnalTestConfig is a 2-region follow-the-sun setup: region 0 peaks at
+// t = 0, region 1 half a day later, amplitude near full.
+func diurnalTestConfig(seed int64) ChurnConfig {
+	const numSessions = 40
+	regions := make([]int, numSessions)
+	for s := range regions {
+		regions[s] = s % 2
+	}
+	return ChurnConfig{
+		Seed:            seed,
+		HorizonS:        4000,
+		ArrivalRatePerS: 0.5,
+		MeanHoldS:       30,
+		NumSessions:     numSessions,
+		Diurnal: &DiurnalConfig{
+			DayS:          4000,
+			Amplitude:     0.9,
+			PeakFrac:      FollowTheSunPeaks(2),
+			SessionRegion: regions,
+		},
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	base := diurnalTestConfig(1)
+	cases := []func(*ChurnConfig){
+		func(c *ChurnConfig) { c.Diurnal.DayS = 0 },
+		func(c *ChurnConfig) { c.Diurnal.Amplitude = -0.1 },
+		func(c *ChurnConfig) { c.Diurnal.Amplitude = 1.5 },
+		func(c *ChurnConfig) { c.Diurnal.PeakFrac = nil },
+		func(c *ChurnConfig) { c.Diurnal.SessionRegion = c.Diurnal.SessionRegion[:3] },
+		func(c *ChurnConfig) { c.Diurnal.SessionRegion[7] = 9 },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		d := *base.Diurnal
+		d.SessionRegion = append([]int(nil), base.Diurnal.SessionRegion...)
+		cfg.Diurnal = &d
+		mutate(&cfg)
+		if _, err := PoissonSchedule(cfg); err == nil {
+			t.Fatalf("case %d: invalid diurnal config accepted", i)
+		}
+	}
+	if _, err := PoissonSchedule(base); err != nil {
+		t.Fatalf("valid diurnal config rejected: %v", err)
+	}
+}
+
+func TestDiurnalDeterministicAndWellFormed(t *testing.T) {
+	cfg := diurnalTestConfig(7)
+	a, err := PoissonSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PoissonSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical configs generated different diurnal schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty diurnal schedule")
+	}
+	// Well-formedness: time-ordered, sessions in range, departures only for
+	// live sessions, arrivals only for idle ones.
+	active := make(map[int]bool)
+	last := 0.0
+	for _, e := range a {
+		if e.TimeS < last || e.TimeS >= cfg.HorizonS {
+			t.Fatalf("event out of time order or past horizon: %+v", e)
+		}
+		last = e.TimeS
+		if e.Session < 0 || e.Session >= cfg.NumSessions {
+			t.Fatalf("event session out of range: %+v", e)
+		}
+		switch e.Kind {
+		case EventArrival:
+			if active[e.Session] {
+				t.Fatalf("arrival for active session: %+v", e)
+			}
+			active[e.Session] = true
+		case EventDeparture:
+			if !active[e.Session] {
+				t.Fatalf("departure for idle session: %+v", e)
+			}
+			active[e.Session] = false
+		default:
+			t.Fatalf("invalid event kind: %+v", e)
+		}
+	}
+}
+
+// TestDiurnalFollowTheSun checks the modulation does what it says: each
+// region's arrivals concentrate in the half-day centered on its peak. With
+// amplitude 0.9 the peak-half/trough-half rate ratio is (1+0.9·2/π)/(1−0.9·2/π)
+// ≈ 3.6, so a 1.8× observed ratio is a conservative assertion for a seeded
+// schedule.
+func TestDiurnalFollowTheSun(t *testing.T) {
+	cfg := diurnalTestConfig(11)
+	events, err := PoissonSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := cfg.Diurnal.DayS
+	peakCount := [2]int{}
+	troughCount := [2]int{}
+	total := 0
+	for _, e := range events {
+		if e.Kind != EventArrival {
+			continue
+		}
+		total++
+		r := cfg.Diurnal.SessionRegion[e.Session]
+		// Phase distance from the region's peak, in day fractions.
+		phase := math.Mod(e.TimeS/day-cfg.Diurnal.PeakFrac[r]+1.5, 1) - 0.5
+		if math.Abs(phase) < 0.25 {
+			peakCount[r]++
+		} else {
+			troughCount[r]++
+		}
+	}
+	if total < 200 {
+		t.Fatalf("too few arrivals (%d) for a meaningful modulation check", total)
+	}
+	for r := 0; r < 2; r++ {
+		if peakCount[r] < 2*troughCount[r] {
+			t.Fatalf("region %d arrivals not follow-the-sun: peak-half %d, trough-half %d",
+				r, peakCount[r], troughCount[r])
+		}
+	}
+}
+
+// TestDiurnalLegacyPathUntouched pins that a nil Diurnal still routes
+// through the homogeneous generator (determinism + shape).
+func TestDiurnalLegacyPathUntouched(t *testing.T) {
+	cfg := diurnalTestConfig(13)
+	cfg.Diurnal = nil
+	a, err := PoissonSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PoissonSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("homogeneous schedule not deterministic")
+	}
+}
+
+func TestGenerateSyntheticFleetRegions(t *testing.T) {
+	fc := DefaultFleetConfig(3)
+	fc.NumAgents = 16
+	fc.NumUsers = 60
+	fc.Regions = 4
+	sc, regions, err := GenerateSyntheticFleetRegions(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != sc.NumSessions() {
+		t.Fatalf("regions cover %d of %d sessions", len(regions), sc.NumSessions())
+	}
+	seen := map[int]bool{}
+	for s, r := range regions {
+		if r < 0 || r >= fc.Regions {
+			t.Fatalf("session %d homed in region %d outside [0, %d)", s, r, fc.Regions)
+		}
+		seen[r] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("population-weighted homing collapsed to %d region(s)", len(seen))
+	}
+	// The regional scenario itself must be identical to the regions-less
+	// entry point (same seed, same RNG draws).
+	sc2, err := GenerateSyntheticFleet(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumSessions() != sc2.NumSessions() || sc.NumUsers() != sc2.NumUsers() {
+		t.Fatal("GenerateSyntheticFleet diverged from GenerateSyntheticFleetRegions")
+	}
+	// Legacy uniform mode: all zeros.
+	fc.Regions = 0
+	_, regions, err = GenerateSyntheticFleetRegions(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regions {
+		if r != 0 {
+			t.Fatal("uniform fleet reported a nonzero home region")
+		}
+	}
+}

@@ -69,12 +69,22 @@ func DefaultFleetConfig(seed int64) FleetConfig {
 // σ = 40 ms ⇒ worst path 280 ms), so capacity-unconstrained chains explore
 // the full neighbor structure — the shape hop-pipeline benchmarks need.
 func GenerateSyntheticFleet(cfg FleetConfig) (*model.Scenario, error) {
+	sc, _, err := GenerateSyntheticFleetRegions(cfg)
+	return sc, err
+}
+
+// GenerateSyntheticFleetRegions is GenerateSyntheticFleet plus each
+// generated session's home-region index (all zeros in the legacy uniform
+// mode) — the session→region mapping DiurnalConfig.SessionRegion consumes,
+// so follow-the-sun churn schedules line up with the fleet's actual
+// geography.
+func GenerateSyntheticFleetRegions(cfg FleetConfig) (*model.Scenario, []int, error) {
 	if cfg.NumAgents < 1 || cfg.NumUsers < 2 {
-		return nil, fmt.Errorf("workload: fleet needs ≥1 agent and ≥2 users, got %d/%d",
+		return nil, nil, fmt.Errorf("workload: fleet needs ≥1 agent and ≥2 users, got %d/%d",
 			cfg.NumAgents, cfg.NumUsers)
 	}
 	if cfg.MinSessionSize < 2 || cfg.MaxSessionSize < cfg.MinSessionSize {
-		return nil, fmt.Errorf("workload: invalid fleet session size range [%d, %d]",
+		return nil, nil, fmt.Errorf("workload: invalid fleet session size range [%d, %d]",
 			cfg.MinSessionSize, cfg.MaxSessionSize)
 	}
 	if cfg.Regions > 0 {
@@ -145,15 +155,17 @@ func GenerateSyntheticFleet(cfg FleetConfig) (*model.Scenario, error) {
 	}
 	b.SetInterAgentDelays(d)
 	b.SetAgentUserDelays(h)
-	return b.Build()
+	sc, err := b.Build()
+	return sc, make([]int, sessions), err
 }
 
 // generateRegionalFleet is the Regions > 0 path of GenerateSyntheticFleet:
 // geographic clustering around netsim anchor cities, population-skewed
-// session homing, and finite per-region-skewed capacities.
-func generateRegionalFleet(cfg FleetConfig) (*model.Scenario, error) {
+// session homing, and finite per-region-skewed capacities. Returns each
+// session's home region alongside the scenario.
+func generateRegionalFleet(cfg FleetConfig) (*model.Scenario, []int, error) {
 	if cfg.RegionCapacitySkew >= 1 {
-		return nil, fmt.Errorf("workload: region capacity skew %v outside [0, 1)", cfg.RegionCapacitySkew)
+		return nil, nil, fmt.Errorf("workload: region capacity skew %v outside [0, 1)", cfg.RegionCapacitySkew)
 	}
 	switch {
 	case cfg.RegionCapacitySkew == 0:
@@ -165,13 +177,13 @@ func generateRegionalFleet(cfg FleetConfig) (*model.Scenario, error) {
 		cfg.AgentBandwidthMbps = 600
 	}
 	if cfg.AgentBandwidthMbps < 0 || cfg.AgentTranscodeSlots < 0 {
-		return nil, fmt.Errorf("workload: negative regional capacities")
+		return nil, nil, fmt.Errorf("workload: negative regional capacities")
 	}
 	if cfg.AgentTranscodeSlots == 0 {
 		cfg.AgentTranscodeSlots = 12
 	}
 	if cfg.CrossRegionFrac > 1 {
-		return nil, fmt.Errorf("workload: cross-region fraction %v outside [0, 1]", cfg.CrossRegionFrac)
+		return nil, nil, fmt.Errorf("workload: cross-region fraction %v outside [0, 1]", cfg.CrossRegionFrac)
 	}
 	switch {
 	case cfg.CrossRegionFrac == 0:
@@ -253,6 +265,7 @@ func generateRegionalFleet(cfg FleetConfig) (*model.Scenario, error) {
 	// Sessions: homed in a population-weighted region; most members join
 	// from the home metro, a few from a random foreign region.
 	var userSites []netsim.Site
+	var homes []int
 	var users, sessions int
 	for users < cfg.NumUsers {
 		size := cfg.MinSessionSize + rng.Intn(cfg.MaxSessionSize-cfg.MinSessionSize+1)
@@ -264,6 +277,7 @@ func generateRegionalFleet(cfg FleetConfig) (*model.Scenario, error) {
 		}
 		home := pickRegion()
 		sid := b.AddSession(fmt.Sprintf("fleet-%03d-%s", sessions, anchors[home].Name))
+		homes = append(homes, home)
 		sessions++
 		var first model.UserID
 		for i := 0; i < size; i++ {
@@ -293,9 +307,10 @@ func generateRegionalFleet(cfg FleetConfig) (*model.Scenario, error) {
 	// ones in the hundreds.
 	net, err := netsim.Generate(netsim.DefaultConfig(cfg.Seed), agentSites, userSites)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	b.SetInterAgentDelays(net.DMS)
 	b.SetAgentUserDelays(net.HMS)
-	return b.Build()
+	sc, err := b.Build()
+	return sc, homes, err
 }
