@@ -243,13 +243,17 @@ func fleetScenario(b *testing.B, seed int64) (*cost.Evaluator, *assign.Assignmen
 }
 
 // BenchmarkHopSession measures one HOP of Alg. 1 on a 100-agent fleet:
-// "sparse" is the production delta pipeline (target: 0 allocs/op), "dense"
-// the reference implementation it replaced, and "sparse-7agents" the classic
-// paper-scale workload for continuity with older baselines.
+// "sparse-warm" is the production delta pipeline with the persistent
+// per-session delay cache (target: 0 allocs/op), "sparse-rebuild" the same
+// pipeline rebuilding the delay base every hop (the pre-cache path behind
+// core.Config.RebuildDelayBase), "dense" the reference implementation both
+// replaced, and "sparse-7agents" the classic paper-scale workload for
+// continuity with older baselines. The "warm-hop"/"rebuild-hop" pair runs
+// the N_ngbr = 1 candidate window (Fig. 10's tightest pruning), where the
+// once-per-hop BeginSession is a large share of the hop and the warm cache
+// pays off most — the acceptance series recorded in BENCH_5.json.
 func BenchmarkHopSession(b *testing.B) {
-	run := func(b *testing.B, ev *cost.Evaluator, a *assign.Assignment, ledger *cost.Ledger, dense bool) {
-		cfg := core.DefaultConfig(1)
-		cfg.DenseEval = dense
+	run := func(b *testing.B, ev *cost.Evaluator, a *assign.Assignment, ledger *cost.Ledger, cfg core.Config) {
 		rng := rand.New(rand.NewSource(1))
 		scr := core.NewHopScratch(ev)
 		sessions := ev.Scenario().NumSessions()
@@ -261,17 +265,39 @@ func BenchmarkHopSession(b *testing.B) {
 			}
 		}
 	}
-	b.Run("sparse", func(b *testing.B) {
+	shape := func(dense, rebuild bool, window int) core.Config {
+		cfg := core.DefaultConfig(1)
+		cfg.DenseEval = dense
+		cfg.RebuildDelayBase = rebuild
+		cfg.NeighborWindow = window
+		return cfg
+	}
+	b.Run("sparse-warm", func(b *testing.B) {
 		ev, a, ledger := fleetScenario(b, 1)
-		run(b, ev, a, ledger, false)
+		run(b, ev, a, ledger, shape(false, false, 0))
+	})
+	b.Run("sparse-rebuild", func(b *testing.B) {
+		ev, a, ledger := fleetScenario(b, 1)
+		run(b, ev, a, ledger, shape(false, true, 0))
+	})
+	// The acceptance pair: the N_ngbr = 1 windowed chain (Fig. 10's
+	// tightest pruning), where every hop's BeginSession lands on the entry
+	// its previous commit re-synchronized — a pure warm hit.
+	b.Run("warm-hop", func(b *testing.B) {
+		ev, a, ledger := fleetScenario(b, 1)
+		run(b, ev, a, ledger, shape(false, false, 1))
+	})
+	b.Run("rebuild-hop", func(b *testing.B) {
+		ev, a, ledger := fleetScenario(b, 1)
+		run(b, ev, a, ledger, shape(false, true, 1))
 	})
 	b.Run("dense", func(b *testing.B) {
 		ev, a, ledger := fleetScenario(b, 1)
-		run(b, ev, a, ledger, true)
+		run(b, ev, a, ledger, shape(true, false, 0))
 	})
 	b.Run("sparse-7agents", func(b *testing.B) {
 		ev, a, ledger := benchScenario(b, 1)
-		run(b, ev, a, ledger, false)
+		run(b, ev, a, ledger, shape(false, false, 0))
 	})
 }
 
@@ -286,7 +312,11 @@ func BenchmarkSessionLoad(b *testing.B) {
 }
 
 // BenchmarkSessionObjective compares the dense Φ_s evaluation (fresh load
-// vectors + from-scratch delays) against the sparse scratch-based one.
+// vectors + from-scratch delays) against the sparse scratch-based one, with
+// and without the persistent delay cache: the "warm" series evaluates
+// unchanged sessions, so it isolates what the cache saves on the
+// once-per-hop BeginSession term (signature compare vs full delay-base
+// rebuild).
 func BenchmarkSessionObjective(b *testing.B) {
 	b.Run("dense", func(b *testing.B) {
 		ev, a, _ := benchScenario(b, 3)
@@ -301,6 +331,20 @@ func BenchmarkSessionObjective(b *testing.B) {
 		ev, a, _ := benchScenario(b, 3)
 		sessions := ev.Scenario().NumSessions()
 		scr := ev.NewScratch()
+		scr.SetDelayCacheEnabled(false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ev.BeginSession(a, model.SessionID(i%sessions), scr).Phi
+		}
+	})
+	b.Run("sparse-warm", func(b *testing.B) {
+		ev, a, _ := benchScenario(b, 3)
+		sessions := ev.Scenario().NumSessions()
+		scr := ev.NewScratch()
+		for s := 0; s < sessions; s++ { // warm every entry
+			_ = ev.BeginSession(a, model.SessionID(s), scr).Phi
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

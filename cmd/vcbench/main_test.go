@@ -55,19 +55,34 @@ func TestRunMicroQuickJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("micro output is not valid JSON: %v\n%s", err, buf.String())
 	}
-	if len(rep.Benchmarks) != 6 {
-		t.Fatalf("benchmarks = %d, want 6 (3 families × dense/sparse)", len(rep.Benchmarks))
+	// 3 families × dense/sparse, plus the delay-cache series: the warm-hop
+	// vs rebuild-hop pair and the warm objective point.
+	if len(rep.Benchmarks) != 9 {
+		t.Fatalf("benchmarks = %d, want 9 (3 families × dense/sparse + 3 delay-cache series)", len(rep.Benchmarks))
 	}
+	names := make(map[string]bool, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
+		names[b.Name] = true
 		if b.NsPerOp <= 0 || b.Iterations <= 0 {
 			t.Fatalf("degenerate measurement: %+v", b)
 		}
-		if b.Name == "HopSession/sparse" && b.AllocsPerOp != 0 {
+		if (b.Name == "HopSession/sparse" || b.Name == "HopSession/warm-hop") && b.AllocsPerOp != 0 {
 			t.Fatalf("sparse hop path allocates: %+v", b)
+		}
+	}
+	for _, want := range []string{"HopSession/warm-hop", "HopSession/rebuild-hop", "SessionObjective/warm"} {
+		if !names[want] {
+			t.Fatalf("missing delay-cache series %q in %v", want, names)
 		}
 	}
 	if rep.Speedups["HopSession"] <= 1 {
 		t.Fatalf("sparse hop slower than dense: %v", rep.Speedups)
+	}
+	if sp, ok := rep.Speedups["HopSession/warm-hop"]; !ok || sp <= 0 {
+		t.Fatalf("warm-hop speedup unrecorded: %v", rep.Speedups)
+	}
+	if rep.Speedups["SessionObjective/warm"] <= 1 {
+		t.Fatalf("warm objective evaluation slower than rebuild: %v", rep.Speedups)
 	}
 }
 

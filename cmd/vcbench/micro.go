@@ -84,8 +84,10 @@ func record(name string, agents int, r testing.BenchmarkResult) microResult {
 	}
 }
 
-// hopBench measures HopSession over the synthetic fleet.
-func hopBench(fleetAgents int, seed int64, dense bool) (testing.BenchmarkResult, error) {
+// hopBench measures HopSession over the synthetic fleet. window > 0
+// applies the N_ngbr candidate window; rebuild selects the per-hop
+// delay-base rebuild instead of the persistent delay cache.
+func hopBench(fleetAgents int, seed int64, dense, rebuild bool, window int) (testing.BenchmarkResult, error) {
 	fc := workload.DefaultFleetConfig(seed)
 	fc.NumAgents = fleetAgents
 	sc, err := workload.GenerateSyntheticFleet(fc)
@@ -104,9 +106,18 @@ func hopBench(fleetAgents int, seed int64, dense bool) (testing.BenchmarkResult,
 	}
 	cfg := core.DefaultConfig(seed)
 	cfg.DenseEval = dense
+	cfg.RebuildDelayBase = rebuild
+	cfg.NeighborWindow = window
 	rng := rand.New(rand.NewSource(seed))
 	scr := core.NewHopScratch(ev)
 	sessions := sc.NumSessions()
+	// Warm-up pass: sizes every buffer and, on the cached path, populates
+	// every session's delay entry, so the measurement is steady state.
+	for s := 0; s < sessions; s++ {
+		if _, err := core.HopSessionWith(a, model.SessionID(s), ev, ledger, cfg, rng, scr); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
 	var benchErr error
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -120,8 +131,19 @@ func hopBench(fleetAgents int, seed int64, dense bool) (testing.BenchmarkResult,
 	return res, benchErr
 }
 
-// objectiveBench measures Φ_s evaluation on the paper-scale workload.
-func objectiveBench(seed int64, dense bool) (testing.BenchmarkResult, int, error) {
+// objectiveMode selects the Φ_s evaluation path objectiveBench measures.
+type objectiveMode int
+
+const (
+	objectiveDense  objectiveMode = iota // fresh load vectors + from-scratch delays
+	objectiveSparse                      // sparse scratch, per-call delay-base rebuild
+	objectiveWarm                        // sparse scratch, persistent delay cache (warm hits)
+)
+
+// objectiveBench measures Φ_s evaluation on the paper-scale workload. The
+// warm mode cycles unchanged sessions, so it isolates what the persistent
+// delay cache saves on the once-per-hop BeginSession term.
+func objectiveBench(seed int64, mode objectiveMode) (testing.BenchmarkResult, int, error) {
 	wl := workload.LargeScale(seed)
 	wl.NumUsers = 40
 	wl.NumUserNodes = 64
@@ -139,11 +161,17 @@ func objectiveBench(seed int64, dense bool) (testing.BenchmarkResult, int, error
 	}
 	sessions := sc.NumSessions()
 	scr := ev.NewScratch()
+	scr.SetDelayCacheEnabled(mode == objectiveWarm)
+	if mode == objectiveWarm {
+		for s := 0; s < sessions; s++ {
+			_ = ev.BeginSession(a, model.SessionID(s), scr).Phi
+		}
+	}
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s := model.SessionID(i % sessions)
-			if dense {
+			if mode == objectiveDense {
 				_ = ev.SessionObjective(a, s)
 			} else {
 				_ = ev.BeginSession(a, s, scr).Phi
@@ -354,7 +382,10 @@ func runShardSweep(shardCounts []int, fleetAgents int, seed int64) ([]shardSweep
 func runMicro(w io.Writer, format string, fleetAgents int, seed int64) error {
 	rep := microReport{
 		GeneratedBy: "vcbench -run micro",
-		Description: "Hop-pipeline hot paths (dense reference vs sparse pipeline) plus the sharded-ledger " +
+		Description: "Hop-pipeline hot paths (dense reference vs sparse pipeline, and the persistent " +
+			"per-session delay cache vs the per-hop delay-base rebuild: HopSession/warm-hop runs the " +
+			"N_ngbr=1 windowed chain where each hop's BeginSession is a pure warm hit re-synchronized by " +
+			"the previous commit, and SessionObjective/warm evaluates unchanged sessions) plus the sharded-ledger " +
 			"orchestrator sweep: events/sec vs shard count, where n shards = n solver workers over an " +
 			"n-stripe capacity ledger and n=1 is the legacy single-lock commit path (bit-identical to " +
 			"sharded P=1). Wall-clock scaling is bounded by hardware_parallel_ceiling — on shared-vCPU " +
@@ -371,25 +402,52 @@ func runMicro(w io.Writer, format string, fleetAgents int, seed int64) error {
 		}
 	}
 
-	hopDense, err := hopBench(fleetAgents, seed, true)
+	hopDense, err := hopBench(fleetAgents, seed, true, false, 0)
 	if err != nil {
 		return fmt.Errorf("micro: hop dense: %w", err)
 	}
-	hopSparse, err := hopBench(fleetAgents, seed, false)
+	hopSparse, err := hopBench(fleetAgents, seed, false, false, 0)
 	if err != nil {
 		return fmt.Errorf("micro: hop sparse: %w", err)
 	}
 	add("HopSession", fleetAgents, hopDense, hopSparse)
 
-	objDense, agents, err := objectiveBench(seed, true)
+	// Warm-hop acceptance series: the N_ngbr = 1 windowed chain, persistent
+	// delay cache vs per-hop delay-base rebuild — the BeginSession term the
+	// cache removes is a large share of a windowed hop.
+	hopRebuild, err := hopBench(fleetAgents, seed, false, true, 1)
+	if err != nil {
+		return fmt.Errorf("micro: hop rebuild: %w", err)
+	}
+	hopWarm, err := hopBench(fleetAgents, seed, false, false, 1)
+	if err != nil {
+		return fmt.Errorf("micro: hop warm: %w", err)
+	}
+	rb := record("HopSession/rebuild-hop", fleetAgents, hopRebuild)
+	wm := record("HopSession/warm-hop", fleetAgents, hopWarm)
+	rep.Benchmarks = append(rep.Benchmarks, rb, wm)
+	if wm.NsPerOp > 0 {
+		rep.Speedups["HopSession/warm-hop"] = rb.NsPerOp / wm.NsPerOp
+	}
+
+	objDense, agents, err := objectiveBench(seed, objectiveDense)
 	if err != nil {
 		return fmt.Errorf("micro: objective dense: %w", err)
 	}
-	objSparse, _, err := objectiveBench(seed, false)
+	objSparse, _, err := objectiveBench(seed, objectiveSparse)
 	if err != nil {
 		return fmt.Errorf("micro: objective sparse: %w", err)
 	}
 	add("SessionObjective", agents, objDense, objSparse)
+	objWarm, _, err := objectiveBench(seed, objectiveWarm)
+	if err != nil {
+		return fmt.Errorf("micro: objective warm: %w", err)
+	}
+	ow := record("SessionObjective/warm", agents, objWarm)
+	rep.Benchmarks = append(rep.Benchmarks, ow)
+	if sparseNs := float64(objSparse.T.Nanoseconds()) / float64(objSparse.N); ow.NsPerOp > 0 {
+		rep.Speedups["SessionObjective/warm"] = sparseNs / ow.NsPerOp
+	}
 
 	orcDense, agents, err := orchestratorBench(seed, true)
 	if err != nil {

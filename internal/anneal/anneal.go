@@ -39,6 +39,11 @@ type AnnealConfig struct {
 	T0   float64
 	TEnd float64
 	Seed int64
+	// RebuildDelayBase disables the persistent per-session delay cache the
+	// proposal chain reuses across iterations (see cost.DelayCache) and
+	// rebuilds the full delay base on every BeginSession instead. The two
+	// paths are bit-identical; the flag exists for differential testing.
+	RebuildDelayBase bool
 }
 
 // DefaultAnnealConfig returns a schedule sized for workloads of a few
@@ -87,10 +92,13 @@ func SimulatedAnnealing(ev *cost.Evaluator, start *assign.Assignment, cfg Anneal
 	cooling := math.Pow(cfg.TEnd/cfg.T0, 1/float64(cfg.Iterations))
 	temp := cfg.T0
 
-	// One evaluation scratch serves the whole run: each proposal costs a
-	// sparse load rebuild plus a delay re-evaluation of the moved flows, with
-	// no per-iteration allocations.
+	// One evaluation scratch serves the whole run: its per-session delay
+	// cache persists across the chain, so a proposal for a session whose
+	// variables did not move since its last evaluation skips the delay-base
+	// rebuild entirely, and an accepted move patches only the moved flows.
+	// No per-iteration allocations either way.
 	scr := ev.NewScratch()
+	scr.SetDelayCacheEnabled(!cfg.RebuildDelayBase)
 	var decisions []assign.Decision
 
 	// Base-feasibility invariant: removing a session's (non-negative) load
@@ -133,6 +141,10 @@ func SimulatedAnnealing(ev *cost.Evaluator, start *assign.Assignment, cfg Anneal
 		if accept {
 			ledger.AddSparse(newLoad)
 			fullFeasible = true // base + fitting candidate ⇒ feasible ledger
+			// Commit notification: the accepted candidate's load and Φ are
+			// already evaluated — re-sync the delay-cache entry so the next
+			// proposal for this session starts from a pure warm hit.
+			ev.CommitSessionDecision(a, s, scr, newLoad, newSessionPhi)
 			curPhi += newSessionPhi - sessionPhi[s]
 			sessionPhi[s] = newSessionPhi
 			res.Accepted++
@@ -157,6 +169,9 @@ type GreedyConfig struct {
 	// MaxRounds bounds full sweeps over all sessions (descent usually
 	// terminates earlier at a local optimum).
 	MaxRounds int
+	// RebuildDelayBase disables the persistent per-session delay cache the
+	// descent reuses across rounds; see AnnealConfig.RebuildDelayBase.
+	RebuildDelayBase bool
 }
 
 // DefaultGreedyConfig allows enough rounds for convergence on the paper's
@@ -183,7 +198,12 @@ func GreedyDescent(ev *cost.Evaluator, start *assign.Assignment, cfg GreedyConfi
 	}
 
 	res := &Result{}
+	// One scratch serves the descent; its delay cache keeps each session's
+	// base warm across rounds (a session that did not improve last round
+	// re-evaluates in O(signature compare), and an applied best move
+	// patches only its own flows next round).
 	scr := ev.NewScratch()
+	scr.SetDelayCacheEnabled(!cfg.RebuildDelayBase)
 	var decisions []assign.Decision
 	for round := 0; round < cfg.MaxRounds; round++ {
 		improvedAny := false

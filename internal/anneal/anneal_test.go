@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -270,4 +271,50 @@ func tinyScenario(rng *rand.Rand) *model.Scenario {
 		panic(err)
 	}
 	return sc
+}
+
+// TestAnnealDelayCacheBitIdentical replays SA and greedy descent with the
+// persistent delay cache (default) and with the per-iteration delay-base
+// rebuild: identical seeds must walk identical chains — same accepted-move
+// counts, same objective bits, same final assignment.
+func TestAnnealDelayCacheBitIdentical(t *testing.T) {
+	ev, start := smallScenario(t, 5)
+
+	cached := DefaultAnnealConfig(5)
+	cached.Iterations = 3000
+	rebuild := cached
+	rebuild.RebuildDelayBase = true
+	resC, err := SimulatedAnnealing(ev, start, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resR, err := SimulatedAnnealing(ev, start, rebuild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(resC.BestPhi) != math.Float64bits(resR.BestPhi) ||
+		resC.Accepted != resR.Accepted || resC.Iterations != resR.Iterations {
+		t.Fatalf("SA diverged: cached (phi %v, acc %d) vs rebuild (phi %v, acc %d)",
+			resC.BestPhi, resC.Accepted, resR.BestPhi, resR.Accepted)
+	}
+	if !resC.Assignment.Equal(resR.Assignment) {
+		t.Fatal("SA final assignments diverged between cached and rebuild delay paths")
+	}
+
+	gC, err := GreedyDescent(ev, start, GreedyConfig{MaxRounds: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gR, err := GreedyDescent(ev, start, GreedyConfig{MaxRounds: 50, RebuildDelayBase: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(gC.BestPhi) != math.Float64bits(gR.BestPhi) ||
+		gC.Accepted != gR.Accepted || gC.Iterations != gR.Iterations {
+		t.Fatalf("greedy diverged: cached (phi %v, acc %d, it %d) vs rebuild (phi %v, acc %d, it %d)",
+			gC.BestPhi, gC.Accepted, gC.Iterations, gR.BestPhi, gR.Accepted, gR.Iterations)
+	}
+	if !gC.Assignment.Equal(gR.Assignment) {
+		t.Fatal("greedy final assignments diverged between cached and rebuild delay paths")
+	}
 }

@@ -126,6 +126,15 @@ func (a *Assignment) SessionFlowsShared(s model.SessionID) []model.Flow {
 	return a.flows[a.flowStart[s]:a.flowStart[s+1]]
 }
 
+// SessionFlowAgents returns session s's transcoding-flow agents as a view
+// aligned index-for-index with SessionFlowsShared: zero allocations, no
+// per-flow map lookups. Callers must not mutate it — the cost package's
+// delay cache reads it to diff a session's flow placements against a
+// cached signature in O(flows) integer compares.
+func (a *Assignment) SessionFlowAgents(s model.SessionID) []model.AgentID {
+	return a.flowAgent[a.flowStart[s]:a.flowStart[s+1]]
+}
+
 // Complete reports whether every user and every transcoding flow has an
 // agent (constraints (1) and (3) of the paper hold structurally).
 func (a *Assignment) Complete() bool {

@@ -37,35 +37,46 @@ func allocFixture(t *testing.T, seed int64) (*cost.Evaluator, *assign.Assignment
 }
 
 func TestHopSessionZeroAllocs(t *testing.T) {
-	ev, a, ledger := allocFixture(t, 1)
-	sessions := ev.Scenario().NumSessions()
-	cfg := DefaultConfig(1)
-	rng := newTestRNG(1)
-	scr := NewHopScratch(ev)
+	// Both sparse paths — the warm delay cache (production default) and the
+	// per-hop rebuild reference — must run allocation-free at steady state.
+	for _, tc := range []struct {
+		name    string
+		rebuild bool
+	}{{"warm-delay-cache", false}, {"rebuild-delay-base", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			ev, a, ledger := allocFixture(t, 1)
+			sessions := ev.Scenario().NumSessions()
+			cfg := DefaultConfig(1)
+			cfg.RebuildDelayBase = tc.rebuild
+			rng := newTestRNG(1)
+			scr := NewHopScratch(ev)
 
-	// Warm-up: one pass over every session sizes all buffers.
-	for s := 0; s < sessions; s++ {
-		if _, err := HopSessionWith(a, model.SessionID(s), ev, ledger, cfg, rng, scr); err != nil {
-			t.Fatal(err)
-		}
-	}
-
-	var hopErr error
-	i := 0
-	res := testing.Benchmark(func(b *testing.B) {
-		for n := 0; n < b.N; n++ {
-			if _, err := HopSessionWith(a, model.SessionID(i%sessions), ev, ledger, cfg, rng, scr); err != nil {
-				hopErr = err
-				return
+			// Warm-up: one pass over every session sizes all buffers (and,
+			// on the cached path, allocates every session's delay entry).
+			for s := 0; s < sessions; s++ {
+				if _, err := HopSessionWith(a, model.SessionID(s), ev, ledger, cfg, rng, scr); err != nil {
+					t.Fatal(err)
+				}
 			}
-			i++
-		}
-	})
-	if hopErr != nil {
-		t.Fatal(hopErr)
-	}
-	if allocs := res.AllocsPerOp(); allocs != 0 {
-		t.Errorf("HopSessionWith candidate loop allocates %d allocs/op, want 0", allocs)
+
+			var hopErr error
+			i := 0
+			res := testing.Benchmark(func(b *testing.B) {
+				for n := 0; n < b.N; n++ {
+					if _, err := HopSessionWith(a, model.SessionID(i%sessions), ev, ledger, cfg, rng, scr); err != nil {
+						hopErr = err
+						return
+					}
+					i++
+				}
+			})
+			if hopErr != nil {
+				t.Fatal(hopErr)
+			}
+			if allocs := res.AllocsPerOp(); allocs != 0 {
+				t.Errorf("HopSessionWith candidate loop allocates %d allocs/op, want 0", allocs)
+			}
+		})
 	}
 }
 

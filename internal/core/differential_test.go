@@ -58,41 +58,61 @@ func runDifferential(t *testing.T, sc *model.Scenario, cfg Config, untilS float6
 	return trace, samples, eng.Assignment()
 }
 
-// compareDifferential asserts dense and sparse runs are identical.
+// compareDifferential asserts that the dense reference, the sparse pipeline
+// with its persistent delay cache (the production default), and the sparse
+// pipeline with the per-hop delay-base rebuild (Config.RebuildDelayBase)
+// replay identical runs.
 func compareDifferential(t *testing.T, sc *model.Scenario, cfg Config, untilS float64,
 	degrade func(e *Engine)) {
 	t.Helper()
 	dense := cfg
 	dense.DenseEval = true
-	sparse := cfg
-	sparse.DenseEval = false
+	cached := cfg
+	cached.DenseEval = false
+	cached.RebuildDelayBase = false
+	rebuild := cfg
+	rebuild.DenseEval = false
+	rebuild.RebuildDelayBase = true
 
 	dTrace, dSamples, dFinal := runDifferential(t, sc, dense, untilS, degrade)
-	sTrace, sSamples, sFinal := runDifferential(t, sc, sparse, untilS, degrade)
-
 	if len(dTrace) == 0 {
 		t.Fatal("dense run produced no hops; differential comparison is vacuous")
 	}
+	for _, variant := range []struct {
+		name string
+		cfg  Config
+	}{{"sparse-cached", cached}, {"sparse-rebuild", rebuild}} {
+		sTrace, sSamples, sFinal := runDifferential(t, sc, variant.cfg, untilS, degrade)
+		compareRuns(t, variant.name, dTrace, dSamples, dFinal, sTrace, sSamples, sFinal)
+	}
+}
+
+// compareRuns asserts one sparse variant matches the dense reference run
+// trace-for-trace, sample-for-sample, and in the final assignment.
+func compareRuns(t *testing.T, name string,
+	dTrace []hopTrace, dSamples []Sample, dFinal *assign.Assignment,
+	sTrace []hopTrace, sSamples []Sample, sFinal *assign.Assignment) {
+	t.Helper()
 	if len(dTrace) != len(sTrace) {
-		t.Fatalf("hop counts differ: dense %d, sparse %d", len(dTrace), len(sTrace))
+		t.Fatalf("%s: hop counts differ: dense %d, sparse %d", name, len(dTrace), len(sTrace))
 	}
 	moved := 0
 	for i := range dTrace {
 		d, s := dTrace[i], sTrace[i]
 		if d.timeS != s.timeS || d.session != s.session {
-			t.Fatalf("hop %d: schedule diverged: dense (t=%v s=%d) vs sparse (t=%v s=%d)",
-				i, d.timeS, d.session, s.timeS, s.session)
+			t.Fatalf("%s: hop %d: schedule diverged: dense (t=%v s=%d) vs sparse (t=%v s=%d)",
+				name, i, d.timeS, d.session, s.timeS, s.session)
 		}
 		if d.res.Moved != s.res.Moved || d.res.Decision != s.res.Decision {
-			t.Fatalf("hop %d: decision diverged: dense %+v vs sparse %+v", i, d.res, s.res)
+			t.Fatalf("%s: hop %d: decision diverged: dense %+v vs sparse %+v", name, i, d.res, s.res)
 		}
 		if d.res.Feasible != s.res.Feasible {
-			t.Fatalf("hop %d: candidate sets differ: dense %d feasible, sparse %d",
-				i, d.res.Feasible, s.res.Feasible)
+			t.Fatalf("%s: hop %d: candidate sets differ: dense %d feasible, sparse %d",
+				name, i, d.res.Feasible, s.res.Feasible)
 		}
 		if d.res.PhiBefore != s.res.PhiBefore || d.res.PhiAfter != s.res.PhiAfter {
-			t.Fatalf("hop %d: Φ readings differ: dense (%v→%v) vs sparse (%v→%v)",
-				i, d.res.PhiBefore, d.res.PhiAfter, s.res.PhiBefore, s.res.PhiAfter)
+			t.Fatalf("%s: hop %d: Φ readings differ: dense (%v→%v) vs sparse (%v→%v)",
+				name, i, d.res.PhiBefore, d.res.PhiAfter, s.res.PhiBefore, s.res.PhiAfter)
 		}
 		if d.res.Moved {
 			moved++
@@ -102,17 +122,17 @@ func compareDifferential(t *testing.T, sc *model.Scenario, cfg Config, untilS fl
 		t.Fatal("no hop migrated; differential comparison exercised no load deltas")
 	}
 	if len(dSamples) != len(sSamples) {
-		t.Fatalf("sample counts differ: dense %d, sparse %d", len(dSamples), len(sSamples))
+		t.Fatalf("%s: sample counts differ: dense %d, sparse %d", name, len(dSamples), len(sSamples))
 	}
 	for i := range dSamples {
 		d, s := dSamples[i], sSamples[i]
 		if d.TimeS != s.TimeS || d.Objective != s.Objective ||
 			d.TrafficMbps != s.TrafficMbps || d.MeanDelayMS != s.MeanDelayMS {
-			t.Fatalf("sample %d differs: dense %+v vs sparse %+v", i, d, s)
+			t.Fatalf("%s: sample %d differs: dense %+v vs sparse %+v", name, i, d, s)
 		}
 	}
 	if !dFinal.Equal(sFinal) {
-		t.Fatalf("final assignments differ:\ndense:  %v\nsparse: %v", dFinal, sFinal)
+		t.Fatalf("%s: final assignments differ:\ndense:  %v\nsparse: %v", name, dFinal, sFinal)
 	}
 }
 
@@ -158,6 +178,49 @@ func TestDifferentialSparseDenseConstrainedDegraded(t *testing.T) {
 func TestDifferentialSparseDenseExactCTMC(t *testing.T) {
 	cfg := Config{Beta: 20, ObjectiveScale: 0.01, MeanCountdownS: 1, Mode: ExactCTMC, Seed: 3}
 	compareDifferential(t, fig3Scenario(t), cfg, 120, nil)
+}
+
+// Shape 5: session churn through the engine's event loop — departures and
+// re-arrivals exercise the delay cache's invalidation (bootstrap/teardown
+// mark entries cold) interleaved with warm hops. Cached and rebuild paths
+// must replay identical runs.
+func TestDifferentialDelayCacheChurn(t *testing.T) {
+	sc := multiScenario(t, 6)
+	run := func(cfg Config) ([]hopTrace, []Sample, *assign.Assignment) {
+		ev := newEval(t, sc)
+		eng, err := NewEngine(ev, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []hopTrace
+		eng.OnHop = func(timeS float64, s model.SessionID, r HopResult) {
+			trace = append(trace, hopTrace{timeS: timeS, session: s, res: r})
+		}
+		boot := nrstBoot(ev.Params())
+		for s := 0; s < 4; s++ {
+			if err := eng.ActivateSession(model.SessionID(s), boot); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Churn: two sessions leave mid-run, one re-arrives, two fresh
+		// sessions arrive late.
+		eng.ScheduleDeparture(40, 1)
+		eng.ScheduleDeparture(60, 2)
+		eng.ScheduleArrival(80, 1, boot)
+		eng.ScheduleArrival(90, 4, boot)
+		eng.ScheduleArrival(100, 5, boot)
+		samples, err := eng.Run(180, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace, samples, eng.Assignment()
+	}
+	cached := DefaultConfig(29)
+	rebuild := DefaultConfig(29)
+	rebuild.RebuildDelayBase = true
+	cTrace, cSamples, cFinal := run(cached)
+	rTrace, rSamples, rFinal := run(rebuild)
+	compareRuns(t, "cached-vs-rebuild-churn", rTrace, rSamples, rFinal, cTrace, cSamples, cFinal)
 }
 
 // The primitive-level contract: sparse load, report, and capacity checks

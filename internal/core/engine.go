@@ -86,7 +86,7 @@ func NewEngine(ev *cost.Evaluator, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	sc := ev.Scenario()
-	return &Engine{
+	e := &Engine{
 		ev:      ev,
 		cfg:     cfg,
 		a:       assign.New(sc),
@@ -94,7 +94,12 @@ func NewEngine(ev *cost.Evaluator, cfg Config) (*Engine, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		scratch: NewHopScratch(ev),
 		active:  make(map[model.SessionID]bool, sc.NumSessions()),
-	}, nil
+	}
+	// The engine-owned scratch serves hops, rate queries, deactivation and
+	// snapshot reporting: its per-session delay cache stays warm across all
+	// of them unless the reference rebuild path is selected.
+	e.scratch.Eval().SetDelayCacheEnabled(!cfg.RebuildDelayBase)
+	return e, nil
 }
 
 // Assignment returns a snapshot (deep copy) of the current assignment.
@@ -128,6 +133,9 @@ func (e *Engine) ActivateSession(s model.SessionID, boot Bootstrapper) error {
 	if err := boot(e.a, s, e.ledger); err != nil {
 		return fmt.Errorf("core: bootstrap session %d: %w", s, err)
 	}
+	// The bootstrap rewrote every variable of the session: drop any cached
+	// delay state so the first hop rebuilds instead of patching it all.
+	e.scratch.Eval().InvalidateDelay(s)
 	e.active[s] = true
 	e.scheduleHop(s)
 	return nil
@@ -152,6 +160,9 @@ func (e *Engine) DeactivateSession(s model.SessionID) error {
 	e.active[s] = false
 	e.epochOf(s) // ensure allocated
 	e.epochs[s]++
+	// Departure tears every variable down; invalidate the session's cached
+	// delay state (a later re-arrival full-rebuilds).
+	e.scratch.Eval().InvalidateDelay(s)
 	return nil
 }
 

@@ -28,9 +28,10 @@ type HopResult struct {
 }
 
 // HopScratch pools every reusable buffer one hop needs: the cost package's
-// evaluation scratch (sparse loads, delay matrix) plus the candidate-set
-// buffers of the jump sampling. One scratch per worker; not safe for
-// concurrent use.
+// evaluation scratch (sparse loads, delay matrix, and the persistent
+// per-session delay cache BeginSession reuses across hops) plus the
+// candidate-set buffers of the jump sampling. One scratch per worker; not
+// safe for concurrent use.
 type HopScratch struct {
 	eval      *cost.Scratch
 	decisions []assign.Decision
@@ -140,6 +141,7 @@ func HopSessionWith(
 	}
 	scr.ensure(ev)
 	es := scr.eval
+	es.SetDelayCacheEnabled(!cfg.RebuildDelayBase)
 
 	// Line 11: fetch residual capacities — remove s's own load so the
 	// ledger holds exactly the *other* sessions' usage. BeginSession also
@@ -232,7 +234,12 @@ func HopSessionWith(
 		ledger.AddSparse(curLoad)
 		return HopResult{}, err
 	}
-	ledger.AddSparse(ev.CandidateLoad(a, s, es))
+	newLoad := ev.CandidateLoad(a, s, es)
+	ledger.AddSparse(newLoad)
+	// Commit notification: re-sync the session's warm delay-cache entry
+	// from the winning candidate's already-evaluated load and Φ, so the
+	// session's next BeginSession is a pure warm hit instead of a patch.
+	ev.CommitSessionDecision(a, s, es, newLoad, phiChosen)
 	res.Moved = true
 	res.Decision = d
 	res.PhiAfter = phiChosen
@@ -367,6 +374,7 @@ func SessionTotalRateWith(
 	}
 	scr.ensure(ev)
 	es := scr.eval
+	es.SetDelayCacheEnabled(!cfg.RebuildDelayBase)
 
 	be := ev.BeginSession(a, s, es)
 	curLoad := es.CurLoad()

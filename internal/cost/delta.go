@@ -80,11 +80,22 @@ func (c *ObjectiveCache) SetActive(s model.SessionID, on bool) {
 	} else {
 		c.phi[s] = 0
 		c.dirty[s] = false
+		// The session is departing: its variables are about to be torn
+		// down wholesale, so drop the refresh scratch's delay-cache entry —
+		// a re-arrival full-rebuilds instead of patching a fully-changed
+		// matrix.
+		c.scr.InvalidateDelay(s)
 	}
 }
 
 // Active reports whether session s is active.
 func (c *ObjectiveCache) Active(s model.SessionID) bool { return c.active[s] }
+
+// SetDelayCacheEnabled toggles the persistent delay cache on the cache's
+// internal refresh scratch — control planes thread their rebuild-reference
+// config bit (core.Config.RebuildDelayBase) through here so disabling the
+// cache really disables it on every evaluation path, refreshes included.
+func (c *ObjectiveCache) SetDelayCacheEnabled(on bool) { c.scr.SetDelayCacheEnabled(on) }
 
 // ActiveSessions returns the active session IDs in ascending order.
 func (c *ObjectiveCache) ActiveSessions() []model.SessionID {

@@ -18,6 +18,8 @@ package cost
 // replaying whole engine runs against the dense reference path.
 
 import (
+	"fmt"
+
 	"vconf/internal/assign"
 	"vconf/internal/model"
 )
@@ -270,15 +272,26 @@ type Scratch struct {
 	taskKeys   []mrKey
 	sentEdges  []edgeKey3
 
-	// Delay state of the session prepared by BeginSession.
+	// Delay state of the session prepared by BeginSession. base is the
+	// active n×n flow-delay matrix (row = source member index): it aliases
+	// the session's DelayCache entry when the cache is on, and ownBase —
+	// the scratch-owned rebuild buffer — when it is off.
 	sid     model.SessionID
 	members []model.UserID
 	idx     []int32 // user → member index, -1 elsewhere
 	n       int
-	base    []float64 // n×n flow-delay matrix, row = source member index
+	base    []float64
+	ownBase []float64
 	userMax []float64
 	candMax []float64
 	changes []delayChange
+
+	// dc is the persistent per-session delay cache (see delaycache.go),
+	// created lazily unless disabled; movedMembers is the warm path's
+	// reusable moved-member index buffer.
+	dc           *DelayCache
+	dcOff        bool
+	movedMembers []int32
 }
 
 // NewScratch returns a Scratch sized for the evaluator's scenario.
@@ -314,6 +327,42 @@ func (scr *Scratch) Ensure(e *Evaluator) {
 	}
 	scr.members = nil
 	scr.n = 0
+	// The delay cache is dimensioned for one scenario; rebinding drops it
+	// (it is rebuilt lazily against the new scenario).
+	scr.dc = nil
+}
+
+// SetDelayCacheEnabled toggles the persistent per-session delay cache. On
+// (the default) BeginSession reuses and patches cached delay state; off,
+// it rebuilds the full delay base every call — the pre-cache reference
+// path, selected by core.Config.RebuildDelayBase. Warm entries survive a
+// disable/re-enable round trip (their signatures re-validate them).
+func (scr *Scratch) SetDelayCacheEnabled(on bool) { scr.dcOff = !on }
+
+// InvalidateDelay marks session s's delay-cache entry cold, if a cache
+// exists. Engines and the orchestrator call it on session departure and
+// re-arrival, where every variable changes and a full rebuild beats
+// patching.
+func (scr *Scratch) InvalidateDelay(s model.SessionID) {
+	if scr.dc != nil {
+		scr.dc.Invalidate(s)
+	}
+}
+
+// DelayCacheStats exposes the scratch's delay cache for tests and
+// benchmarks (nil when disabled or never used).
+func (scr *Scratch) DelayCacheStats() *DelayCache { return scr.dc }
+
+// delayCache returns the scratch's cache, creating it lazily, or nil when
+// disabled.
+func (scr *Scratch) delayCache() *DelayCache {
+	if scr.dcOff {
+		return nil
+	}
+	if scr.dc == nil {
+		scr.dc = NewDelayCache(scr.sc)
+	}
+	return scr.dc
 }
 
 // CurLoad returns the current-state load computed by the last BeginSession
@@ -509,9 +558,16 @@ func (se SessionEval) DelayFeasible(dMaxMS float64) bool { return se.WorstMS <= 
 // Apply(d) → CandidateLoad → Ledger.FitsRepairDelta → CandidatePhi →
 // Apply(inverse). The base delay matrix always reflects the state a held at
 // BeginSession time; CandidatePhi restores it before returning.
+//
+// With the delay cache enabled (the default), the delay base, load and
+// summary are retained per session across calls and re-validated against
+// the session's decision variables, so a warm call recomputes only the
+// flows whose endpoints moved since the last evaluation — O(moved flows)
+// instead of O(n²) — and a call with an unchanged session costs only the
+// signature comparison. The cached and rebuild paths are bit-identical
+// (see delaycache.go for the staleness contract).
 func (e *Evaluator) BeginSession(a *assign.Assignment, s model.SessionID, scr *Scratch) SessionEval {
 	scr.Ensure(e)
-	e.p.sessionLoadSparse(a, s, &scr.cur, scr)
 
 	// Rebind the member index table.
 	for _, u := range scr.members {
@@ -525,24 +581,28 @@ func (e *Evaluator) BeginSession(a *assign.Assignment, s model.SessionID, scr *S
 	for i, u := range scr.members {
 		scr.idx[u] = int32(i)
 	}
-	if cap(scr.base) < n*n {
-		scr.base = make([]float64, n*n)
+	if cap(scr.userMax) < n {
 		scr.userMax = make([]float64, n)
 		scr.candMax = make([]float64, n)
 	}
-	scr.base = scr.base[:n*n]
 	scr.userMax = scr.userMax[:n]
 	scr.candMax = scr.candMax[:n]
 
+	if dc := scr.delayCache(); dc != nil {
+		return e.beginSessionCached(a, s, scr, dc)
+	}
+
+	// Rebuild reference path (pre-cache), kept verbatim behind
+	// core.Config.RebuildDelayBase / SetDelayCacheEnabled(false).
+	e.p.sessionLoadSparse(a, s, &scr.cur, scr)
+	if cap(scr.ownBase) < n*n {
+		scr.ownBase = make([]float64, n*n)
+	}
+	scr.base = scr.ownBase[:n*n]
+
 	out := SessionEval{}
 	if n >= 2 {
-		for i, u := range scr.members {
-			for _, v := range sc.Participants(u) {
-				j := scr.idx[v]
-				d := FlowDelayMS(a, model.Flow{Src: u, Dst: v})
-				scr.base[i*n+int(j)] = d
-			}
-		}
+		scr.fillDelayBase(a, e.sc)
 		out.MeanDelayMS, out.WorstMS = scr.delaySummary(scr.userMax)
 	} else {
 		for i := range scr.userMax {
@@ -551,6 +611,178 @@ func (e *Evaluator) BeginSession(a *assign.Assignment, s model.SessionID, scr *S
 	}
 	out.Phi = e.phiFromSparse(out.MeanDelayMS, &scr.cur)
 	return out
+}
+
+// fillDelayBase computes every per-flow delay of the prepared session into
+// scr.base (the full rebuild both the cold cache path and the reference
+// path run).
+func (scr *Scratch) fillDelayBase(a *assign.Assignment, sc *model.Scenario) {
+	n := scr.n
+	for i, u := range scr.members {
+		for _, v := range sc.Participants(u) {
+			j := scr.idx[v]
+			d := FlowDelayMS(a, model.Flow{Src: u, Dst: v})
+			scr.base[i*n+int(j)] = d
+		}
+	}
+}
+
+// beginSessionCached is BeginSession's delay-cache path: bind the session's
+// persistent entry as the active delay base, re-validate it against the
+// live decision variables, and recompute only what moved. The member index
+// table and n are already rebound by the caller.
+func (e *Evaluator) beginSessionCached(a *assign.Assignment, s model.SessionID, scr *Scratch, dc *DelayCache) SessionEval {
+	n := scr.n
+	ent := &dc.ent[s]
+	flows := a.SessionFlowsShared(s)
+	flowTo := a.SessionFlowAgents(s)
+	if ent.base == nil {
+		ent.base = make([]float64, n*n)
+		ent.userSig = make([]model.AgentID, n)
+		ent.flowSig = make([]model.AgentID, len(flows))
+		ent.load = NewSparseLoad(e.sc.NumAgents())
+		ent.valid = false
+	}
+	scr.base = ent.base
+
+	finish := func(out SessionEval) SessionEval {
+		// Synchronize the entry to the evaluated state.
+		ent.load.CopyFrom(&scr.cur)
+		ent.phi, ent.mean, ent.worst = out.Phi, out.MeanDelayMS, out.WorstMS
+		ent.valid = true
+		return out
+	}
+	rebuild := func() SessionEval {
+		e.p.sessionLoadSparse(a, s, &scr.cur, scr)
+		out := SessionEval{}
+		if n >= 2 {
+			scr.fillDelayBase(a, e.sc)
+			out.MeanDelayMS, out.WorstMS = scr.delaySummary(scr.userMax)
+		} else {
+			for i := range scr.userMax {
+				scr.userMax[i] = 0
+			}
+		}
+		out.Phi = e.phiFromSparse(out.MeanDelayMS, &scr.cur)
+		for i, u := range scr.members {
+			ent.userSig[i] = a.UserAgent(u)
+		}
+		copy(ent.flowSig, flowTo)
+		return finish(out)
+	}
+
+	if !ent.valid {
+		dc.rebuilds++
+		return rebuild()
+	}
+
+	if moved := e.patchEntry(a, scr, ent, flows, flowTo); moved == 0 {
+		// Unchanged signature: matrix, load, Φ_s and summary are all
+		// bitwise-unchanged — reuse everything.
+		dc.hits++
+		scr.cur.CopyFrom(ent.load)
+		return SessionEval{Phi: ent.phi, MeanDelayMS: ent.mean, WorstMS: ent.worst}
+	}
+	dc.patches++
+	e.p.sessionLoadSparse(a, s, &scr.cur, scr)
+	out := SessionEval{}
+	if n >= 2 {
+		out.MeanDelayMS, out.WorstMS = scr.delaySummary(scr.userMax)
+	} else {
+		for i := range scr.userMax {
+			scr.userMax[i] = 0
+		}
+	}
+	out.Phi = e.phiFromSparse(out.MeanDelayMS, &scr.cur)
+	return finish(out)
+}
+
+// patchEntry diffs the warm entry's decision signature against the live
+// assignment and recomputes exactly the delay entries whose endpoints
+// moved: a moved member invalidates its row and column, a moved flow one
+// entry. Returns the number of moved variables (0 = the matrix is
+// bitwise-unchanged). The recomputed values come from the same pure
+// FlowDelayMS a full rebuild would call, so the patched matrix is
+// bit-identical to a rebuild.
+func (e *Evaluator) patchEntry(a *assign.Assignment, scr *Scratch, ent *delayEntry,
+	flows []model.Flow, flowTo []model.AgentID) int {
+	n := scr.n
+	scr.movedMembers = scr.movedMembers[:0]
+	for i, u := range scr.members {
+		if l := a.UserAgent(u); ent.userSig[i] != l {
+			ent.userSig[i] = l
+			scr.movedMembers = append(scr.movedMembers, int32(i))
+		}
+	}
+	movedFlows := 0
+	for k, l := range flowTo {
+		if ent.flowSig[k] != l {
+			ent.flowSig[k] = l
+			f := flows[k]
+			scr.base[int(scr.idx[f.Src])*n+int(scr.idx[f.Dst])] = FlowDelayMS(a, f)
+			movedFlows++
+		}
+	}
+	if len(scr.movedMembers) == 0 {
+		return movedFlows
+	}
+	if 2*len(scr.movedMembers) >= n {
+		// Patching m moved members costs 2m(n−1) flow evaluations vs
+		// n(n−1) for a full refill: refill when half the session moved.
+		// (The flow-moved entries above are simply overwritten again with
+		// identical values.)
+		scr.fillDelayBase(a, e.sc)
+	} else {
+		for _, i32 := range scr.movedMembers {
+			i := int(i32)
+			u := scr.members[i]
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				v := scr.members[j]
+				scr.base[i*n+j] = FlowDelayMS(a, model.Flow{Src: u, Dst: v})
+				scr.base[j*n+i] = FlowDelayMS(a, model.Flow{Src: v, Dst: u})
+			}
+		}
+	}
+	return movedFlows + len(scr.movedMembers)
+}
+
+// CommitSessionDecision is the hop pipeline's commit notification: after a
+// chosen candidate is applied permanently (the assignment holds the
+// committed state), the committing evaluation already has the state's
+// sparse load (the winning CandidateLoad) and its Φ_s (the winning
+// CandidatePhi), so the session's warm delay-cache entry can be
+// re-synchronized by patching just the committed decision's flows — the
+// next BeginSession for the session is then a pure warm hit instead of a
+// patch. load and phi must describe the committed state exactly (they are
+// bit-identical to what a fresh BeginSession would compute, since Φ_s is a
+// pure function of the session's variables). No-op when the cache is off,
+// cold, or the scratch is prepared for a different session.
+func (e *Evaluator) CommitSessionDecision(a *assign.Assignment, s model.SessionID, scr *Scratch, load *SparseLoad, phi float64) {
+	if scr.dcOff || scr.dc == nil || scr.sid != s || int(s) >= len(scr.dc.ent) {
+		return
+	}
+	ent := &scr.dc.ent[s]
+	if !ent.valid || ent.base == nil {
+		return
+	}
+	scr.base = ent.base
+	e.patchEntry(a, scr, ent, a.SessionFlowsShared(s), a.SessionFlowAgents(s))
+	n := scr.n
+	if n >= 2 {
+		ent.mean, ent.worst = scr.delaySummary(scr.userMax)
+	} else {
+		ent.mean, ent.worst = 0, 0
+	}
+	ent.load.CopyFrom(load)
+	// Canonicalize to ascending touched order — the state phiFromSparse
+	// leaves behind on the rebuild path. (Every load consumer is
+	// order-insensitive per slot or sorts first, so this is cosmetic for
+	// exactness but keeps warm-restored loads byte-comparable.)
+	ent.load.sortTouched()
+	ent.phi = phi
 }
 
 // delaySummary computes per-user maxima (into maxBuf), their mean, and the
@@ -596,6 +828,21 @@ func (scr *Scratch) setBase(pos int32, v float64) {
 	scr.base[pos] = v
 }
 
+// memberIndex resolves a user to its member index in the session prepared
+// by BeginSession, failing loudly on the staleness-contract violation a
+// raw scr.idx lookup would turn into a confusing negative-index panic: a
+// decision handed to CandidatePhi must reference only members of the
+// session BeginSession last prepared on this scratch.
+func (scr *Scratch) memberIndex(u model.UserID) int {
+	if int(u) < 0 || int(u) >= len(scr.idx) || scr.idx[u] < 0 {
+		panic(fmt.Sprintf(
+			"cost: CandidatePhi: user %d is not a member of session %d prepared by BeginSession; "+
+				"the scratch is stale — BeginSession must run for the decision's session before its candidates are evaluated",
+			u, scr.sid))
+	}
+	return int(scr.idx[u])
+}
+
 // CandidatePhi evaluates the candidate state's Φ_s and delay feasibility by
 // re-computing only the flows decision d moved: a UserMove re-evaluates the
 // moved member's incoming and outgoing flows (2(n−1) of n(n−1)), a FlowMove
@@ -604,6 +851,13 @@ func (scr *Scratch) setBase(pos int32, v float64) {
 // base delay matrix is restored before returning, so callers revert only the
 // assignment. Returns ok = false (and phi 0) when the candidate violates the
 // Dmax delay cap.
+//
+// Staleness contract: d must move a variable of the session most recently
+// prepared by BeginSession on this scratch (the decision's user, or both
+// flow endpoints, are members). A decision referencing any other session —
+// a stale scratch, or candidates generated for the wrong session — is a
+// caller bug and panics with a descriptive message instead of a negative
+// slice index.
 func (e *Evaluator) CandidatePhi(a *assign.Assignment, s model.SessionID, d assign.Decision, scr *Scratch) (phi float64, ok bool) {
 	n := scr.n
 	mean := 0.0
@@ -611,7 +865,7 @@ func (e *Evaluator) CandidatePhi(a *assign.Assignment, s model.SessionID, d assi
 		scr.changes = scr.changes[:0]
 		switch d.Kind {
 		case assign.UserMove:
-			iu := int(scr.idx[d.User])
+			iu := scr.memberIndex(d.User)
 			u := scr.members[iu]
 			for j := 0; j < n; j++ {
 				if j == iu {
@@ -622,7 +876,7 @@ func (e *Evaluator) CandidatePhi(a *assign.Assignment, s model.SessionID, d assi
 				scr.setBase(int32(j*n+iu), FlowDelayMS(a, model.Flow{Src: v, Dst: u}))
 			}
 		case assign.FlowMove:
-			i, j := int(scr.idx[d.Flow.Src]), int(scr.idx[d.Flow.Dst])
+			i, j := scr.memberIndex(d.Flow.Src), scr.memberIndex(d.Flow.Dst)
 			scr.setBase(int32(i*n+j), FlowDelayMS(a, d.Flow))
 		}
 		var worst float64

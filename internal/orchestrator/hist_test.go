@@ -1,0 +1,64 @@
+package orchestrator
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyHistPercentileEmpty pins the empty-histogram contract:
+// ReoptP50/ReoptP99 must read 0 when no samples were recorded, not the
+// first bucket's bound.
+func TestLatencyHistPercentileEmpty(t *testing.T) {
+	var h latencyHist
+	if p := h.percentile(0.50); p != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", p)
+	}
+	if p := h.percentile(0.99); p != 0 {
+		t.Fatalf("empty histogram p99 = %v, want 0", p)
+	}
+}
+
+// TestLatencyHistPercentileZeroSamples pins the zero-duration case: events
+// with no re-optimization set record a 0 latency; a histogram holding only
+// those must still read 0 (bucket 0's lower bound), not 1ns.
+func TestLatencyHistPercentileZeroSamples(t *testing.T) {
+	var h latencyHist
+	for i := 0; i < 10; i++ {
+		h.add(0)
+	}
+	if p := h.percentile(0.50); p != 0 {
+		t.Fatalf("all-zero histogram p50 = %v, want 0", p)
+	}
+	if p := h.percentile(0.99); p != 0 {
+		t.Fatalf("all-zero histogram p99 = %v, want 0", p)
+	}
+}
+
+// TestLatencyHistPercentileSingleSample pins the single-sample case: every
+// percentile lands in the sample's bucket, whose lower bound is positive
+// and no larger than the sample.
+func TestLatencyHistPercentileSingleSample(t *testing.T) {
+	var h latencyHist
+	d := 100 * time.Microsecond
+	h.add(d)
+	p50 := h.percentile(0.50)
+	p99 := h.percentile(0.99)
+	if p50 != p99 {
+		t.Fatalf("single-sample percentiles differ: p50 %v, p99 %v", p50, p99)
+	}
+	if p50 <= 0 || p50 > d {
+		t.Fatalf("single-sample p50 = %v, want in (0, %v]", p50, d)
+	}
+	// Quarter-octave bucketing: 100µs falls in the [98304ns, 114688ns)
+	// bucket, so the reported lower bound is exactly 98304ns.
+	if want := 98304 * time.Nanosecond; p50 != want {
+		t.Fatalf("single-sample p50 = %v, want %v", p50, want)
+	}
+	// A mixed histogram keeps the ordering p50 ≤ p99.
+	for i := 0; i < 99; i++ {
+		h.add(time.Millisecond)
+	}
+	if p50, p99 := h.percentile(0.50), h.percentile(0.99); p50 > p99 {
+		t.Fatalf("percentiles inverted: p50 %v > p99 %v", p50, p99)
+	}
+}

@@ -246,7 +246,11 @@ func (h *latencyHist) add(d time.Duration) {
 	h.n++
 }
 
-// percentile returns the lower bound of the bucket holding the q-quantile.
+// percentile returns the lower bound of the bucket holding the q-quantile,
+// or 0 when the histogram is empty. Bucket 0 holds the sub-2ns samples —
+// including the zero-duration adds an event with no re-optimization set
+// records — and its lower bound is 0, not 1ns: a histogram with no real
+// latency samples must read as 0, not as the first bucket's upper half.
 func (h *latencyHist) percentile(q float64) time.Duration {
 	if h.n == 0 {
 		return 0
@@ -259,6 +263,9 @@ func (h *latencyHist) percentile(q float64) time.Duration {
 	for i, c := range h.counts {
 		acc += c
 		if c > 0 && acc >= target {
+			if i == 0 {
+				return 0
+			}
 			e, frac := i/4, uint64(i%4)
 			base := uint64(1) << uint(e)
 			if e < 2 {
@@ -363,6 +370,12 @@ func New(ev *cost.Evaluator, boot core.Bootstrapper, cfg Config) (*Orchestrator,
 		scr:   ev.NewScratch(),
 		tasks: make(chan reoptTask),
 	}
+	// The commit-path scratch and the objective cache's refresh scratch
+	// (both guarded by o.mu) keep their own per-session delay caches; the
+	// reference rebuild path threads through here too, so RebuildDelayBase
+	// disables the cache on every evaluation path the orchestrator owns.
+	o.scr.SetDelayCacheEnabled(!cfg.Core.RebuildDelayBase)
+	o.cache.SetDelayCacheEnabled(!cfg.Core.RebuildDelayBase)
 	if cfg.LedgerShards < 0 {
 		o.dense = cost.NewLedger(sc)
 		o.ledger = o.dense
@@ -529,7 +542,14 @@ func (o *Orchestrator) applyDeparture(timeS float64, s model.SessionID) ([]model
 			return nil, false, err
 		}
 	}
+	// Departure invalidation, under the state lock: the objective cache's
+	// refresh scratch drops its delay entry inside SetActive, and the
+	// commit scratch drops its own here — a re-arrival rebuilds cold
+	// instead of patching a fully-torn-down matrix. (Worker scratches need
+	// no notification: their cached entries re-validate against the
+	// session's decision variables on next use.)
 	o.cache.SetActive(s, false)
+	o.scr.InvalidateDelay(s)
 	if o.rt != nil {
 		o.rt.DeactivateSession(s)
 	}

@@ -252,7 +252,15 @@ func (st *eventState) applyAdmission() (pipeline.Footprint, error) {
 				return pipeline.Footprint{}, err
 			}
 		}
+		// Clearing the committed-agents index entry is also the delay-cache
+		// invalidation point for pipelined mode: SetActive drops the
+		// objective cache's delay entry, the commit scratch drops its own,
+		// and because the departed session leaves touchIdx (and so every
+		// future footprint and touched set), no in-flight evaluation can
+		// leak its stale variables into a warm cache — worker entries
+		// re-validate by signature the next time the session is owned.
 		o.cache.SetActive(s, false)
+		o.scr.InvalidateDelay(s)
 		o.touchIdx[s] = nil
 		if o.rt != nil {
 			o.rt.DeactivateSession(s)

@@ -110,6 +110,15 @@ type workerState struct {
 // worker is one solver shard: it refines tasks until the pool closes.
 func (o *Orchestrator) worker() {
 	w := &workerState{scr: core.NewHopScratch(o.ev)}
+	// The worker's scratch carries a private per-session delay cache that
+	// stays warm across the hops of one refinement walk (and across tasks,
+	// when the session's variables did not change in between). Entries
+	// self-validate against the session's decision variables, so commits by
+	// sibling workers and the event loop's arrivals/departures — all of
+	// which rewrite those variables — are picked up as signature mismatches
+	// on the next evaluation; stale state is never reused (see
+	// cost.DelayCache's staleness contract).
+	w.scr.Eval().SetDelayCacheEnabled(!o.cfg.Core.RebuildDelayBase)
 	if o.shl != nil {
 		w.snap = cost.NewLedger(o.sc)
 		w.epochs = make(shard.Epochs, 0, o.shl.NumShards())

@@ -80,7 +80,12 @@ func FollowTheSunPeaks(n int) []float64 {
 }
 
 // RegionRate returns region r's instantaneous rate multiplier at time t.
+// A non-positive DayS (rejected by Validate, but reachable through a
+// hand-built config) yields a flat curve instead of dividing by zero.
 func (d DiurnalConfig) RegionRate(r int, t float64) float64 {
+	if d.DayS <= 0 {
+		return 1
+	}
 	return 1 + d.Amplitude*math.Cos(2*math.Pi*(t/d.DayS-d.PeakFrac[r]))
 }
 
@@ -198,6 +203,45 @@ func PoissonSchedule(cfg ChurnConfig) ([]Event, error) {
 	return events, nil
 }
 
+// diurnalShares builds the candidate-region draw table: the regions with a
+// nonzero session pool (w_r > 0) and their cumulative shares
+// w_r = poolSize[r]/numSessions. Regions configured with zero sessions
+// carry zero share and are excluded outright — they must never be drawn as
+// a candidate, not even through the float-rounding fallback below, and
+// excluding them also keeps the draw well-defined without dividing by a
+// zero pool anywhere. When every region is populated the table is
+// identical to the full region list, so existing seeds replay byte-identical
+// schedules.
+func diurnalShares(poolSize []int, numSessions int) (drawRegions []int, cumShare []float64) {
+	drawRegions = make([]int, 0, len(poolSize))
+	cumShare = make([]float64, 0, len(poolSize))
+	acc := 0.0
+	for r, n := range poolSize {
+		if n == 0 {
+			continue
+		}
+		acc += float64(n) / float64(numSessions)
+		drawRegions = append(drawRegions, r)
+		cumShare = append(cumShare, acc)
+	}
+	return drawRegions, cumShare
+}
+
+// pickRegion maps a uniform draw u ∈ [0,1) to a drawable region via the
+// cumulative share table. Float accumulation can leave the final cumulative
+// share marginally below 1, so the fallback for u beyond it is the last
+// *drawable* region — never a zero-share one.
+func pickRegion(drawRegions []int, cumShare []float64, u float64) int {
+	r := drawRegions[len(drawRegions)-1]
+	for i, c := range cumShare {
+		if u < c {
+			r = drawRegions[i]
+			break
+		}
+	}
+	return r
+}
+
 // diurnalSchedule is the Diurnal path of PoissonSchedule: a
 // non-homogeneous Poisson process per region, realized by exact thinning of
 // one merged candidate process. Candidates arrive at the constant peak rate
@@ -218,12 +262,7 @@ func diurnalSchedule(cfg ChurnConfig) ([]Event, error) {
 	for s := 0; s < cfg.NumSessions; s++ {
 		poolSize[d.SessionRegion[s]]++
 	}
-	cumShare := make([]float64, R)
-	acc := 0.0
-	for r := 0; r < R; r++ {
-		acc += float64(poolSize[r]) / float64(cfg.NumSessions)
-		cumShare[r] = acc
-	}
+	drawRegions, cumShare := diurnalShares(poolSize, cfg.NumSessions)
 
 	// Per-region idle pools; sessions below InitialActive start live.
 	idle := make([][]int, R)
@@ -260,13 +299,7 @@ func diurnalSchedule(cfg ChurnConfig) ([]Event, error) {
 		// Draw the candidate's region and thinning acceptance before the
 		// flush, so the random sequence is a pure function of the seed.
 		u := rng.Float64()
-		r := R - 1
-		for i, c := range cumShare {
-			if u < c {
-				r = i
-				break
-			}
-		}
+		r := pickRegion(drawRegions, cumShare, u)
 		accept := rng.Float64() < d.RegionRate(r, t)/(1+d.Amplitude)
 		hold := rng.ExpFloat64() * cfg.MeanHoldS
 		flushUntil(t)

@@ -157,6 +157,84 @@ func TestDiurnalLegacyPathUntouched(t *testing.T) {
 	}
 }
 
+// TestDiurnalZeroSessionRegion pins the zero-pool guard: a region
+// configured with no sessions (w_r = 0) is excluded from the candidate draw
+// entirely — including the float-rounding fallback — and the schedule stays
+// well-formed with no NaN arithmetic anywhere.
+func TestDiurnalZeroSessionRegion(t *testing.T) {
+	cfg := diurnalTestConfig(9)
+	// Three regions, but every session maps to regions 0 and 1: region 2
+	// has an empty pool and zero share.
+	cfg.Diurnal.PeakFrac = FollowTheSunPeaks(3)
+	events, err := PoissonSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for i, e := range events {
+		if math.IsNaN(e.TimeS) || math.IsInf(e.TimeS, 0) {
+			t.Fatalf("event %d has invalid time %v", i, e.TimeS)
+		}
+		if r := cfg.Diurnal.SessionRegion[e.Session]; r == 2 {
+			t.Fatalf("event %d drew session %d from the empty region", i, e.Session)
+		}
+	}
+
+	// The share table must exclude zero-pool regions outright, and the
+	// fallback draw (u beyond the last cumulative share, reachable through
+	// float rounding) must land on a drawable region — never the empty one.
+	poolSize := []int{1, 1, 1, 1, 1, 1, 1, 0}
+	drawRegions, cumShare := diurnalShares(poolSize, 7)
+	if want := []int{0, 1, 2, 3, 4, 5, 6}; !reflect.DeepEqual(drawRegions, want) {
+		t.Fatalf("drawRegions = %v, want %v", drawRegions, want)
+	}
+	if last := cumShare[len(cumShare)-1]; last >= 1 {
+		t.Fatalf("fixture does not exercise the rounding gap: final share %v", last)
+	}
+	if r := pickRegion(drawRegions, cumShare, math.Nextafter(1, 0)); r != 6 {
+		t.Fatalf("fallback draw picked region %d, want the last drawable region 6", r)
+	}
+	// Interior zero-pool region: shares are flat across it, so it is
+	// unreachable for every u.
+	drawRegions, cumShare = diurnalShares([]int{2, 0, 2}, 4)
+	if want := []int{0, 2}; !reflect.DeepEqual(drawRegions, want) {
+		t.Fatalf("drawRegions = %v, want %v", drawRegions, want)
+	}
+	for _, u := range []float64{0, 0.25, 0.499, 0.5, 0.75, 0.999, math.Nextafter(1, 0)} {
+		if r := pickRegion(drawRegions, cumShare, u); r == 1 {
+			t.Fatalf("u=%v drew the zero-session region", u)
+		}
+	}
+
+	// RegionRate must be total (flat curve) even on a hand-built config
+	// with a non-positive day length, rather than dividing by zero.
+	d := DiurnalConfig{DayS: 0, Amplitude: 0.5, PeakFrac: []float64{0}}
+	if r := d.RegionRate(0, 123); r != 1 || math.IsNaN(r) {
+		t.Fatalf("RegionRate with DayS=0 = %v, want flat 1", r)
+	}
+}
+
+// TestDiurnalPopulatedRegionsUnchanged pins that the zero-pool guard does
+// not perturb fully-populated configurations: the share table is identical
+// to the pre-guard construction, so existing seeds replay byte-identical
+// schedules.
+func TestDiurnalPopulatedRegionsUnchanged(t *testing.T) {
+	poolSize := []int{3, 1, 4}
+	drawRegions, cumShare := diurnalShares(poolSize, 8)
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(drawRegions, want) {
+		t.Fatalf("drawRegions = %v, want %v", drawRegions, want)
+	}
+	acc := 0.0
+	for r, n := range poolSize {
+		acc += float64(n) / 8
+		if cumShare[r] != acc {
+			t.Fatalf("cumShare[%d] = %v, want %v", r, cumShare[r], acc)
+		}
+	}
+}
+
 func TestGenerateSyntheticFleetRegions(t *testing.T) {
 	fc := DefaultFleetConfig(3)
 	fc.NumAgents = 16

@@ -50,6 +50,12 @@ type FleetConfig struct {
 	// 0.1; pass a negative value for an explicit zero (purely intra-region
 	// sessions).
 	CrossRegionFrac float64
+	// DelayCapMS overrides the scenario's Dmax end-to-end delay cap
+	// (constraint (8)); 0 keeps model.DefaultDMaxMS. Tight caps model a
+	// converged, delay-bound fleet where most single-variable moves are
+	// delay-infeasible — the shape the warm-hop benchmarks measure (hops
+	// mostly stay put, so per-session delay state is reused across hops).
+	DelayCapMS float64
 }
 
 // DefaultFleetConfig returns the hop-benchmark fleet: 100 agents, 60 users.
@@ -155,6 +161,9 @@ func GenerateSyntheticFleetRegions(cfg FleetConfig) (*model.Scenario, []int, err
 	}
 	b.SetInterAgentDelays(d)
 	b.SetAgentUserDelays(h)
+	if cfg.DelayCapMS > 0 {
+		b.SetDelayCap(cfg.DelayCapMS)
+	}
 	sc, err := b.Build()
 	return sc, make([]int, sessions), err
 }
@@ -311,6 +320,9 @@ func generateRegionalFleet(cfg FleetConfig) (*model.Scenario, []int, error) {
 	}
 	b.SetInterAgentDelays(net.DMS)
 	b.SetAgentUserDelays(net.HMS)
+	if cfg.DelayCapMS > 0 {
+		b.SetDelayCap(cfg.DelayCapMS)
+	}
 	sc, err := b.Build()
 	return sc, homes, err
 }
