@@ -43,6 +43,47 @@ func TestGenerateChurnDeterministic(t *testing.T) {
 	}
 }
 
+func TestTelemetryViaFacade(t *testing.T) {
+	sc := smallScenario(t, 21)
+	solver, err := NewSolver(sc, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := GenerateChurn(ChurnConfig{
+		Seed:            21,
+		HorizonS:        150,
+		ArrivalRatePerS: 0.1,
+		MeanHoldS:       80,
+		NumSessions:     sc.NumSessions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewTelemetry(TelemetryConfig{TraceCapacity: len(events) + 1})
+	cfg := DefaultOrchestratorConfig(21)
+	cfg.Telemetry = sink
+	orc, err := solver.NewOrchestrator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orc.Close()
+	if _, err := orc.Run(events, 150); err != nil {
+		t.Fatal(err)
+	}
+	recs := sink.Recorder().Records()
+	if len(recs) != len(events) {
+		t.Fatalf("%d trace records for %d events", len(recs), len(events))
+	}
+	srv, err := ServeTelemetry(sink, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() == "" {
+		t.Fatal("server reported no address")
+	}
+}
+
 func TestOrchestratorViaFacade(t *testing.T) {
 	sc := smallScenario(t, 9)
 	solver, err := NewSolver(sc, WithSeed(9))

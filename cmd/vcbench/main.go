@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"vconf/internal/experiments"
+	"vconf/internal/telemetry"
 	"vconf/internal/workload"
 )
 
@@ -38,6 +40,7 @@ func run(args []string, w io.Writer) error {
 		duration  = fs.Float64("duration", 200, "virtual seconds of Alg. 1 per run")
 		quick     = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
 		format    = fs.String("format", "text", "output format: text, csv, or json (micro only)")
+		listen    = fs.String("listen", "", "serve /metrics, /trace.jsonl and pprof on this address while benchmarks run (adds instrumentation to orchestrator sweeps)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +51,20 @@ func run(args []string, w io.Writer) error {
 	if *quick {
 		*scenarios = minInt(*scenarios, 5)
 		*duration = minFloat(*duration, 60)
+	}
+	meta := buildMeta(fs, *seed)
+
+	// A nil sink is the zero-overhead disabled state; -listen turns on live
+	// exposition (and pprof) and feeds the orchestrator-based sweeps into it.
+	var sink *telemetry.Sink
+	if *listen != "" {
+		sink = telemetry.New(telemetry.Config{Workers: runtime.GOMAXPROCS(0)})
+		srv, err := telemetry.Serve(sink, *listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "telemetry: serving /metrics, /trace.jsonl, /debug/pprof on http://%s\n", srv.Addr())
 	}
 
 	// The micro-benchmark suite is not an experiment table; it runs the hop
@@ -61,7 +78,7 @@ func run(args []string, w io.Writer) error {
 		if *quick {
 			fleetAgents = 20
 		}
-		return runMicro(w, *format, fleetAgents, *seed)
+		return runMicro(w, *format, fleetAgents, *seed, meta, sink)
 	}
 	// The pipeline sweep measures the pipelined event scheduler against the
 	// serial barrier path over identical follow-the-sun fixtures; with
@@ -74,7 +91,7 @@ func run(args []string, w io.Writer) error {
 		if *quick {
 			fleetAgents, horizonS = 32, 120
 		}
-		return runPipelineSweep(w, *format, fleetAgents, horizonS, *seed)
+		return runPipelineSweep(w, *format, fleetAgents, horizonS, *seed, meta, sink)
 	}
 	if *format == "json" {
 		return fmt.Errorf("json output is only available for -run micro or -run pipeline")

@@ -55,6 +55,19 @@ func TestRunMicroQuickJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("micro output is not valid JSON: %v\n%s", err, buf.String())
 	}
+	// Run metadata must identify the toolchain, host shape and flag surface.
+	if rep.Meta.GoVersion == "" || rep.Meta.NumCPU <= 0 || rep.Meta.GOMAXPROCS <= 0 {
+		t.Fatalf("meta incomplete: %+v", rep.Meta)
+	}
+	if rep.Meta.Seed != 1 {
+		t.Fatalf("meta seed = %d, want default 1", rep.Meta.Seed)
+	}
+	if rep.Meta.Flags["quick"] != "true" || rep.Meta.Flags["format"] != "json" {
+		t.Fatalf("meta flags missing effective values: %v", rep.Meta.Flags)
+	}
+	if rep.Meta.GeneratedAt == "" {
+		t.Fatal("meta missing generation timestamp")
+	}
 	// 3 families × dense/sparse, plus the delay-cache series: the warm-hop
 	// vs rebuild-hop pair and the warm objective point.
 	if len(rep.Benchmarks) != 9 {

@@ -1,0 +1,40 @@
+// Run metadata for the BENCH_<n>.json perf-trajectory payloads: toolchain,
+// host shape, and the exact flag surface a run used, so numbers stay
+// comparable — and anomalies stay diagnosable — across machines, Go
+// releases, and flag tweaks.
+package main
+
+import (
+	"flag"
+	"runtime"
+	"time"
+)
+
+// runMeta is embedded under "meta" in every JSON benchmark report.
+type runMeta struct {
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	NumCPU      int               `json:"num_cpu"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Seed        int64             `json:"seed"`
+	Flags       map[string]string `json:"flags"`
+	GeneratedAt string            `json:"generated_at"`
+}
+
+// buildMeta snapshots the environment plus every flag's effective value
+// (explicitly set or default) from the already-parsed FlagSet.
+func buildMeta(fs *flag.FlagSet, seed int64) runMeta {
+	flags := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+	return runMeta{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Seed:        seed,
+		Flags:       flags,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+}

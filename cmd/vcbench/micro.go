@@ -22,6 +22,7 @@ import (
 	"vconf/internal/cost"
 	"vconf/internal/model"
 	"vconf/internal/orchestrator"
+	"vconf/internal/telemetry"
 	"vconf/internal/workload"
 )
 
@@ -55,9 +56,11 @@ type shardSweepPoint struct {
 
 // microReport is the BENCH_<n>.json payload.
 type microReport struct {
-	GeneratedBy string        `json:"generated_by"`
-	Description string        `json:"description"`
-	Benchmarks  []microResult `json:"benchmarks"`
+	GeneratedBy string `json:"generated_by"`
+	Description string `json:"description"`
+	// Meta records the toolchain, host shape and flag surface of the run.
+	Meta       runMeta       `json:"meta"`
+	Benchmarks []microResult `json:"benchmarks"`
 	// ShardSweep is the OrchestratorEvent events/sec-vs-shard-count sweep:
 	// identical fleet and schedule, shard count n = n workers over an
 	// n-stripe ledger (n = 1: the legacy single-lock path).
@@ -307,7 +310,7 @@ func shardSweepStack(fleetAgents int, seed int64) (*cost.Evaluator, core.Bootstr
 // worker count, so the curve separates worker scaling from what the
 // stripe pipeline itself contributes (the striped-vs-single-lock speedup
 // at equal workers). Fleet and schedule are identical across points.
-func runShardSweep(shardCounts []int, fleetAgents int, seed int64) ([]shardSweepPoint, error) {
+func runShardSweep(shardCounts []int, fleetAgents int, seed int64, sink *telemetry.Sink) ([]shardSweepPoint, error) {
 	ev, boot, events, err := shardSweepStack(fleetAgents, seed)
 	if err != nil {
 		return nil, err
@@ -319,6 +322,7 @@ func runShardSweep(shardCounts []int, fleetAgents int, seed int64) ([]shardSweep
 		cfg.HopBudget = 8
 		cfg.MaxReoptSessions = 16
 		cfg.Core.NeighborWindow = 4
+		cfg.Telemetry = sink
 		best := shardSweepPoint{}
 		// Two repetitions, keep the higher throughput (fresh orchestrator
 		// each time: the schedule replays identically).
@@ -379,9 +383,10 @@ func runShardSweep(shardCounts []int, fleetAgents int, seed int64) ([]shardSweep
 
 // runMicro executes the micro-benchmark suite. fleetAgents sizes the
 // HopSession fleet (≥100 for the acceptance numbers; -quick shrinks it).
-func runMicro(w io.Writer, format string, fleetAgents int, seed int64) error {
+func runMicro(w io.Writer, format string, fleetAgents int, seed int64, meta runMeta, sink *telemetry.Sink) error {
 	rep := microReport{
 		GeneratedBy: "vcbench -run micro",
+		Meta:        meta,
 		Description: "Hop-pipeline hot paths (dense reference vs sparse pipeline, and the persistent " +
 			"per-session delay cache vs the per-hop delay-base rebuild: HopSession/warm-hop runs the " +
 			"N_ngbr=1 windowed chain where each hop's BeginSession is a pure warm hit re-synchronized by " +
@@ -464,7 +469,7 @@ func runMicro(w io.Writer, format string, fleetAgents int, seed int64) error {
 	if sweepAgents < 100 {
 		shardCounts = []int{1, 2}
 	}
-	sweep, err := runShardSweep(shardCounts, sweepAgents, seed)
+	sweep, err := runShardSweep(shardCounts, sweepAgents, seed, sink)
 	if err != nil {
 		return fmt.Errorf("micro: shard sweep: %w", err)
 	}

@@ -20,6 +20,7 @@ import (
 	"vconf/internal/cost"
 	"vconf/internal/model"
 	"vconf/internal/orchestrator"
+	"vconf/internal/telemetry"
 	"vconf/internal/workload"
 )
 
@@ -54,6 +55,8 @@ type pipelinePoint struct {
 type pipelineReport struct {
 	GeneratedBy string `json:"generated_by"`
 	Description string `json:"description"`
+	// Meta records the toolchain, host shape and flag surface of the run.
+	Meta runMeta `json:"meta"`
 	// HardwareParallelCeiling is the host's measured raw 2-way CPU speedup;
 	// on shared-vCPU hosts the sweep's scaling is bounded by it.
 	HardwareParallelCeiling float64         `json:"hardware_parallel_ceiling"`
@@ -111,7 +114,7 @@ func pipelineStack(fleetAgents int, horizonS float64, seed int64) (*cost.Evaluat
 // scheduler at increasing in-flight caps over identical fixtures, best of
 // two repetitions each (fresh orchestrator per repetition: the schedule
 // replays identically).
-func runPipelineSweep(w io.Writer, format string, fleetAgents int, horizonS float64, seed int64) error {
+func runPipelineSweep(w io.Writer, format string, fleetAgents int, horizonS float64, seed int64, meta runMeta, sink *telemetry.Sink) error {
 	ev, boot, events, err := pipelineStack(fleetAgents, horizonS, seed)
 	if err != nil {
 		return fmt.Errorf("pipeline sweep: %w", err)
@@ -123,6 +126,7 @@ func runPipelineSweep(w io.Writer, format string, fleetAgents int, horizonS floa
 		cfg.HopBudget = 12
 		cfg.MaxReoptSessions = 4
 		cfg.Core.NeighborWindow = 4
+		cfg.Telemetry = sink
 		if mode == "pipelined" {
 			cfg.Pipeline = true
 			cfg.MaxInFlight = maxInFlight
@@ -170,6 +174,7 @@ func runPipelineSweep(w io.Writer, format string, fleetAgents int, horizonS floa
 
 	rep := pipelineReport{
 		GeneratedBy: "vcbench -run pipeline",
+		Meta:        meta,
 		Description: "Pipelined event scheduler vs the serial per-event barrier: churn events/sec over an " +
 			"identical low-conflict workload (regional fleet, intra-region sessions, follow-the-sun " +
 			"diurnal schedule, candidate windows, per-agent ledger stripes). The serial point is the " +

@@ -20,6 +20,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"vconf/internal/agrank"
@@ -30,6 +31,7 @@ import (
 	"vconf/internal/cost"
 	"vconf/internal/model"
 	"vconf/internal/orchestrator"
+	"vconf/internal/telemetry"
 	"vconf/internal/workload"
 )
 
@@ -55,6 +57,10 @@ func run(args []string, w io.Writer) error {
 		hold      = fs.Float64("hold", 120, "churn: mean session hold time (virtual seconds)")
 		shards    = fs.Int("shards", 0, "churn: solver pool size (0 = GOMAXPROCS)")
 		hopBudget = fs.Int("hops", 0, "churn: refinement hop budget per task (0 = default)")
+
+		listen   = fs.String("listen", "", "churn: serve /metrics, /trace.jsonl and pprof on this address (e.g. 127.0.0.1:9464)")
+		traceOut = fs.String("trace-out", "", "churn: write the per-decision trace as JSONL to this file")
+		linger   = fs.Float64("linger", 0, "churn: keep the -listen endpoint up this many wall seconds after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +109,9 @@ func run(args []string, w io.Writer) error {
 			shards:    *shards,
 			hopBudget: *hopBudget,
 			initName:  *initName,
+			listen:    *listen,
+			traceOut:  *traceOut,
+			linger:    *linger,
 		})
 	}
 	eng, err := core.NewEngine(ev, coreCfg)
@@ -171,6 +180,9 @@ type churnOpts struct {
 	shards    int
 	hopBudget int
 	initName  string
+	listen    string
+	traceOut  string
+	linger    float64
 }
 
 // runChurn drives the online orchestrator over a Poisson churn schedule and
@@ -188,10 +200,30 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 		return err
 	}
 
+	// The sink stays nil unless asked for: a nil *telemetry.Sink is the
+	// zero-overhead disabled state on every orchestrator hot path.
+	var sink *telemetry.Sink
+	if opts.listen != "" || opts.traceOut != "" {
+		workers := opts.shards
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		sink = telemetry.New(telemetry.Config{Workers: workers, TraceCapacity: len(events) + 8})
+	}
+	if opts.listen != "" {
+		srv, err := telemetry.Serve(sink, opts.listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "telemetry: serving /metrics, /trace.jsonl, /debug/pprof on http://%s\n", srv.Addr())
+	}
+
 	ocfg := orchestrator.DefaultConfig(opts.seed)
 	ocfg.Core = opts.core
 	ocfg.Shards = opts.shards
 	ocfg.HopBudget = opts.hopBudget
+	ocfg.Telemetry = sink
 	orc, err := orchestrator.New(ev, opts.boot, ocfg)
 	if err != nil {
 		return err
@@ -253,6 +285,7 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 		}
 		fmt.Fprintf(w, "t=%7.1fs traffic=%8.2f Mbps (steady %.2f + overhead %.2f) delay=%6.1f ms live=%d\n",
 			t, tel.InterAgentMbps, tel.SteadyMbps, tel.OverheadMbps, tel.MeanDelayMS, tel.ActiveSessions)
+		sink.FeedTick(t)
 		if t >= opts.duration-1e-9 {
 			break
 		}
@@ -291,9 +324,33 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 		fmt.Fprintf(w, "final: online Φ=%.2f vs oracle Φ=%.2f (drift %+.1f%%) over %d live sessions\n",
 			online, oraclePhi, drift, len(active))
 	}
+	if n, mean, p99 := sink.CounterfactualSummary(); n > 0 {
+		fmt.Fprintf(w, "counterfactual-k: %d committed decisions, regret vs 2nd-best mean %.3f p99 %.3f\n",
+			n, mean, p99)
+	}
 	if err := orc.CheckInvariants(); err != nil {
 		return fmt.Errorf("final state infeasible: %w", err)
 	}
 	fmt.Fprintln(w, "final state feasible: capacities and delay caps hold")
+	if opts.traceOut != "" {
+		f, err := os.Create(opts.traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		werr := sink.Recorder().WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("trace-out: %w", werr)
+		}
+		fmt.Fprintf(w, "trace: wrote %d decision records to %s\n", sink.Recorder().Len(), opts.traceOut)
+	}
+	if opts.listen != "" && opts.linger > 0 {
+		// Keep the endpoint alive so an external scraper (e.g. the CI smoke
+		// test) can read the finished run's metrics before we exit.
+		fmt.Fprintf(w, "telemetry: lingering %.0fs for scrapes\n", opts.linger)
+		time.Sleep(time.Duration(opts.linger * float64(time.Second)))
+	}
 	return nil
 }

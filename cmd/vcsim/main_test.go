@@ -1,9 +1,17 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestRunEndToEnd(t *testing.T) {
@@ -46,6 +54,119 @@ func TestRunChurnMode(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("churn output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunChurnTraceOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{"-churn", "-duration", "120", "-rate", "0.1", "-hold", "60",
+		"-interval", "30", "-users", "24", "-shards", "2", "-trace-out", out}, &buf)
+	if err != nil {
+		t.Fatalf("run churn -trace-out: %v", err)
+	}
+	log := buf.String()
+	for _, want := range []string{"counterfactual-k:", "trace: wrote"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("output missing %q:\n%s", want, log)
+		}
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v", lines+1, err)
+		}
+		for _, key := range []string{"seq", "session", "kind", "latency_ns"} {
+			if _, ok := rec[key]; !ok {
+				t.Fatalf("trace line %d missing %q: %s", lines+1, key, sc.Text())
+			}
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("trace file is empty")
+	}
+}
+
+// syncBuffer lets the HTTP poller read the log while run() is still writing.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunChurnListen(t *testing.T) {
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-churn", "-duration", "60", "-rate", "0.1", "-hold", "60",
+			"-interval", "30", "-users", "20", "-shards", "2",
+			"-listen", "127.0.0.1:0", "-linger", "2"}, &buf)
+	}()
+
+	// The serving line prints before the run starts; with -linger the
+	// endpoint stays up well past it, so polling for the address and then
+	// fetching is race-free.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no serving address in output:\n%s", buf.String())
+		}
+		out := buf.String()
+		if i := strings.Index(out, "http://"); i >= 0 {
+			rest := out[i+len("http://"):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				addr = rest[:j]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"vconf_commits_total", "vconf_reopt_latency_ns", "vconf_events_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("run churn -listen: %v", err)
+	}
+	if !strings.Contains(buf.String(), "telemetry: serving") {
+		t.Fatal("serving banner missing")
 	}
 }
 

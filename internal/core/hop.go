@@ -25,6 +25,28 @@ type HopResult struct {
 	// TotalRate is Σ_f' q_{f,f'} / τ: the unnormalized total outgoing
 	// weight, used by ExactCTMC holding times.
 	TotalRate float64
+	// PhiBest and PhiSecond are the two lowest noiseless candidate
+	// objectives among the feasible neighbors — the counterfactual-k
+	// inputs, read off the already-evaluated candidate set at no extra
+	// cost. PhiSecond is +Inf with fewer than two candidates (and PhiBest
+	// +Inf with none). PhiSecond − PhiAfter is the gap between the sampled
+	// move and the runner-up alternative.
+	PhiBest   float64
+	PhiSecond float64
+}
+
+// rankCandidates fills PhiBest/PhiSecond from a candidate Φ slice.
+func (r *HopResult) rankCandidates(phis []float64) {
+	best, second := math.Inf(1), math.Inf(1)
+	for _, phi := range phis {
+		switch {
+		case phi < best:
+			best, second = phi, best
+		case phi < second:
+			second = phi
+		}
+	}
+	r.PhiBest, r.PhiSecond = best, second
 }
 
 // HopScratch pools every reusable buffer one hop needs: the cost package's
@@ -194,6 +216,7 @@ func HopSessionWith(
 	}
 
 	res := HopResult{PhiBefore: phiCur, PhiAfter: phiCur, Feasible: len(scr.ds)}
+	res.rankCandidates(scr.phis)
 	if len(scr.ds) == 0 {
 		ledger.AddSparse(curLoad)
 		return res, nil
@@ -298,6 +321,11 @@ func hopSessionDense(
 	}
 
 	res := HopResult{PhiBefore: phiCur, PhiAfter: phiCur, Feasible: len(cands)}
+	candPhis := make([]float64, len(cands))
+	for i, c := range cands {
+		candPhis[i] = c.phi
+	}
+	res.rankCandidates(candPhis)
 	if len(cands) == 0 {
 		ledger.Add(curLoad)
 		return res, nil

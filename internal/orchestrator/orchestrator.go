@@ -45,7 +45,6 @@ package orchestrator
 import (
 	"errors"
 	"fmt"
-	"math/bits"
 	"runtime"
 	"sync"
 	"time"
@@ -59,6 +58,7 @@ import (
 	"vconf/internal/model"
 	"vconf/internal/pipeline"
 	"vconf/internal/shard"
+	"vconf/internal/telemetry"
 	"vconf/internal/workload"
 )
 
@@ -117,6 +117,13 @@ type Config struct {
 	// Core parameterizes the refinement chain (β, objective scale, seed).
 	// The countdown is irrelevant here — workers hop back to back.
 	Core core.Config
+	// Telemetry, when non-nil, receives per-decision trace records and
+	// feeds the metric registry (counters, per-region histograms) from
+	// every instrumented path: event handling, the shard commit pipeline,
+	// the delay cache and the pipelined scheduler. Nil (the default)
+	// disables instrumentation at zero hot-path cost — every call site
+	// reduces to a pointer test, pinned by the alloc tests.
+	Telemetry *telemetry.Sink
 }
 
 // DefaultConfig returns the orchestrator defaults over the paper's chain
@@ -220,63 +227,6 @@ type Stats struct {
 	InFlightPeak    int
 }
 
-// latencyHist is the fixed-size log-scale latency histogram behind the
-// Stats percentiles: quarter-octave buckets over nanoseconds, so adds are
-// O(1) and memory is constant for arbitrarily long runs.
-type latencyHist struct {
-	counts [256]int
-	n      int
-}
-
-func (h *latencyHist) add(d time.Duration) {
-	ns := uint64(d.Nanoseconds())
-	idx := 0
-	if ns > 0 {
-		e := bits.Len64(ns) - 1
-		frac := 0
-		if e >= 2 {
-			frac = int((ns >> uint(e-2)) & 3)
-		}
-		idx = e*4 + frac
-		if idx >= len(h.counts) {
-			idx = len(h.counts) - 1
-		}
-	}
-	h.counts[idx]++
-	h.n++
-}
-
-// percentile returns the lower bound of the bucket holding the q-quantile,
-// or 0 when the histogram is empty. Bucket 0 holds the sub-2ns samples —
-// including the zero-duration adds an event with no re-optimization set
-// records — and its lower bound is 0, not 1ns: a histogram with no real
-// latency samples must read as 0, not as the first bucket's upper half.
-func (h *latencyHist) percentile(q float64) time.Duration {
-	if h.n == 0 {
-		return 0
-	}
-	target := int(q*float64(h.n) + 0.5)
-	if target < 1 {
-		target = 1
-	}
-	acc := 0
-	for i, c := range h.counts {
-		acc += c
-		if c > 0 && acc >= target {
-			if i == 0 {
-				return 0
-			}
-			e, frac := i/4, uint64(i%4)
-			base := uint64(1) << uint(e)
-			if e < 2 {
-				frac = 0
-			}
-			return time.Duration(base + base*frac/4)
-		}
-	}
-	return 0
-}
-
 // EventReport describes the handling of one churn event.
 type EventReport struct {
 	Event workload.Event
@@ -286,6 +236,10 @@ type EventReport struct {
 	Reopt []model.SessionID
 	// Commits/Rejects/NoChange are this event's task outcomes.
 	Commits, Rejects, NoChange int
+	// Conflicts counts this event's lost cross-shard commit races
+	// (retried or not). Unlike the outcome tallies it is timing-dependent
+	// whenever workers overlap, so differential tests must not compare it.
+	Conflicts int
 	// Latency is the wall-clock duration of the re-optimization barrier.
 	Latency time.Duration
 	// Objective is Σ Φ_s over active sessions after the event
@@ -326,11 +280,14 @@ type Orchestrator struct {
 	cache  *cost.ObjectiveCache
 	// scr is the commit-path evaluation scratch, guarded by the commit lock
 	// (workers hold their own; see pool.go).
-	scr    *cost.Scratch
-	rt     *confsim.Runtime
-	now    float64
-	stats  Stats
-	lat    latencyHist
+	scr   *cost.Scratch
+	rt    *confsim.Runtime
+	now   float64
+	stats Stats
+	lat   *telemetry.Histogram
+	// tel is the optional telemetry sink (Config.Telemetry); nil disables
+	// every instrumentation site at the cost of a pointer test.
+	tel    *telemetry.Sink
 	refErr error // first worker error, surfaced by the next HandleEvent
 
 	// Pipelined-mode state (nil/unused with Config.Pipeline off). pipe is
@@ -368,6 +325,8 @@ func New(ev *cost.Evaluator, boot core.Bootstrapper, cfg Config) (*Orchestrator,
 		a:     assign.New(sc),
 		cache: cost.NewObjectiveCache(ev),
 		scr:   ev.NewScratch(),
+		lat:   telemetry.NewHistogram(),
+		tel:   cfg.Telemetry,
 		tasks: make(chan reoptTask),
 	}
 	// The commit-path scratch and the objective cache's refresh scratch
@@ -399,7 +358,7 @@ func New(ev *cost.Evaluator, boot core.Bootstrapper, cfg Config) (*Orchestrator,
 		o.touchIdx = make([][]model.AgentID, sc.NumSessions())
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		go o.worker()
+		go o.worker(i)
 	}
 	return o, nil
 }
@@ -465,13 +424,18 @@ func (o *Orchestrator) HandleEvent(e workload.Event) (EventReport, error) {
 	}
 
 	rep.Reopt = reopt
+	var tally *eventTally
+	if o.tel != nil {
+		tally = &eventTally{chosenAgent: -1}
+	}
 	if len(reopt) > 0 {
 		before := o.snapshotStats()
-		rep.Latency = o.dispatch(reopt)
+		rep.Latency = o.dispatch(reopt, tally)
 		after := o.snapshotStats()
 		rep.Commits = after.Commits - before.Commits
 		rep.Rejects = after.Rejects - before.Rejects
 		rep.NoChange = after.NoChange - before.NoChange
+		rep.Conflicts = after.Conflicts - before.Conflicts
 	}
 
 	o.mu.Lock()
@@ -480,15 +444,74 @@ func (o *Orchestrator) HandleEvent(e workload.Event) (EventReport, error) {
 	if rep.Latency > o.stats.ReoptMax {
 		o.stats.ReoptMax = rep.Latency
 	}
-	o.lat.add(rep.Latency)
+	o.lat.ObserveDuration(rep.Latency)
 	rep.Objective = o.cache.TotalObjective(o.a)
 	rep.ActiveSessions = o.cache.NumActive()
 	o.mu.Unlock()
 	o.eventIdx++
+	o.emitRecord(&rep, tally, false)
 	if err := o.takeRefErr(); err != nil {
 		return rep, err
 	}
 	return rep, nil
+}
+
+// emitRecord publishes one event's decision record to the telemetry sink
+// (no-op when telemetry is disabled). Event-scoped counters (events by
+// kind, stalls, drops, latency histograms, objective gauges) are derived
+// inside the sink from the record itself; task-scoped counters were already
+// bumped worker-side, so the two views reconcile exactly. tally may be nil
+// only when o.tel is nil.
+func (o *Orchestrator) emitRecord(rep *EventReport, tally *eventTally, stalled bool) {
+	if o.tel == nil {
+		return
+	}
+	rec := telemetry.DecisionRecord{
+		TimeS:          rep.Event.TimeS,
+		Session:        int(rep.Event.Session),
+		Admitted:       rep.Admitted,
+		Stalled:        stalled,
+		Reopt:          len(rep.Reopt),
+		Commits:        rep.Commits,
+		Rejects:        rep.Rejects,
+		NoChange:       rep.NoChange,
+		Conflicts:      rep.Conflicts,
+		LatencyNs:      rep.Latency.Nanoseconds(),
+		ChosenAgent:    -1,
+		Objective:      rep.Objective,
+		ActiveSessions: rep.ActiveSessions,
+	}
+	switch rep.Event.Kind {
+	case workload.EventArrival:
+		rec.Kind = "arrive"
+	case workload.EventDeparture:
+		rec.Kind = "depart"
+		if rep.Admitted {
+			// A live departure tears down the session's delay-cache entry.
+			rec.CacheInvalidated = 1
+		}
+	}
+	if tally != nil {
+		rec.SnapshotNs = tally.snapshotNs
+		rec.WalkNs = tally.walkNs
+		rec.CommitNs = tally.commitNs
+		rec.CacheWarm = tally.cacheWarm
+		rec.CacheCold = tally.cacheCold
+		rec.ChosenAgent = tally.chosenAgent
+		if tally.cfValid {
+			rec.CfGap = tally.cfGap
+			rec.CfValid = true
+		}
+	}
+	o.tel.Record(rec)
+	if o.pipe != nil {
+		ps := o.pipe.Stats()
+		o.tel.SchedulerStats(ps.AdmissionStalls, ps.ReoptWaits, ps.QueueDepthPeak, ps.InFlightPeak)
+	}
+	if o.shl != nil {
+		ls := o.shl.Stats()
+		o.tel.LedgerStats(ls.Committed, ls.Conflicts, ls.Infeasible)
+	}
 }
 
 // applyArrival bootstraps session s and returns (admitted, touched set).
@@ -681,8 +704,8 @@ func (o *Orchestrator) Now() float64 {
 func (o *Orchestrator) Stats() Stats {
 	o.mu.Lock()
 	st := o.stats
-	st.ReoptP50 = o.lat.percentile(0.50)
-	st.ReoptP99 = o.lat.percentile(0.99)
+	st.ReoptP50 = o.lat.PercentileDuration(0.50)
+	st.ReoptP99 = o.lat.PercentileDuration(0.99)
 	o.mu.Unlock()
 	if o.pipe != nil {
 		ps := o.pipe.Stats()

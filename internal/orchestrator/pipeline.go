@@ -58,6 +58,9 @@ type eventState struct {
 	rep   *EventReport
 	reopt []model.SessionID
 	tally eventTally
+	// stalled records whether this event's admission waited in the
+	// scheduler (the OnAdmit hook), for the decision record.
+	stalled bool
 	// admitErr records this event's admission failure (written in the
 	// dispatcher before the retire channel closes), so HandleEvent can tell
 	// "this event never happened" from errors surfaced by other machinery.
@@ -78,15 +81,17 @@ func (o *Orchestrator) submitEvent(e workload.Event, sink *[]EventReport) (*even
 		return nil, nil, fmt.Errorf("orchestrator: invalid event kind %d", e.Kind)
 	}
 	st := &eventState{
-		o:    o,
-		e:    e,
-		seq:  o.eventIdx,
-		rep:  &EventReport{Event: e, Admitted: true},
-		sink: sink,
+		o:     o,
+		e:     e,
+		seq:   o.eventIdx,
+		rep:   &EventReport{Event: e, Admitted: true},
+		tally: eventTally{chosenAgent: -1},
+		sink:  sink,
 	}
 	o.eventIdx++
 	ch, err := o.pipe.Submit(pipeline.Exec{
 		Trigger: int32(e.Session),
+		OnAdmit: func(stalled bool) { st.stalled = stalled },
 		Admit:   st.admit,
 		Reopt:   st.reoptStage,
 		Retire:  st.retire,
@@ -315,13 +320,15 @@ func (st *eventState) retire() {
 	if st.rep.Latency > o.stats.ReoptMax {
 		o.stats.ReoptMax = st.rep.Latency
 	}
-	o.lat.add(st.rep.Latency)
+	o.lat.ObserveDuration(st.rep.Latency)
 	st.rep.Commits = st.tally.commits
 	st.rep.Rejects = st.tally.rejects
 	st.rep.NoChange = st.tally.noChange
+	st.rep.Conflicts = st.tally.conflicts
 	st.rep.Objective = o.cache.TotalObjective(o.a)
 	st.rep.ActiveSessions = o.cache.NumActive()
 	o.mu.Unlock()
+	o.emitRecord(st.rep, &st.tally, st.stalled)
 	if st.sink != nil {
 		*st.sink = append(*st.sink, *st.rep)
 	}

@@ -1,6 +1,7 @@
 package orchestrator
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"vconf/internal/cost"
 	"vconf/internal/model"
 	"vconf/internal/shard"
+	"vconf/internal/telemetry"
 )
 
 // reoptTask is one unit of shard-pool work: re-optimize one session's
@@ -23,10 +25,21 @@ type reoptTask struct {
 	tally   *eventTally
 }
 
-// eventTally accumulates one pipelined event's task outcomes; its fields
-// are guarded by o.mu alongside the global stats counters.
+// eventTally accumulates one event's task outcomes; its fields are guarded
+// by o.mu alongside the global stats counters. The pipelined path always
+// attaches one (per-event reports stay exact while events overlap); the
+// serial path attaches one only when telemetry is enabled, to feed the
+// decision record. chosenAgent must be initialized to -1.
 type eventTally struct {
-	commits, rejects, noChange int
+	commits, rejects, noChange, conflicts int
+	// Per-task telemetry, merged at task finish (telemetry enabled only):
+	// phase durations, delay-cache outcome deltas, and the counterfactual-k
+	// reading of the event's first committed proposal.
+	snapshotNs, walkNs, commitNs int64
+	cacheWarm, cacheCold         int
+	chosenAgent                  int
+	cfGap                        float64
+	cfValid                      bool
 }
 
 // bumpTask increments a global outcome counter and, for pipelined events,
@@ -54,6 +67,30 @@ func (t reoptTask) rejectSlot() *int {
 	return &t.tally.rejects
 }
 
+func (t reoptTask) conflictSlot() *int {
+	if t.tally == nil {
+		return nil
+	}
+	return &t.tally.conflicts
+}
+
+// telOutcome mirrors one task outcome into the telemetry sink's per-region
+// sharded counters (no-op when telemetry is off).
+func (o *Orchestrator) telOutcome(worker int, s model.SessionID, oc telemetry.TaskOutcome) {
+	if o.tel == nil {
+		return
+	}
+	o.tel.TaskOutcome(worker, o.tel.RegionOf(int(s)), oc)
+}
+
+// telConflict mirrors one lost commit race into the telemetry sink.
+func (o *Orchestrator) telConflict(worker int, s model.SessionID) {
+	if o.tel == nil {
+		return
+	}
+	o.tel.TaskConflict(worker, o.tel.RegionOf(int(s)))
+}
+
 // taskSeed derives a deterministic per-task RNG seed, so a task's walk
 // depends only on (config seed, session, event index) — never on which
 // worker goroutine happens to pick it up.
@@ -73,12 +110,12 @@ func taskSeed(seed int64, s model.SessionID, eventIdx int) int64 {
 // pipeline sound: within one dispatch the event loop is parked and every
 // session appears in at most one task, so a task is the only goroutine
 // reading or writing its session's variables in the live assignment.
-func (o *Orchestrator) dispatch(sessions []model.SessionID) time.Duration {
+func (o *Orchestrator) dispatch(sessions []model.SessionID, tally *eventTally) time.Duration {
 	start := time.Now()
 	var wg sync.WaitGroup
 	for _, s := range sessions {
 		wg.Add(1)
-		o.tasks <- reoptTask{session: s, seed: taskSeed(o.cfg.Core.Seed, s, o.eventIdx), wg: &wg}
+		o.tasks <- reoptTask{session: s, seed: taskSeed(o.cfg.Core.Seed, s, o.eventIdx), wg: &wg, tally: tally}
 	}
 	wg.Wait()
 	o.mu.Lock()
@@ -93,7 +130,11 @@ func (o *Orchestrator) dispatch(sessions []model.SessionID) time.Duration {
 // buffers. Everything is reused across tasks, so steady-state refinement
 // allocates nothing beyond the per-task RNG.
 type workerState struct {
+	id  int // counter-shard index into the telemetry sink
 	scr *core.HopScratch
+	// probe is the reused per-task instrumentation scratch (telemetry
+	// enabled only), so enabling the sink adds no per-task allocation.
+	probe taskProbe
 	// Sharded-pipeline state (nil/unused in single-lock mode).
 	snap      *cost.Ledger
 	epochs    shard.Epochs
@@ -107,9 +148,65 @@ type workerState struct {
 	ds        []assign.Decision
 }
 
-// worker is one solver shard: it refines tasks until the pool closes.
-func (o *Orchestrator) worker() {
-	w := &workerState{scr: core.NewHopScratch(o.ev)}
+// taskProbe carries one task's in-flight instrumentation: phase durations
+// and the delay-cache counter baseline captured at task start (the cache
+// counters are cumulative per scratch, so the task's contribution is the
+// difference).
+type taskProbe struct {
+	snapshotNs, walkNs, commitNs        int64
+	commitStart                         time.Time
+	baseHits, basePatches, baseRebuilds int64
+}
+
+// flushCommit closes an open commit-phase interval.
+func (p *taskProbe) flushCommit() {
+	if !p.commitStart.IsZero() {
+		p.commitNs += time.Since(p.commitStart).Nanoseconds()
+		p.commitStart = time.Time{}
+	}
+}
+
+// beginTaskProbe resets the worker's probe and captures the delay-cache
+// baseline. Caller must have checked o.tel != nil.
+func (o *Orchestrator) beginTaskProbe(w *workerState) *taskProbe {
+	w.probe = taskProbe{}
+	if dc := w.scr.Eval().DelayCacheStats(); dc != nil {
+		w.probe.baseHits = int64(dc.Hits())
+		w.probe.basePatches = int64(dc.Patches())
+		w.probe.baseRebuilds = int64(dc.Rebuilds())
+	}
+	return &w.probe
+}
+
+// finishTaskProbe publishes one task's probe: phase counters and cache
+// deltas to the sink (worker-sharded, lock-free), and — when the task
+// carries an event tally — the same readings into the event's record fields
+// under o.mu.
+func (o *Orchestrator) finishTaskProbe(t reoptTask, w *workerState, probe *taskProbe) {
+	probe.flushCommit()
+	var hits, patches, rebuilds int64
+	if dc := w.scr.Eval().DelayCacheStats(); dc != nil {
+		hits = int64(dc.Hits()) - probe.baseHits
+		patches = int64(dc.Patches()) - probe.basePatches
+		rebuilds = int64(dc.Rebuilds()) - probe.baseRebuilds
+	}
+	o.tel.TaskPhases(w.id, probe.snapshotNs, probe.walkNs, probe.commitNs)
+	o.tel.CacheEvals(w.id, hits, patches, rebuilds)
+	if t.tally != nil {
+		o.mu.Lock()
+		t.tally.snapshotNs += probe.snapshotNs
+		t.tally.walkNs += probe.walkNs
+		t.tally.commitNs += probe.commitNs
+		t.tally.cacheWarm += int(hits + patches)
+		t.tally.cacheCold += int(rebuilds)
+		o.mu.Unlock()
+	}
+}
+
+// worker is one solver shard: it refines tasks until the pool closes. id is
+// the worker's counter-shard index in the telemetry sink.
+func (o *Orchestrator) worker(id int) {
+	w := &workerState{id: id, scr: core.NewHopScratch(o.ev)}
 	// The worker's scratch carries a private per-session delay cache that
 	// stays warm across the hops of one refinement walk (and across tasks,
 	// when the session's variables did not change in between). Entries
@@ -129,7 +226,7 @@ func (o *Orchestrator) worker() {
 		if o.shl != nil {
 			o.refineSharded(t, w)
 		} else {
-			o.refineSingleLock(t, w.scr)
+			o.refineSingleLock(t, w)
 		}
 		t.wg.Done()
 	}
@@ -160,7 +257,24 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 	w.userTo = growAgents(w.userTo, len(users))
 	w.flowTo = growAgents(w.flowTo, len(flows))
 
+	// Instrumentation (telemetry enabled only): the probe times the
+	// snapshot/walk/commit phases and diffs the delay-cache counters;
+	// bestAgent/bestGap remember the decisive hop's target and its
+	// counterfactual-k gap (Φ runner-up − Φ chosen), read off the hop
+	// result the loop already computes.
+	var probe *taskProbe
+	var t0 time.Time
+	bestAgent, bestGap := -1, math.Inf(1)
+	if o.tel != nil {
+		probe = o.beginTaskProbe(w)
+		defer o.finishTaskProbe(t, w, probe)
+	}
+
 	for attempt := 0; ; attempt++ {
+		if probe != nil {
+			probe.flushCommit()
+			t0 = time.Now()
+		}
 		// Epoch-stamped capacity snapshot plus a private copy of the
 		// session's decision variables: everything the walk reads. With a
 		// candidate window configured, the walk can only read the session's
@@ -197,6 +311,11 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 			}
 		}
 
+		if probe != nil {
+			now := time.Now()
+			probe.snapshotNs += now.Sub(t0).Nanoseconds()
+			t0 = now
+		}
 		es := w.scr.Eval()
 		startPhi := o.ev.BeginSession(w.aw, t.session, es).Phi
 		w.cur.CopyFrom(es.CurLoad())
@@ -230,10 +349,20 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 					w.flowTo[i], _ = w.aw.FlowAgent(f)
 				}
 				improved = true
+				if probe != nil {
+					bestAgent = int(res.Decision.To)
+					bestGap = res.PhiSecond - res.PhiAfter
+				}
 			}
+		}
+		if probe != nil {
+			now := time.Now()
+			probe.walkNs += now.Sub(t0).Nanoseconds()
+			probe.commitStart = now
 		}
 		if !improved {
 			o.bumpTask(&o.stats.NoChange, t.noChangeSlot())
+			o.telOutcome(w.id, t.session, telemetry.OutcomeNoChange)
 			return
 		}
 
@@ -261,6 +390,7 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 		}
 		if len(w.ds) == 0 {
 			o.bumpTask(&o.stats.NoChange, t.noChangeSlot())
+			o.telOutcome(w.id, t.session, telemetry.OutcomeNoChange)
 			return
 		}
 
@@ -271,10 +401,12 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 		newLoad := es.CurLoad()
 		if newEval.Phi >= startPhi-o.cfg.ImprovementEps {
 			o.bumpTask(&o.stats.NoChange, t.noChangeSlot())
+			o.telOutcome(w.id, t.session, telemetry.OutcomeNoChange)
 			return
 		}
 		if !newEval.DelayFeasible(o.sc.DMaxMS) {
 			o.bumpTask(&o.stats.Rejects, t.rejectSlot())
+			o.telOutcome(w.id, t.session, telemetry.OutcomeReject)
 			return
 		}
 
@@ -307,6 +439,16 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 			o.stats.Commits++
 			if t.tally != nil {
 				t.tally.commits++
+				// Counterfactual-k: keep the event's first committed
+				// proposal's decisive hop (probe != nil paths only; the
+				// tally fields stay zeroed otherwise).
+				if t.tally.chosenAgent < 0 && bestAgent >= 0 {
+					t.tally.chosenAgent = bestAgent
+					if !math.IsInf(bestGap, 1) {
+						t.tally.cfGap = bestGap
+						t.tally.cfValid = true
+					}
+				}
 			}
 			if o.rt != nil {
 				for _, d := range w.ds {
@@ -319,28 +461,25 @@ func (o *Orchestrator) refineSharded(t reoptTask, w *workerState) {
 				o.stats.Migrations += len(w.ds)
 			}
 			o.mu.Unlock()
+			o.telOutcome(w.id, t.session, telemetry.OutcomeCommit)
 			return
 		case shard.Conflict:
 			// A sibling commit changed a routed shard after our snapshot:
 			// the walk ran on stale residual capacities. Retry bounded.
-			o.bump(&o.stats.Conflicts)
+			o.bumpTask(&o.stats.Conflicts, t.conflictSlot())
+			o.telConflict(w.id, t.session)
 			if attempt < o.cfg.CommitRetries {
 				continue
 			}
 			o.bumpTask(&o.stats.Rejects, t.rejectSlot())
+			o.telOutcome(w.id, t.session, telemetry.OutcomeReject)
 			return
 		default: // shard.Infeasible
 			o.bumpTask(&o.stats.Rejects, t.rejectSlot())
+			o.telOutcome(w.id, t.session, telemetry.OutcomeReject)
 			return
 		}
 	}
-}
-
-// bump increments one stats counter under the state lock.
-func (o *Orchestrator) bump(counter *int) {
-	o.mu.Lock()
-	*counter++
-	o.mu.Unlock()
 }
 
 // growAgents resizes a reused agent-ID buffer to n entries.
@@ -370,12 +509,25 @@ type proposal struct {
 	userTo []model.AgentID
 	flowTo []model.AgentID
 	phi    float64
+	// cfAgent/cfGap/cfValid carry the decisive hop's counterfactual-k
+	// reading (telemetry enabled only; cfAgent is -1 otherwise).
+	cfAgent int
+	cfGap   float64
+	cfValid bool
 }
 
 // refineSingleLock snapshots the live state under the commit lock, runs a
 // bounded warm-started Markov walk on the snapshot, and merges the best
 // state found.
-func (o *Orchestrator) refineSingleLock(t reoptTask, scr *core.HopScratch) {
+func (o *Orchestrator) refineSingleLock(t reoptTask, w *workerState) {
+	scr := w.scr
+	var probe *taskProbe
+	var t0 time.Time
+	if o.tel != nil {
+		probe = o.beginTaskProbe(w)
+		defer o.finishTaskProbe(t, w, probe)
+		t0 = time.Now()
+	}
 	// Snapshot under the commit lock: clone the assignment and ledger so
 	// the walk runs without blocking other workers or the event loop.
 	o.mu.Lock()
@@ -387,6 +539,11 @@ func (o *Orchestrator) refineSingleLock(t reoptTask, scr *core.HopScratch) {
 	ledger := o.dense.Clone()
 	startPhi := o.cache.SessionObjective(o.a, t.session)
 	o.mu.Unlock()
+	if probe != nil {
+		now := time.Now()
+		probe.snapshotNs += now.Sub(t0).Nanoseconds()
+		t0 = now
+	}
 
 	users := o.sc.Session(t.session).Users
 	flows := a.SessionFlows(t.session)
@@ -397,6 +554,7 @@ func (o *Orchestrator) refineSingleLock(t reoptTask, scr *core.HopScratch) {
 		userTo:  make([]model.AgentID, len(users)),
 		flowTo:  make([]model.AgentID, len(flows)),
 		phi:     startPhi,
+		cfAgent: -1,
 	}
 	capture := func() {
 		for i, u := range users {
@@ -425,15 +583,28 @@ func (o *Orchestrator) refineSingleLock(t reoptTask, scr *core.HopScratch) {
 			prop.phi = res.PhiAfter
 			capture()
 			improved = true
+			if probe != nil {
+				prop.cfAgent = int(res.Decision.To)
+				if !math.IsInf(res.PhiSecond, 1) {
+					prop.cfGap = res.PhiSecond - res.PhiAfter
+					prop.cfValid = true
+				} else {
+					prop.cfGap, prop.cfValid = 0, false
+				}
+			}
 		}
 	}
+	if probe != nil {
+		now := time.Now()
+		probe.walkNs += now.Sub(t0).Nanoseconds()
+		probe.commitStart = now
+	}
 	if !improved {
-		o.mu.Lock()
-		o.stats.NoChange++
-		o.mu.Unlock()
+		o.bumpTask(&o.stats.NoChange, t.noChangeSlot())
+		o.telOutcome(w.id, t.session, telemetry.OutcomeNoChange)
 		return
 	}
-	o.commitSingleLock(prop)
+	o.commitSingleLock(t, w.id, prop)
 }
 
 // commitSingleLock merges a proposal under the commit lock with optimistic
@@ -441,16 +612,24 @@ func (o *Orchestrator) refineSingleLock(t reoptTask, scr *core.HopScratch) {
 // still fit capacity and the delay cap against the *current* ledger, and
 // the objective must still strictly improve. Accepted decisions are
 // mirrored to the data plane as dual-feed migrations.
-func (o *Orchestrator) commitSingleLock(p proposal) {
+func (o *Orchestrator) commitSingleLock(t reoptTask, wid int, p proposal) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if !o.cache.Active(p.session) {
 		o.stats.Rejects++ // departed while refining
+		if t.tally != nil {
+			t.tally.rejects++
+		}
+		o.telOutcome(wid, p.session, telemetry.OutcomeReject)
 		return
 	}
 	curPhi := o.cache.SessionObjective(o.a, p.session)
 	if p.phi >= curPhi-o.cfg.ImprovementEps {
 		o.stats.NoChange++
+		if t.tally != nil {
+			t.tally.noChange++
+		}
+		o.telOutcome(wid, p.session, telemetry.OutcomeNoChange)
 		return
 	}
 
@@ -468,6 +647,10 @@ func (o *Orchestrator) commitSingleLock(p proposal) {
 	}
 	if len(ds) == 0 {
 		o.stats.NoChange++
+		if t.tally != nil {
+			t.tally.noChange++
+		}
+		o.telOutcome(wid, p.session, telemetry.OutcomeNoChange)
 		return
 	}
 
@@ -480,6 +663,10 @@ func (o *Orchestrator) commitSingleLock(p proposal) {
 		}
 		o.dense.AddSparse(curLoad)
 		o.stats.Rejects++
+		if t.tally != nil {
+			t.tally.rejects++
+		}
+		o.telOutcome(wid, p.session, telemetry.OutcomeReject)
 	}
 	for _, d := range ds {
 		inv, err := o.a.Apply(d)
@@ -503,6 +690,17 @@ func (o *Orchestrator) commitSingleLock(p proposal) {
 	o.dense.AddSparse(newLoad)
 	o.cache.Invalidate(p.session)
 	o.stats.Commits++
+	if t.tally != nil {
+		t.tally.commits++
+		if t.tally.chosenAgent < 0 && p.cfAgent >= 0 {
+			t.tally.chosenAgent = p.cfAgent
+			if p.cfValid {
+				t.tally.cfGap = p.cfGap
+				t.tally.cfValid = true
+			}
+		}
+	}
+	o.telOutcome(wid, p.session, telemetry.OutcomeCommit)
 	if o.rt != nil {
 		for _, d := range ds {
 			if err := o.rt.Migrate(o.now, d); err != nil {

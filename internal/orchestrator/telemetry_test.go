@@ -1,0 +1,265 @@
+package orchestrator
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vconf/internal/telemetry"
+	"vconf/internal/workload"
+)
+
+// sumRecords folds the sink's decision records into aggregate counters for
+// reconciliation against Stats.
+type recordSums struct {
+	events, arrives, departs              int
+	commits, rejects, noChange, conflicts int
+	stalls, notAdmitted, invalidated      int
+}
+
+func foldRecords(recs []telemetry.DecisionRecord) recordSums {
+	var rs recordSums
+	for _, r := range recs {
+		rs.events++
+		switch r.Kind {
+		case "arrive":
+			rs.arrives++
+		case "depart":
+			rs.departs++
+		}
+		rs.commits += r.Commits
+		rs.rejects += r.Rejects
+		rs.noChange += r.NoChange
+		rs.conflicts += r.Conflicts
+		if r.Stalled {
+			rs.stalls++
+		}
+		if !r.Admitted {
+			rs.notAdmitted++
+		}
+		rs.invalidated += r.CacheInvalidated
+	}
+	return rs
+}
+
+// reconcile runs the shared assertions: the trace records, the Stats
+// counters and the registry's merged counters must agree exactly.
+func reconcile(t *testing.T, o *Orchestrator, sink *telemetry.Sink, nEvents int) {
+	t.Helper()
+	st := o.Stats()
+	recs := sink.Recorder().Records()
+	if int64(nEvents) != sink.Recorder().Total() {
+		t.Fatalf("recorder holds %d records total, want %d", sink.Recorder().Total(), nEvents)
+	}
+	rs := foldRecords(recs)
+	if rs.events != st.Events {
+		t.Fatalf("records = %d, Stats.Events = %d", rs.events, st.Events)
+	}
+	if rs.arrives != st.Arrivals || rs.departs != st.Departures {
+		t.Fatalf("record kinds %d/%d, Stats %d/%d", rs.arrives, rs.departs, st.Arrivals, st.Departures)
+	}
+	if rs.commits != st.Commits || rs.rejects != st.Rejects || rs.noChange != st.NoChange {
+		t.Fatalf("record outcomes %d/%d/%d, Stats %d/%d/%d",
+			rs.commits, rs.rejects, rs.noChange, st.Commits, st.Rejects, st.NoChange)
+	}
+	if rs.conflicts != st.Conflicts {
+		t.Fatalf("record conflicts %d, Stats %d", rs.conflicts, st.Conflicts)
+	}
+	if rs.stalls != st.AdmissionStalls {
+		t.Fatalf("record stalls %d, Stats.AdmissionStalls %d", rs.stalls, st.AdmissionStalls)
+	}
+	if rs.notAdmitted != st.Dropped+st.Skipped {
+		t.Fatalf("record non-admissions %d, Stats drops+skips %d", rs.notAdmitted, st.Dropped+st.Skipped)
+	}
+
+	// Registry counters (worker-side, sharded) must merge to the same
+	// totals as both views above.
+	counters := map[string]int64{}
+	for _, m := range sink.Registry().Snapshot() {
+		if m.Type == "counter" {
+			counters[m.Name] += int64(m.Value)
+		}
+	}
+	if counters["vconf_commits_total"] != int64(st.Commits) {
+		t.Fatalf("registry commits %d, Stats %d", counters["vconf_commits_total"], st.Commits)
+	}
+	if counters["vconf_rejects_total"] != int64(st.Rejects) {
+		t.Fatalf("registry rejects %d, Stats %d", counters["vconf_rejects_total"], st.Rejects)
+	}
+	if counters["vconf_nochange_total"] != int64(st.NoChange) {
+		t.Fatalf("registry no-change %d, Stats %d", counters["vconf_nochange_total"], st.NoChange)
+	}
+	if counters["vconf_conflicts_total"] != int64(st.Conflicts) {
+		t.Fatalf("registry conflicts %d, Stats %d", counters["vconf_conflicts_total"], st.Conflicts)
+	}
+	if counters["vconf_events_total"] != int64(st.Events) {
+		t.Fatalf("registry events %d, Stats %d", counters["vconf_events_total"], st.Events)
+	}
+	if counters["vconf_admission_stalls_total"] != int64(st.AdmissionStalls) {
+		t.Fatalf("registry stalls %d, Stats %d", counters["vconf_admission_stalls_total"], st.AdmissionStalls)
+	}
+	if counters["vconf_dropped_arrivals_total"] != int64(st.Dropped) {
+		t.Fatalf("registry drops %d, Stats %d", counters["vconf_dropped_arrivals_total"], st.Dropped)
+	}
+	if counters["vconf_skipped_departures_total"] != int64(st.Skipped) {
+		t.Fatalf("registry skips %d, Stats %d", counters["vconf_skipped_departures_total"], st.Skipped)
+	}
+}
+
+func TestTelemetryReconciliationSerial(t *testing.T) {
+	ev, boot := testStack(t, workload.Prototype(11))
+	events := churn(t, ev, 11, 300, 0.08, 120)
+	sink := telemetry.New(telemetry.Config{Workers: 4, TraceCapacity: len(events) + 8})
+	cfg := DefaultConfig(11)
+	cfg.Shards = 4
+	cfg.Telemetry = sink
+	o, err := New(ev, boot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.Run(events, 300); err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, o, sink, len(events))
+	if st := o.Stats(); st.Commits == 0 {
+		t.Fatalf("run exercised no commits: %+v", st)
+	}
+	// At least one committed record must carry a counterfactual reading.
+	n, mean, _ := sink.CounterfactualSummary()
+	if n == 0 {
+		t.Fatal("no counterfactual-k readings captured across a committing run")
+	}
+	if mean < 0 {
+		t.Fatalf("mean counterfactual gap %v negative: the chosen hop should beat the runner-up", mean)
+	}
+}
+
+func TestTelemetryReconciliationSingleLock(t *testing.T) {
+	ev, boot := testStack(t, workload.Prototype(12))
+	events := churn(t, ev, 12, 300, 0.08, 120)
+	sink := telemetry.New(telemetry.Config{Workers: 4, TraceCapacity: len(events) + 8})
+	cfg := DefaultConfig(12)
+	cfg.Shards = 4
+	cfg.LedgerShards = -1 // legacy single-lock commit path
+	cfg.Telemetry = sink
+	o, err := New(ev, boot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.Run(events, 300); err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, o, sink, len(events))
+}
+
+func TestTelemetryReconciliationPipelined(t *testing.T) {
+	ev, boot := testStack(t, workload.Prototype(13))
+	events := churn(t, ev, 13, 300, 0.10, 120)
+	sink := telemetry.New(telemetry.Config{Workers: 4, TraceCapacity: len(events) + 8})
+	cfg := DefaultConfig(13)
+	cfg.Shards = 4
+	cfg.Pipeline = true
+	cfg.MaxInFlight = 4
+	cfg.Core.NeighborWindow = 6
+	cfg.Telemetry = sink
+	o, err := New(ev, boot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.Run(events, 300); err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, o, sink, len(events))
+}
+
+// TestTelemetryDifferentialNilVsEnabled pins zero observer effect: an
+// identical schedule through a nil sink and an enabled sink must produce
+// bit-identical reports and final state — instrumentation never perturbs
+// RNG draws, evaluation order, or commit decisions.
+func TestTelemetryDifferentialNilVsEnabled(t *testing.T) {
+	run := func(sink *telemetry.Sink) ([]EventReport, float64) {
+		ev, boot := testStack(t, workload.Prototype(14))
+		events := churn(t, ev, 14, 300, 0.08, 120)
+		cfg := DefaultConfig(14)
+		cfg.Shards = 4
+		cfg.Telemetry = sink
+		o, err := New(ev, boot, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer o.Close()
+		reps, err := o.Run(events, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reps, o.Objective()
+	}
+	plain, phiPlain := run(nil)
+	instr, phiInstr := run(telemetry.New(telemetry.Config{Workers: 4}))
+	if phiPlain != phiInstr {
+		t.Fatalf("objective diverged: nil sink %v, enabled %v", phiPlain, phiInstr)
+	}
+	if len(plain) != len(instr) {
+		t.Fatalf("report counts diverged: %d vs %d", len(plain), len(instr))
+	}
+	for i := range plain {
+		a, b := plain[i], instr[i]
+		// Latency is wall-clock and Conflicts is timing-dependent whenever
+		// workers overlap; everything else must match bit-for-bit.
+		a.Latency, b.Latency = 0, 0
+		a.Conflicts, b.Conflicts = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("report %d diverged:\nnil:     %+v\nenabled: %+v", i, a, b)
+		}
+	}
+}
+
+// TestTelemetryPerRegionLabels pins the per-region label plumbing: with a
+// session→region map, the exposition must carry region-labeled commit
+// counters and latency histograms.
+func TestTelemetryPerRegionLabels(t *testing.T) {
+	ev, boot := testStack(t, workload.Prototype(15))
+	events := churn(t, ev, 15, 300, 0.08, 120)
+	regions := make([]int, ev.Scenario().NumSessions())
+	for s := range regions {
+		regions[s] = s % 3
+	}
+	sink := telemetry.New(telemetry.Config{Workers: 4, SessionRegion: regions, TraceCapacity: len(events) + 8})
+	cfg := DefaultConfig(15)
+	cfg.Shards = 4
+	cfg.Telemetry = sink
+	o, err := New(ev, boot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.Run(events, 300); err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, o, sink, len(events))
+
+	var sb strings.Builder
+	if err := sink.Registry().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`vconf_events_total{kind="arrive",region="0"}`,
+		`vconf_events_total{kind="arrive",region="1"}`,
+		`vconf_events_total{kind="arrive",region="2"}`,
+		`vconf_reopt_latency_ns_count{region="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Every record's region must match the configured map.
+	for _, rec := range sink.Recorder().Records() {
+		if rec.Region != rec.Session%3 {
+			t.Fatalf("record session %d labeled region %d, want %d", rec.Session, rec.Region, rec.Session%3)
+		}
+	}
+}

@@ -116,6 +116,12 @@ type Exec struct {
 	// are executing, and may run out of submission order. An error aborts
 	// the stream (no further admissions; see Drain).
 	Admit func() (Footprint, error)
+	// OnAdmit, when non-nil, is called immediately before Admit with the
+	// event's stall flag: true iff this admission waited at least once —
+	// exactly the condition counted by Stats.AdmissionStalls, so per-event
+	// observers reconcile with the aggregate counter. Called on the
+	// dispatcher goroutine, outside the scheduler lock.
+	OnAdmit func(stalled bool)
 	// Reopt runs the event's re-optimization stage. It may run concurrently
 	// with other events' Reopt stages whose footprints are disjoint, and
 	// must touch only sessions in the event's footprint.
@@ -342,10 +348,14 @@ func (s *Scheduler) dispatch() {
 		// Admission: first eligible pending event in submission order.
 		if s.err == nil {
 			if e := s.eligibleLocked(); e != nil {
-				if e.stalled {
+				stalled := e.stalled
+				if stalled {
 					s.stats.AdmissionStalls++
 				}
 				s.mu.Unlock()
+				if e.exec.OnAdmit != nil {
+					e.exec.OnAdmit(stalled)
+				}
 				fp, err := e.exec.Admit()
 				s.mu.Lock()
 				if err != nil {

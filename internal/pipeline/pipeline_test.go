@@ -470,3 +470,75 @@ func TestStatsPeaks(t *testing.T) {
 		t.Fatal("cap-blocked admissions did not count as stalls")
 	}
 }
+
+// TestOnAdmitMirrorsAdmissionStalls pins the OnAdmit hook contract: it
+// fires exactly once per admitted event, immediately before Admit, and its
+// stalled flag is exactly the condition that bumps Stats.AdmissionStalls —
+// so a consumer summing the flags reconciles with the scheduler's counter.
+func TestOnAdmitMirrorsAdmissionStalls(t *testing.T) {
+	s, err := New(Config{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var flags []bool
+	onAdmit := func(stalled bool) {
+		mu.Lock()
+		flags = append(flags, stalled)
+		mu.Unlock()
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := s.Submit(Exec{
+		Trigger: 0,
+		OnAdmit: onAdmit,
+		Admit:   func() (Footprint, error) { return Footprint{Sessions: []int32{0}}, nil },
+		Reopt:   func() error { close(started); <-release; return nil },
+		Retire:  func() {},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // event 0 holds the in-flight slot
+	// Event 1 must now stall on the in-flight cap before admission.
+	if _, err := s.Submit(Exec{
+		Trigger: 1,
+		OnAdmit: onAdmit,
+		Admit:   func() (Footprint, error) { return Footprint{Sessions: []int32{1}}, nil },
+		Reopt:   func() error { return nil },
+		Retire:  func() {},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the dispatcher its wake-up from Submit: it must scan past event 1
+	// (marking it stalled at the full in-flight cap) before event 0 is
+	// released. The sleep only makes the stall deterministic; the
+	// flags-vs-stats reconciliation below holds regardless of timing.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flags) != 2 {
+		t.Fatalf("OnAdmit fired %d times, want 2 (once per event)", len(flags))
+	}
+	stalls := 0
+	for _, f := range flags {
+		if f {
+			stalls++
+		}
+	}
+	st := s.Stats()
+	if stalls != st.AdmissionStalls {
+		t.Fatalf("OnAdmit stalled flags sum %d, Stats.AdmissionStalls %d", stalls, st.AdmissionStalls)
+	}
+	if flags[0] {
+		t.Fatal("first event reported stalled: it admitted into an empty scheduler")
+	}
+	if !flags[1] {
+		t.Fatal("second event reported unstalled: it waited on the in-flight cap")
+	}
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Append(DecisionRecord{Session: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	recs := r.Records()
+	for i, rec := range recs {
+		wantSeq := int64(6 + i)
+		if rec.Seq != wantSeq || rec.Session != int(wantSeq) {
+			t.Fatalf("record %d: seq=%d session=%d, want both %d (oldest-first after wrap)",
+				i, rec.Seq, rec.Session, wantSeq)
+		}
+	}
+}
+
+func TestRecorderNoWrap(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 3; i++ {
+		r.Append(DecisionRecord{Session: i})
+	}
+	recs := r.Records()
+	if len(recs) != 3 || recs[0].Seq != 0 || recs[2].Seq != 2 {
+		t.Fatalf("unexpected records %+v", recs)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	r := NewRecorder(16)
+	r.Append(DecisionRecord{TimeS: 1.5, Session: 3, Kind: "arrive", Admitted: true, Commits: 2, CfGap: 0.25, CfValid: true, Objective: 12.5})
+	r.Append(DecisionRecord{TimeS: 2.0, Session: 3, Kind: "depart", Admitted: true, CacheInvalidated: 1})
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var back []DecisionRecord
+	for sc.Scan() {
+		var rec DecisionRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		back = append(back, rec)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round-tripped %d records, want 2", len(back))
+	}
+	if back[0].Kind != "arrive" || back[0].Commits != 2 || !back[0].CfValid || back[0].CfGap != 0.25 {
+		t.Fatalf("record 0 mangled: %+v", back[0])
+	}
+	if back[1].CacheInvalidated != 1 || back[1].Seq != 1 {
+		t.Fatalf("record 1 mangled: %+v", back[1])
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder(16)
+	r.Append(DecisionRecord{WallNs: 1_000_000, LatencyNs: 5_000, Kind: "arrive", Session: 1, Region: 0})
+	r.Append(DecisionRecord{WallNs: 2_000_000, LatencyNs: 0, Kind: "depart", Session: 2, Region: 1})
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(out.TraceEvents))
+	}
+	if out.TraceEvents[0].Ts != 0 || out.TraceEvents[0].Dur != 5 {
+		t.Fatalf("event 0 = %+v, want ts=0 dur=5µs", out.TraceEvents[0])
+	}
+	if out.TraceEvents[1].Ts != 1000 || out.TraceEvents[1].Dur != 1 || out.TraceEvents[1].Tid != 1 {
+		t.Fatalf("event 1 = %+v, want ts=1000 dur=1 tid=1", out.TraceEvents[1])
+	}
+	if out.TraceEvents[0].Ph != "X" {
+		t.Fatalf("phase = %q, want X", out.TraceEvents[0].Ph)
+	}
+}

@@ -1,0 +1,395 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"vconf/internal/trace"
+)
+
+// TaskOutcome classifies one re-optimization task's terminal outcome for
+// the per-region outcome counters.
+type TaskOutcome int
+
+const (
+	OutcomeCommit TaskOutcome = iota
+	OutcomeReject
+	OutcomeNoChange
+)
+
+// Config sizes a Sink.
+type Config struct {
+	// Workers hints the counter shard width: one cache-line-padded cell
+	// per solver worker plus one for the event loop. 0 defaults to 9
+	// (8 workers + event loop); indices wrap, so an under-estimate is
+	// safe — it costs sharing, never correctness.
+	Workers int
+	// TraceCapacity bounds the decision-record ring. 0 defaults to 4096.
+	TraceCapacity int
+	// SessionRegion maps session ID → region for per-region metric labels
+	// (e.g. a geo-federated fleet's home regions). Nil labels everything
+	// region 0.
+	SessionRegion []int
+	// Regions fixes the region count; 0 derives it from SessionRegion
+	// (max+1, minimum 1).
+	Regions int
+}
+
+// Sink is the instrumentation facade the orchestrator and schedulers call
+// into. All methods are nil-receiver safe: a nil *Sink is the disabled
+// state, reducing every call site to a pointer test with zero allocation
+// (the alloc-pin tests enforce this), so hot paths carry no overhead when
+// telemetry is off.
+type Sink struct {
+	reg *Registry
+	rec *Recorder
+
+	sessionRegion []int
+	regions       int
+
+	// Per-region handle slices, resolved once at construction so the hot
+	// path is an index, not a registry lookup.
+	commits   []*Counter
+	rejects   []*Counter
+	noChange  []*Counter
+	conflicts []*Counter
+	arrivals  []*Counter
+	departs   []*Counter
+	reoptLat  []*Histogram
+
+	// Global counters.
+	stalls        *Counter
+	drops         *Counter
+	skips         *Counter
+	invalidations *Counter
+	cacheHits     *Counter
+	cachePatches  *Counter
+	cacheRebuilds *Counter
+	phaseSnapshot *Counter
+	phaseWalk     *Counter
+	phaseCommit   *Counter
+
+	// Gauges (event-loop writers only).
+	objective    *Gauge
+	active       *Gauge
+	schedStalls  *Gauge
+	schedWaits   *Gauge
+	schedQueue   *Gauge
+	schedFlight  *Gauge
+	ledgerCommit *Gauge
+	ledgerConfl  *Gauge
+	ledgerInfeas *Gauge
+
+	// prevObjective backs ObjectiveDelta (guarded by the recorder mutex's
+	// caller — Record is invoked from the serialized event-retire path).
+	prevObjective    float64
+	haveObjective    bool
+	eventShard       int
+	feedObjective    *trace.Series
+	feedActive       *trace.Series
+	feedCommits      *trace.Series
+	feedConflicts    *trace.Series
+	feedCacheWarmPct *trace.Series
+}
+
+// New builds an enabled sink. A nil *Sink (not New's result) is the
+// disabled state.
+func New(cfg Config) *Sink {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = 4096
+	}
+	regions := cfg.Regions
+	if regions <= 0 {
+		regions = 1
+		for _, r := range cfg.SessionRegion {
+			if r+1 > regions {
+				regions = r + 1
+			}
+		}
+	}
+	s := &Sink{
+		reg:           NewRegistry(cfg.Workers + 1),
+		rec:           NewRecorder(cfg.TraceCapacity),
+		sessionRegion: cfg.SessionRegion,
+		regions:       regions,
+		eventShard:    cfg.Workers,
+	}
+	s.commits = make([]*Counter, regions)
+	s.rejects = make([]*Counter, regions)
+	s.noChange = make([]*Counter, regions)
+	s.conflicts = make([]*Counter, regions)
+	s.arrivals = make([]*Counter, regions)
+	s.departs = make([]*Counter, regions)
+	s.reoptLat = make([]*Histogram, regions)
+	for r := 0; r < regions; r++ {
+		lbl := Label{Key: "region", Value: strconv.Itoa(r)}
+		s.commits[r] = s.reg.Counter("vconf_commits_total", "re-optimization proposals committed", lbl)
+		s.rejects[r] = s.reg.Counter("vconf_rejects_total", "re-optimization proposals rejected at commit validation", lbl)
+		s.noChange[r] = s.reg.Counter("vconf_nochange_total", "re-optimization walks that found no improvement", lbl)
+		s.conflicts[r] = s.reg.Counter("vconf_conflicts_total", "commit attempts that lost a cross-shard race", lbl)
+		s.arrivals[r] = s.reg.Counter("vconf_events_total", "churn events handled", Label{Key: "kind", Value: "arrive"}, lbl)
+		s.departs[r] = s.reg.Counter("vconf_events_total", "churn events handled", Label{Key: "kind", Value: "depart"}, lbl)
+		s.reoptLat[r] = s.reg.Histogram("vconf_reopt_latency_ns", "per-event re-optimization barrier latency (ns)", lbl)
+	}
+	s.stalls = s.reg.Counter("vconf_admission_stalls_total", "events whose admission waited in the pipelined scheduler")
+	s.drops = s.reg.Counter("vconf_dropped_arrivals_total", "arrivals rejected at admission")
+	s.skips = s.reg.Counter("vconf_skipped_departures_total", "departures for never-admitted sessions")
+	s.invalidations = s.reg.Counter("vconf_delay_cache_invalidations_total", "delay-cache entries torn down by departures")
+	s.cacheHits = s.reg.Counter("vconf_delay_cache_evals_total", "delay-cache evaluation outcomes", Label{Key: "result", Value: "hit"})
+	s.cachePatches = s.reg.Counter("vconf_delay_cache_evals_total", "delay-cache evaluation outcomes", Label{Key: "result", Value: "patch"})
+	s.cacheRebuilds = s.reg.Counter("vconf_delay_cache_evals_total", "delay-cache evaluation outcomes", Label{Key: "result", Value: "rebuild"})
+	s.phaseSnapshot = s.reg.Counter("vconf_task_phase_ns_total", "cumulative task time per phase (ns)", Label{Key: "phase", Value: "snapshot"})
+	s.phaseWalk = s.reg.Counter("vconf_task_phase_ns_total", "cumulative task time per phase (ns)", Label{Key: "phase", Value: "walk"})
+	s.phaseCommit = s.reg.Counter("vconf_task_phase_ns_total", "cumulative task time per phase (ns)", Label{Key: "phase", Value: "commit"})
+	s.objective = s.reg.Gauge("vconf_objective", "Σ Φ_s over active sessions")
+	s.active = s.reg.Gauge("vconf_active_sessions", "live session count")
+	s.schedStalls = s.reg.Gauge("vconf_sched_admission_stalls", "pipelined scheduler: admission stalls")
+	s.schedWaits = s.reg.Gauge("vconf_sched_reopt_waits", "pipelined scheduler: re-optimization waits")
+	s.schedQueue = s.reg.Gauge("vconf_sched_queue_depth_peak", "pipelined scheduler: pending-queue high-water mark")
+	s.schedFlight = s.reg.Gauge("vconf_sched_in_flight_peak", "pipelined scheduler: in-flight high-water mark")
+	s.ledgerCommit = s.reg.Gauge("vconf_shard_ledger_commits", "shard ledger: CommitDelta outcomes committed")
+	s.ledgerConfl = s.reg.Gauge("vconf_shard_ledger_conflicts", "shard ledger: CommitDelta outcomes conflicted")
+	s.ledgerInfeas = s.reg.Gauge("vconf_shard_ledger_infeasible", "shard ledger: CommitDelta outcomes infeasible")
+	s.feedObjective = trace.NewSeries("telemetry/objective")
+	s.feedActive = trace.NewSeries("telemetry/active_sessions")
+	s.feedCommits = trace.NewSeries("telemetry/commits_total")
+	s.feedConflicts = trace.NewSeries("telemetry/conflicts_total")
+	s.feedCacheWarmPct = trace.NewSeries("telemetry/cache_warm_pct")
+	return s
+}
+
+// Enabled reports whether the sink is live.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Registry exposes the metric registry (nil when disabled).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Recorder exposes the decision-trace ring (nil when disabled).
+func (s *Sink) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// EventShard is the counter shard reserved for the event loop / retire
+// path (workers use their own indices).
+func (s *Sink) EventShard() int {
+	if s == nil {
+		return 0
+	}
+	return s.eventShard
+}
+
+// RegionOf maps a session to its metric region (0 without a map).
+func (s *Sink) RegionOf(session int) int {
+	if s == nil || session < 0 || session >= len(s.sessionRegion) {
+		return 0
+	}
+	r := s.sessionRegion[session]
+	if r < 0 || r >= s.regions {
+		return 0
+	}
+	return r
+}
+
+// Regions returns the label cardinality of the per-region series.
+func (s *Sink) Regions() int {
+	if s == nil {
+		return 0
+	}
+	return s.regions
+}
+
+// TaskOutcome counts one task's terminal outcome on the worker's counter
+// shard, labeled with the task session's region.
+func (s *Sink) TaskOutcome(worker, region int, oc TaskOutcome) {
+	if s == nil {
+		return
+	}
+	if region < 0 || region >= s.regions {
+		region = 0
+	}
+	switch oc {
+	case OutcomeCommit:
+		s.commits[region].Inc(worker)
+	case OutcomeReject:
+		s.rejects[region].Inc(worker)
+	case OutcomeNoChange:
+		s.noChange[region].Inc(worker)
+	}
+}
+
+// TaskConflict counts one lost cross-shard commit race.
+func (s *Sink) TaskConflict(worker, region int) {
+	if s == nil {
+		return
+	}
+	if region < 0 || region >= s.regions {
+		region = 0
+	}
+	s.conflicts[region].Inc(worker)
+}
+
+// TaskPhases accumulates one task's phase durations (ns).
+func (s *Sink) TaskPhases(worker int, snapshotNs, walkNs, commitNs int64) {
+	if s == nil {
+		return
+	}
+	s.phaseSnapshot.Add(worker, snapshotNs)
+	s.phaseWalk.Add(worker, walkNs)
+	s.phaseCommit.Add(worker, commitNs)
+}
+
+// CacheEvals accumulates delay-cache outcome deltas from one task.
+func (s *Sink) CacheEvals(worker int, hits, patches, rebuilds int64) {
+	if s == nil {
+		return
+	}
+	if hits != 0 {
+		s.cacheHits.Add(worker, hits)
+	}
+	if patches != 0 {
+		s.cachePatches.Add(worker, patches)
+	}
+	if rebuilds != 0 {
+		s.cacheRebuilds.Add(worker, rebuilds)
+	}
+}
+
+// SchedulerStats mirrors the pipelined scheduler's counters into gauges.
+func (s *Sink) SchedulerStats(stalls, waits, queuePeak, inFlightPeak int) {
+	if s == nil {
+		return
+	}
+	s.schedStalls.Set(float64(stalls))
+	s.schedWaits.Set(float64(waits))
+	s.schedQueue.Set(float64(queuePeak))
+	s.schedFlight.Set(float64(inFlightPeak))
+}
+
+// LedgerStats mirrors the shard ledger's commit-outcome counters into
+// gauges — the ledger-level cross-check of the orchestrator's counters.
+func (s *Sink) LedgerStats(commits, conflicts, infeasible int64) {
+	if s == nil {
+		return
+	}
+	s.ledgerCommit.Set(float64(commits))
+	s.ledgerConfl.Set(float64(conflicts))
+	s.ledgerInfeas.Set(float64(infeasible))
+}
+
+// Record emits one decision record: it fills the derived fields (region,
+// wall time, objective delta), updates the event-scoped metrics, and
+// appends to the trace ring. Called from the serialized event-handling /
+// retire path, never from workers.
+func (s *Sink) Record(rec DecisionRecord) {
+	if s == nil {
+		return
+	}
+	rec.Region = s.RegionOf(rec.Session)
+	if rec.WallNs == 0 {
+		rec.WallNs = time.Now().UnixNano()
+	}
+	if s.haveObjective {
+		rec.ObjectiveDelta = rec.Objective - s.prevObjective
+	}
+	s.prevObjective = rec.Objective
+	s.haveObjective = true
+
+	sh := s.eventShard
+	if rec.Kind == "depart" {
+		s.departs[rec.Region].Inc(sh)
+	} else {
+		s.arrivals[rec.Region].Inc(sh)
+	}
+	if rec.Stalled {
+		s.stalls.Inc(sh)
+	}
+	if !rec.Admitted {
+		if rec.Kind == "depart" {
+			s.skips.Inc(sh)
+		} else {
+			s.drops.Inc(sh)
+		}
+	}
+	if rec.CacheInvalidated > 0 {
+		s.invalidations.Add(sh, int64(rec.CacheInvalidated))
+	}
+	s.reoptLat[rec.Region].Observe(rec.LatencyNs)
+	s.objective.Set(rec.Objective)
+	s.active.Set(float64(rec.ActiveSessions))
+	s.rec.Append(rec)
+}
+
+// FeedTick appends the headline metrics to the sink's evolution series at
+// virtual time t (out-of-order ticks are dropped, matching trace.Series'
+// append contract).
+func (s *Sink) FeedTick(t float64) {
+	if s == nil {
+		return
+	}
+	var commits, conflicts int64
+	for r := 0; r < s.regions; r++ {
+		commits += s.commits[r].Value()
+		conflicts += s.conflicts[r].Value()
+	}
+	warm := s.cacheHits.Value() + s.cachePatches.Value()
+	cold := s.cacheRebuilds.Value()
+	pct := 0.0
+	if warm+cold > 0 {
+		pct = 100 * float64(warm) / float64(warm+cold)
+	}
+	_ = s.feedObjective.Append(t, s.objective.Value())
+	_ = s.feedActive.Append(t, s.active.Value())
+	_ = s.feedCommits.Append(t, float64(commits))
+	_ = s.feedConflicts.Append(t, float64(conflicts))
+	_ = s.feedCacheWarmPct.Append(t, pct)
+}
+
+// Series returns the evolution series FeedTick maintains (nil when
+// disabled), ready for trace.Series resampling/merging.
+func (s *Sink) Series() []*trace.Series {
+	if s == nil {
+		return nil
+	}
+	return []*trace.Series{s.feedObjective, s.feedActive, s.feedCommits, s.feedConflicts, s.feedCacheWarmPct}
+}
+
+// CounterfactualSummary aggregates counterfactual-k over the held records:
+// the count of committed decisions with a valid 2nd-best gap, plus the
+// mean and p99 of that gap (the regret had the runner-up been chosen).
+func (s *Sink) CounterfactualSummary() (n int, mean, p99 float64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	var gaps []float64
+	for _, rec := range s.rec.Records() {
+		if rec.CfValid && rec.Commits > 0 {
+			gaps = append(gaps, rec.CfGap)
+		}
+	}
+	if len(gaps) == 0 {
+		return 0, 0, 0
+	}
+	sum := 0.0
+	for _, g := range gaps {
+		sum += g
+	}
+	sort.Float64s(gaps)
+	idx := int(math.Ceil(0.99*float64(len(gaps)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return len(gaps), sum / float64(len(gaps)), gaps[idx]
+}

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilSinkSafe calls every Sink method on a nil receiver: each must be a
+// no-op, never a panic — that is the disabled-telemetry contract.
+func TestNilSinkSafe(t *testing.T) {
+	var s *Sink
+	if s.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	if s.Registry() != nil || s.Recorder() != nil || s.Series() != nil {
+		t.Fatal("nil sink leaked non-nil components")
+	}
+	if s.RegionOf(3) != 0 || s.Regions() != 0 || s.EventShard() != 0 {
+		t.Fatal("nil sink returned nonzero identities")
+	}
+	s.TaskOutcome(1, 0, OutcomeCommit)
+	s.TaskConflict(1, 0)
+	s.TaskPhases(1, 1, 2, 3)
+	s.CacheEvals(1, 1, 2, 3)
+	s.SchedulerStats(1, 2, 3, 4)
+	s.LedgerStats(1, 2, 3)
+	s.Record(DecisionRecord{Kind: "arrive"})
+	s.FeedTick(1.0)
+	if n, mean, p99 := s.CounterfactualSummary(); n != 0 || mean != 0 || p99 != 0 {
+		t.Fatal("nil sink returned a counterfactual summary")
+	}
+}
+
+// TestNilSinkZeroAlloc pins the disabled hot path at zero allocations:
+// every instrumentation call on a nil sink must reduce to a pointer test.
+func TestNilSinkZeroAlloc(t *testing.T) {
+	var s *Sink
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.TaskOutcome(0, 0, OutcomeCommit)
+		s.TaskConflict(0, 0)
+		s.TaskPhases(0, 1, 2, 3)
+		s.CacheEvals(0, 1, 2, 3)
+		_ = s.RegionOf(5)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-sink hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEnabledHotPathZeroAlloc pins the enabled worker-side hot path too:
+// sharded counter bumps and histogram observes are lock-free and
+// allocation-free.
+func TestEnabledHotPathZeroAlloc(t *testing.T) {
+	s := New(Config{Workers: 4})
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.TaskOutcome(1, 0, OutcomeCommit)
+		s.TaskConflict(2, 0)
+		s.TaskPhases(3, 10, 20, 30)
+		s.CacheEvals(0, 1, 0, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled worker hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSinkRegionMapping(t *testing.T) {
+	s := New(Config{Workers: 2, SessionRegion: []int{0, 1, 2, 1}})
+	if s.Regions() != 3 {
+		t.Fatalf("Regions = %d, want 3", s.Regions())
+	}
+	if s.RegionOf(2) != 2 || s.RegionOf(3) != 1 {
+		t.Fatalf("RegionOf mapping wrong: %d %d", s.RegionOf(2), s.RegionOf(3))
+	}
+	if s.RegionOf(-1) != 0 || s.RegionOf(99) != 0 {
+		t.Fatal("out-of-range sessions must map to region 0")
+	}
+	s.TaskOutcome(0, 2, OutcomeCommit)
+	s.Record(DecisionRecord{Kind: "arrive", Session: 2, Admitted: true})
+	var sb strings.Builder
+	if err := s.Registry().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `vconf_commits_total{region="2"} 1`) {
+		t.Errorf("per-region commit counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, `vconf_events_total{kind="arrive",region="2"} 1`) {
+		t.Errorf("per-region event counter missing:\n%s", out)
+	}
+}
+
+func TestSinkRecordDerivedFields(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.Record(DecisionRecord{Kind: "arrive", Session: 0, Admitted: true, Objective: 10})
+	s.Record(DecisionRecord{Kind: "depart", Session: 0, Admitted: true, Objective: 7, CacheInvalidated: 1})
+	recs := s.Recorder().Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].ObjectiveDelta != 0 {
+		t.Fatalf("first record delta = %v, want 0 (no prior objective)", recs[0].ObjectiveDelta)
+	}
+	if recs[1].ObjectiveDelta != -3 {
+		t.Fatalf("second record delta = %v, want -3", recs[1].ObjectiveDelta)
+	}
+	if recs[0].WallNs == 0 {
+		t.Fatal("WallNs not stamped")
+	}
+	// Record must not bump the task-scoped commit counters (those are
+	// worker-side), but must count the event and the invalidation.
+	var sb strings.Builder
+	if err := s.Registry().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `vconf_events_total{kind="depart",region="0"} 1`) {
+		t.Errorf("depart event not counted:\n%s", out)
+	}
+	if !strings.Contains(out, "vconf_delay_cache_invalidations_total 1") {
+		t.Errorf("invalidation not counted:\n%s", out)
+	}
+	if strings.Contains(out, `vconf_commits_total{region="0"} 1`) {
+		t.Errorf("Record double-counted commits:\n%s", out)
+	}
+}
+
+func TestCounterfactualSummary(t *testing.T) {
+	s := New(Config{Workers: 1})
+	gaps := []float64{0.1, 0.2, 0.3, 0.4}
+	for _, g := range gaps {
+		s.Record(DecisionRecord{Kind: "arrive", Admitted: true, Commits: 1, CfGap: g, CfValid: true})
+	}
+	// Invalid / uncommitted records must not contribute.
+	s.Record(DecisionRecord{Kind: "arrive", Admitted: true, Commits: 1, CfGap: 99, CfValid: false})
+	s.Record(DecisionRecord{Kind: "arrive", Admitted: true, Commits: 0, CfGap: 99, CfValid: true})
+	n, mean, p99 := s.CounterfactualSummary()
+	if n != 4 {
+		t.Fatalf("n = %d, want 4", n)
+	}
+	if mean < 0.2499 || mean > 0.2501 {
+		t.Fatalf("mean = %v, want 0.25", mean)
+	}
+	if p99 != 0.4 {
+		t.Fatalf("p99 = %v, want 0.4", p99)
+	}
+}
+
+func TestFeedTickSeries(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.TaskOutcome(0, 0, OutcomeCommit)
+	s.CacheEvals(0, 3, 0, 1)
+	s.Record(DecisionRecord{Kind: "arrive", Admitted: true, Objective: 5, ActiveSessions: 1})
+	s.FeedTick(10)
+	s.FeedTick(20)
+	series := s.Series()
+	if len(series) != 5 {
+		t.Fatalf("got %d series, want 5", len(series))
+	}
+	for _, sr := range series {
+		if sr.Len() != 2 {
+			t.Fatalf("series %s has %d points, want 2", sr.Name, sr.Len())
+		}
+	}
+	if v, ok := series[0].At(10); !ok || v != 5 {
+		t.Fatalf("objective series at t=10 = (%v,%v), want (5,true)", v, ok)
+	}
+	if v, ok := series[4].At(10); !ok || v != 75 {
+		t.Fatalf("cache-warm%% series = (%v,%v), want (75,true)", v, ok)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.TaskOutcome(0, 0, OutcomeCommit)
+	s.Record(DecisionRecord{Kind: "arrive", Admitted: true, Commits: 1})
+	srv, err := Serve(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		cl := &http.Client{Timeout: 5 * time.Second}
+		resp, err := cl.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "vconf_commits_total") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/metrics.json"); code != 200 || !strings.Contains(body, "vconf_commits_total") {
+		t.Fatalf("/metrics.json: code=%d body=%q", code, body)
+	}
+	if code, body := get("/trace.jsonl"); code != 200 || !strings.Contains(body, `"kind":"arrive"`) {
+		t.Fatalf("/trace.jsonl: code=%d body=%q", code, body)
+	}
+	if code, body := get("/trace.chrome.json"); code != 200 || !strings.Contains(body, "traceEvents") {
+		t.Fatalf("/trace.chrome.json: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: code=%d", code)
+	}
+}
+
+func TestServeNilSink(t *testing.T) {
+	srv, err := Serve(nil, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("nil sink /metrics code = %d, want 503", resp.StatusCode)
+	}
+}

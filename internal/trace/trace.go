@@ -55,19 +55,62 @@ func (s *Series) At(t float64) (float64, bool) {
 // Resample returns the series sampled on the regular grid
 // {start, start+step, …, end} using step-function (zero-order hold)
 // semantics. Times before the first observation carry the first observed
-// value so plots do not start at an artificial zero.
+// value so plots do not start at an artificial zero. The grid is computed
+// on integer indices (t_i = start + i·step), never by accumulating step —
+// float accumulation drifts on long grids and can drop or duplicate the
+// final sample. Degenerate windows behave predictably: start == end and
+// step > end−start both yield the single sample at start.
 func (s *Series) Resample(start, end, step float64) []Point {
 	if step <= 0 || end < start || len(s.points) == 0 {
 		return nil
 	}
-	var out []Point
+	n := int((end-start)/step+1e-9) + 1
+	out := make([]Point, 0, n)
 	first := s.points[0].Value
-	for t := start; t <= end+1e-9; t += step {
+	for i := 0; i < n; i++ {
+		t := start + float64(i)*step
 		v, ok := s.At(t)
 		if !ok {
 			v = first
 		}
 		out = append(out, Point{TimeS: t, Value: v})
+	}
+	return out
+}
+
+// Merge sums several series as step functions into a new series named
+// name: one output point per distinct observation time across the parts,
+// valued as the sum of every part's step-function value at that time. A
+// part contributes 0 before its first observation (it has not started
+// reporting yet — the multi-region aggregation semantic), and its last
+// value from then on. Nil parts are skipped.
+func Merge(name string, parts ...*Series) *Series {
+	out := NewSeries(name)
+	var times []float64
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for _, pt := range p.points {
+			times = append(times, pt.TimeS)
+		}
+	}
+	sort.Float64s(times)
+	for i, t := range times {
+		if i > 0 && t == times[i-1] {
+			continue
+		}
+		sum := 0.0
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			if v, ok := p.At(t); ok {
+				sum += v
+			}
+		}
+		// Times are sorted and deduplicated, so appends cannot fail.
+		_ = out.Append(t, sum)
 	}
 	return out
 }

@@ -67,6 +67,83 @@ func TestResample(t *testing.T) {
 	}
 }
 
+func TestResampleEdgeCases(t *testing.T) {
+	s := NewSeries("x")
+	_ = s.Append(10, 1)
+
+	// Single-point series: every grid sample carries that value.
+	pts := s.Resample(0, 20, 5)
+	if len(pts) != 5 {
+		t.Fatalf("single-point resample = %d samples, want 5", len(pts))
+	}
+	for _, p := range pts {
+		if p.Value != 1 {
+			t.Fatalf("sample at t=%v = %v, want 1", p.TimeS, p.Value)
+		}
+	}
+
+	// start == end: exactly one sample, at start.
+	pts = s.Resample(15, 15, 5)
+	if len(pts) != 1 || pts[0].TimeS != 15 || pts[0].Value != 1 {
+		t.Fatalf("start==end resample = %+v, want one sample (15,1)", pts)
+	}
+
+	// step larger than the span: one sample at start, never zero and never
+	// a sample past end.
+	_ = s.Append(20, 7)
+	pts = s.Resample(12, 14, 100)
+	if len(pts) != 1 || pts[0].TimeS != 12 || pts[0].Value != 1 {
+		t.Fatalf("step>span resample = %+v, want one sample (12,1)", pts)
+	}
+
+	// Long grids must not drift or drop the final sample to float
+	// accumulation: 0.1 steps over [0,100] is exactly 1001 samples.
+	pts = s.Resample(0, 100, 0.1)
+	if len(pts) != 1001 {
+		t.Fatalf("long grid = %d samples, want 1001", len(pts))
+	}
+	if last := pts[len(pts)-1]; math.Abs(last.TimeS-100) > 1e-6 || last.Value != 7 {
+		t.Fatalf("final sample = %+v, want (100,7)", last)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewSeries("region0")
+	_ = a.Append(0, 1)
+	_ = a.Append(10, 3)
+	b := NewSeries("region1")
+	_ = b.Append(5, 10)
+	m := Merge("total", a, nil, b)
+	if m.Name != "total" {
+		t.Fatalf("merged name = %q", m.Name)
+	}
+	// Distinct times: 0, 5, 10. b contributes 0 before t=5.
+	want := []Point{{0, 1}, {5, 11}, {10, 13}}
+	got := m.Points()
+	if len(got) != len(want) {
+		t.Fatalf("merged points = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Duplicate timestamps across parts collapse to one output point.
+	c := NewSeries("c")
+	_ = c.Append(5, 1)
+	m2 := Merge("t2", b, c)
+	if m2.Len() != 1 {
+		t.Fatalf("duplicate-time merge has %d points, want 1", m2.Len())
+	}
+	if v, ok := m2.At(5); !ok || v != 11 {
+		t.Fatalf("merged value = %v,%v, want 11,true", v, ok)
+	}
+	// Merging nothing (or only empties) yields an empty series.
+	if Merge("none").Len() != 0 || Merge("none", NewSeries("e")).Len() != 0 {
+		t.Fatal("empty merge should have no points")
+	}
+}
+
 func TestLastAndMinMax(t *testing.T) {
 	s := NewSeries("x")
 	if _, ok := s.Last(); ok {
