@@ -680,6 +680,110 @@ func BenchmarkEventPipeline(b *testing.B) {
 	b.ReportMetric(float64(inFlightPeak), "in-flight-peak")
 }
 
+// BenchmarkChaosRecovery drives the pipelined orchestrator over Poisson
+// churn merged with a seeded fault schedule (agent failures, a regional
+// outage process, partial degradations, flash crowds) on a regional fleet:
+// events/sec with healing barriers in the stream, incidents and orphans
+// healed per run, and the p99 time-to-recovery across incidents.
+func BenchmarkChaosRecovery(b *testing.B) {
+	const agents, regions = 24, 4
+	fc := workload.DefaultFleetConfig(11)
+	fc.NumAgents = agents
+	fc.NumUsers = 4 * agents
+	fc.Regions = regions
+	fc.AgentBandwidthMbps = 500
+	fc.AgentTranscodeSlots = 16
+	sc, homes, err := workload.GenerateSyntheticFleetRegions(fc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver, err := vconf.NewSolver(sc, vconf.WithSeed(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Churn draws from the front of the session pool; flash crowds burst
+	// from per-region reserves at the back so the two never double-arrive.
+	nChurn := len(homes) * 3 / 5
+	churn, err := vconf.GenerateChurn(vconf.ChurnConfig{
+		Seed:            11,
+		HorizonS:        200,
+		ArrivalRatePerS: 0.3,
+		MeanHoldS:       90,
+		NumSessions:     nChurn,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pools := make([][]int, regions)
+	for s := nChurn; s < len(homes); s++ {
+		pools[homes[s]] = append(pools[homes[s]], s)
+	}
+	flt, err := vconf.GenerateFaults(vconf.FaultConfig{
+		Seed:           12,
+		HorizonS:       200,
+		NumAgents:      agents,
+		AgentRegion:    vconf.AgentRegions(agents, regions),
+		AgentMTBFS:     400,
+		AgentMTTRS:     50,
+		RegionMTBFS:    500,
+		RegionMTTRS:    40,
+		DegradeMTBFS:   300,
+		DegradeMTTRS:   50,
+		DegradeFloor:   0.4,
+		FlashMTBFS:     250,
+		FlashIntensity: 3,
+		FlashHoldS:     40,
+		FlashSessions:  pools,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := vconf.MergeSchedules(churn, flt)
+
+	cfg := vconf.DefaultOrchestratorConfig(11)
+	cfg.Pipeline = true
+	cfg.MaxInFlight = 4
+	cfg.Core.NeighborWindow = 4
+	cfg.AgentRegion = vconf.AgentRegions(agents, regions)
+	var processed, incidents, orphans int
+	var recoverP99 time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		orc, err := solver.NewOrchestrator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := orc.Run(events, 300); err != nil {
+			orc.Close()
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := orc.CheckInvariants(); err != nil {
+			orc.Close()
+			b.Fatal(err)
+		}
+		st := orc.Stats()
+		orc.Close()
+		processed += st.Events
+		incidents += st.Incidents
+		orphans += st.Orphans
+		if st.RecoverP99 > recoverP99 {
+			recoverP99 = st.RecoverP99
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if incidents == 0 {
+		b.Fatal("fault schedule injected no incidents")
+	}
+	b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(incidents)/float64(b.N), "incidents/run")
+	b.ReportMetric(float64(orphans)/float64(b.N), "orphans/run")
+	b.ReportMetric(float64(recoverP99)/1e6, "recover-p99-ms")
+}
+
 // BenchmarkDeltaVsFullObjective compares delta-evaluated objective queries
 // (the orchestrator hot path) against full-scenario re-evaluation.
 func BenchmarkDeltaVsFullObjective(b *testing.B) {

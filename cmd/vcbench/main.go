@@ -34,7 +34,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vcbench", flag.ContinueOnError)
 	var (
-		which     = fs.String("run", "all", "experiment id (fig2..fig10, table2, thm1, solvers, micro, pipeline, all)")
+		which     = fs.String("run", "all", "experiment id (fig2..fig10, table2, thm1, solvers, micro, pipeline, chaos, all)")
 		seed      = fs.Int64("seed", 1, "base random seed")
 		scenarios = fs.Int("scenarios", 100, "random scenarios per sweep point (paper: 100)")
 		duration  = fs.Float64("duration", 200, "virtual seconds of Alg. 1 per run")
@@ -93,8 +93,21 @@ func run(args []string, w io.Writer) error {
 		}
 		return runPipelineSweep(w, *format, fleetAgents, horizonS, *seed, meta, sink)
 	}
+	// The chaos sweep measures self-healing under seeded fault injection at
+	// increasing intensity; with -format json it emits the BENCH_7.json
+	// payload.
+	if *which == "chaos" {
+		if *format == "csv" {
+			return fmt.Errorf("chaos sweep supports text or json output, not csv")
+		}
+		fleetAgents, horizonS := 96, 300.0
+		if *quick {
+			fleetAgents, horizonS = 32, 120
+		}
+		return runChaosSweep(w, *format, fleetAgents, horizonS, *seed, meta, sink)
+	}
 	if *format == "json" {
-		return fmt.Errorf("json output is only available for -run micro or -run pipeline")
+		return fmt.Errorf("json output is only available for -run micro, -run pipeline or -run chaos")
 	}
 
 	type experiment struct {

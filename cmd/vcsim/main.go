@@ -29,6 +29,7 @@ import (
 	"vconf/internal/confsim"
 	"vconf/internal/core"
 	"vconf/internal/cost"
+	"vconf/internal/faults"
 	"vconf/internal/model"
 	"vconf/internal/orchestrator"
 	"vconf/internal/telemetry"
@@ -61,16 +62,48 @@ func run(args []string, w io.Writer) error {
 		listen   = fs.String("listen", "", "churn: serve /metrics, /trace.jsonl and pprof on this address (e.g. 127.0.0.1:9464)")
 		traceOut = fs.String("trace-out", "", "churn: write the per-decision trace as JSONL to this file")
 		linger   = fs.Float64("linger", 0, "churn: keep the -listen endpoint up this many wall seconds after the run")
+
+		chaos      = fs.Bool("chaos", false, "chaos mode: regional fleet churn with seeded fault injection (agent failures, regional outages, degradations, flash crowds)")
+		agents     = fs.Int("agents", 24, "chaos: fleet size")
+		regions    = fs.Int("regions", 4, "chaos: fleet regions")
+		agentMTBF  = fs.Float64("agent-mtbf", 300, "chaos: mean time between per-agent failures (virtual s; 0 disables)")
+		agentMTTR  = fs.Float64("agent-mttr", 60, "chaos: mean agent repair time (virtual s)")
+		regionMTBF = fs.Float64("region-mtbf", 600, "chaos: mean time between per-region outages (virtual s; 0 disables)")
+		regionMTTR = fs.Float64("region-mttr", 60, "chaos: mean region repair time (virtual s)")
+		degMTBF    = fs.Float64("degrade-mtbf", 300, "chaos: mean time between partial capacity degradations (virtual s; 0 disables)")
+		degMTTR    = fs.Float64("degrade-mttr", 60, "chaos: mean degradation repair time (virtual s)")
+		flashMTBF  = fs.Float64("flash-mtbf", 300, "chaos: mean time between per-region flash crowds (virtual s; 0 disables)")
+		flashSize  = fs.Int("flash-intensity", 3, "chaos: burst arrivals per flash crowd")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	wl := workload.Prototype(*seed)
-	wl.NumUsers = *users
-	sc, err := workload.Generate(wl)
-	if err != nil {
-		return err
+	var (
+		sc          *model.Scenario
+		homes       []int
+		agentRegion []int
+		err         error
+	)
+	if *chaos {
+		fc := workload.DefaultFleetConfig(*seed)
+		fc.NumAgents = *agents
+		fc.NumUsers = *users
+		fc.Regions = *regions
+		fc.AgentBandwidthMbps = 500
+		fc.AgentTranscodeSlots = 16
+		sc, homes, err = workload.GenerateSyntheticFleetRegions(fc)
+		if err != nil {
+			return err
+		}
+		agentRegion = workload.AgentRegions(*agents, *regions)
+	} else {
+		wl := workload.Prototype(*seed)
+		wl.NumUsers = *users
+		sc, err = workload.Generate(wl)
+		if err != nil {
+			return err
+		}
 	}
 	p := cost.DefaultParams()
 	ev, err := cost.NewEvaluator(sc, p)
@@ -96,23 +129,68 @@ func run(args []string, w io.Writer) error {
 
 	coreCfg := core.DefaultConfig(*seed)
 	coreCfg.Beta = *beta
-	if *churn {
-		return runChurn(w, sc, ev, churnOpts{
-			params:    p,
-			boot:      boot,
-			core:      coreCfg,
-			seed:      *seed,
-			duration:  *duration,
-			interval:  *interval,
-			rate:      *rate,
-			hold:      *hold,
-			shards:    *shards,
-			hopBudget: *hopBudget,
-			initName:  *initName,
-			listen:    *listen,
-			traceOut:  *traceOut,
-			linger:    *linger,
-		})
+	if *churn || *chaos {
+		opts := churnOpts{
+			params:      p,
+			boot:        boot,
+			core:        coreCfg,
+			seed:        *seed,
+			duration:    *duration,
+			interval:    *interval,
+			rate:        *rate,
+			hold:        *hold,
+			shards:      *shards,
+			hopBudget:   *hopBudget,
+			initName:    *initName,
+			listen:      *listen,
+			traceOut:    *traceOut,
+			linger:      *linger,
+			chaos:       *chaos,
+			agentRegion: agentRegion,
+			homes:       homes,
+		}
+		if *chaos {
+			// Churn draws from the front of the session pool; flash crowds
+			// burst from the remaining sessions, grouped by home region, so
+			// the two generators can never double-arrive a session.
+			nChurn := len(homes) * 3 / 5
+			events, err := workload.PoissonSchedule(workload.ChurnConfig{
+				Seed:            *seed,
+				HorizonS:        *duration,
+				ArrivalRatePerS: *rate,
+				MeanHoldS:       *hold,
+				NumSessions:     nChurn,
+			})
+			if err != nil {
+				return err
+			}
+			pools := make([][]int, *regions)
+			for s := nChurn; s < len(homes); s++ {
+				pools[homes[s]] = append(pools[homes[s]], s)
+			}
+			faultEvents, err := faults.Schedule(faults.Config{
+				Seed:           *seed + 1,
+				HorizonS:       *duration,
+				NumAgents:      *agents,
+				AgentRegion:    agentRegion,
+				AgentMTBFS:     *agentMTBF,
+				AgentMTTRS:     *agentMTTR,
+				RegionMTBFS:    *regionMTBF,
+				RegionMTTRS:    *regionMTTR,
+				DegradeMTBFS:   *degMTBF,
+				DegradeMTTRS:   *degMTTR,
+				DegradeFloor:   0.4,
+				FlashMTBFS:     *flashMTBF,
+				FlashIntensity: *flashSize,
+				FlashHoldS:     *hold / 2,
+				FlashSessions:  pools,
+			})
+			if err != nil {
+				return err
+			}
+			opts.events = faults.Merge(events, faultEvents)
+		}
+		return runChurn(w, sc, ev, opts)
 	}
 	eng, err := core.NewEngine(ev, coreCfg)
 	if err != nil {
@@ -183,21 +261,33 @@ type churnOpts struct {
 	listen    string
 	traceOut  string
 	linger    float64
+	// chaos mode: events is the pre-merged churn+fault schedule (nil falls
+	// back to plain Poisson churn), agentRegion maps agent → region for the
+	// orchestrator's regional healing, homes maps session → home region for
+	// per-region telemetry labels.
+	chaos       bool
+	events      []workload.Event
+	agentRegion []int
+	homes       []int
 }
 
 // runChurn drives the online orchestrator over a Poisson churn schedule and
 // reports per-interval telemetry plus the final drift vs a from-scratch
 // re-solve oracle.
 func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpts) error {
-	events, err := workload.PoissonSchedule(workload.ChurnConfig{
-		Seed:            opts.seed,
-		HorizonS:        opts.duration,
-		ArrivalRatePerS: opts.rate,
-		MeanHoldS:       opts.hold,
-		NumSessions:     sc.NumSessions(),
-	})
-	if err != nil {
-		return err
+	events := opts.events
+	if events == nil {
+		var err error
+		events, err = workload.PoissonSchedule(workload.ChurnConfig{
+			Seed:            opts.seed,
+			HorizonS:        opts.duration,
+			ArrivalRatePerS: opts.rate,
+			MeanHoldS:       opts.hold,
+			NumSessions:     sc.NumSessions(),
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	// The sink stays nil unless asked for: a nil *telemetry.Sink is the
@@ -208,7 +298,11 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		sink = telemetry.New(telemetry.Config{Workers: workers, TraceCapacity: len(events) + 8})
+		sink = telemetry.New(telemetry.Config{
+			Workers:       workers,
+			TraceCapacity: len(events) + 8,
+			SessionRegion: opts.homes,
+		})
 	}
 	if opts.listen != "" {
 		srv, err := telemetry.Serve(sink, opts.listen)
@@ -224,6 +318,7 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 	ocfg.Shards = opts.shards
 	ocfg.HopBudget = opts.hopBudget
 	ocfg.Telemetry = sink
+	ocfg.AgentRegion = opts.agentRegion
 	orc, err := orchestrator.New(ev, opts.boot, ocfg)
 	if err != nil {
 		return err
@@ -254,6 +349,13 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 			rep, err := orc.HandleEvent(e)
 			if err != nil {
 				return err
+			}
+			if e.Kind.IsFault() {
+				fmt.Fprintf(w, "t=%7.1fs fault %-13s agent=%d region=%d scale=%.2f orphans=%d evac=%d rej=%d Φ=%.2f live=%d\n",
+					e.TimeS, e.Kind, e.Agent, e.Region, e.Scale,
+					rep.Orphans, rep.Evacuated, rep.EvacRejects, rep.Objective, rep.ActiveSessions)
+				i++
+				continue
 			}
 			kind := "arrive"
 			if e.Kind == workload.EventDeparture {
@@ -302,13 +404,22 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 	fmt.Fprintf(w, "reopt latency: mean %s, p50 %s, p99 %s, max %s; data plane: %d migrations, overhead %.2f Mbps·s\n",
 		meanLat, st.ReoptP50.Round(10*time.Microsecond), st.ReoptP99.Round(10*time.Microsecond),
 		st.ReoptMax.Round(10*time.Microsecond), rts.Migrations, rts.TotalOverheadMbpsS)
+	if opts.chaos || st.Incidents > 0 {
+		fmt.Fprintf(w, "incidents: %d (orphans %d, evacuated %d, rejected %d), time-to-recovery p50 %s p99 %s, rejects during degradation %d\n",
+			st.Incidents, st.Orphans, st.Evacuated, st.EvacRejects,
+			st.RecoverP50.Round(10*time.Microsecond), st.RecoverP99.Round(10*time.Microsecond),
+			st.DegradedRejects)
+	}
 
 	active := orc.ActiveSessions()
 	switch {
 	case len(active) == 0:
 		fmt.Fprintln(w, "final: no live sessions at horizon")
 	default:
-		_, oraclePhi, err := orchestrator.Oracle(ev, active, opts.boot, opts.core, 200)
+		// The yardstick re-solves from scratch on the surviving fleet: any
+		// capacity still lost to unrecovered incidents degrades the oracle's
+		// engine the same way it degrades the live ledger.
+		_, oraclePhi, err := orchestrator.OracleDegraded(ev, active, opts.boot, opts.core, 200, orc.CapacityScales())
 		if err != nil {
 			// The oracle re-bootstraps from scratch; under tight capacity it
 			// can fail where the incrementally-built live state is feasible.

@@ -165,6 +165,20 @@ func NewLedger(sc *model.Scenario) *Ledger {
 	}
 }
 
+// EnsureScale forces allocation of the capacity-scale array (all 1.0). The
+// sharded ledger calls it at construction: a first SetCapacityScale under a
+// single stripe lock would otherwise publish the slice header unsynchronized
+// to readers holding other stripes' locks. After this, runtime scale changes
+// are per-element writes, each under its owning stripe's lock.
+func (g *Ledger) EnsureScale() {
+	if g.scale == nil {
+		g.scale = make([]float64, g.sc.NumAgents())
+		for i := range g.scale {
+			g.scale[i] = 1
+		}
+	}
+}
+
 // SetCapacityScale degrades (or restores) agent l's effective capacities to
 // factor × nominal. factor must be in [0, 1]; 1 restores full capacity.
 func (g *Ledger) SetCapacityScale(l model.AgentID, factor float64) error {

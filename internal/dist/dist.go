@@ -91,15 +91,53 @@ type frame struct {
 	Err      string        `json:"err,omitempty"`
 }
 
-// freezeHoldTimeout bounds how long a coordinator waits for the COMMIT frame
+// DefaultFreezeHold bounds how long a coordinator waits for the COMMIT frame
 // of a granted freeze before dropping the connection and releasing the lock.
-const freezeHoldTimeout = 10 * time.Second
+const DefaultFreezeHold = 10 * time.Second
+
+// ErrPeerDied marks the far end of a protocol exchange dying (EOF, reset, or
+// a deadline expiry) mid-handshake. Match with errors.Is.
+var ErrPeerDied = errors.New("dist: peer died")
+
+// PeerError records which protocol phase the peer vanished in. It satisfies
+// errors.Is(err, ErrPeerDied) and unwraps to the underlying network error.
+type PeerError struct {
+	Phase   string // "dial", "freeze", "granted", "commit", "ack"
+	Session int
+	Err     error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("dist: peer died in %s phase (session %d): %v", e.Phase, e.Session, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Is reports ErrPeerDied so callers can classify without the concrete type.
+func (e *PeerError) Is(target error) bool { return target == ErrPeerDied }
+
+// Config tunes the coordinator's failure handling. The zero value selects
+// the defaults.
+type Config struct {
+	// FreezeHold bounds how long a granted freeze waits for its COMMIT
+	// frame before the coordinator drops the connection and releases the
+	// lock. Defaults to DefaultFreezeHold.
+	FreezeHold time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.FreezeHold <= 0 {
+		cfg.FreezeHold = DefaultFreezeHold
+	}
+	return cfg
+}
 
 // Coordinator owns the authoritative assignment and serializes hops through
 // the freeze lock. Safe for concurrent connections.
 type Coordinator struct {
-	ev *cost.Evaluator
-	ln net.Listener
+	ev  *cost.Evaluator
+	ln  net.Listener
+	cfg Config
 
 	mu     sync.Mutex // the FREEZE lock, held from GRANTED to COMMITTED
 	a      *assign.Assignment
@@ -109,6 +147,7 @@ type Coordinator struct {
 	commits  int
 	stays    int
 	rejects  int
+	abandons int
 	closed   chan struct{}
 	connWG   sync.WaitGroup
 	closeErr error
@@ -118,8 +157,15 @@ type Coordinator struct {
 }
 
 // NewCoordinator starts a coordinator listening on addr ("127.0.0.1:0"
-// selects a free port) with the given complete initial assignment.
+// selects a free port) with the given complete initial assignment and the
+// default Config.
 func NewCoordinator(ev *cost.Evaluator, a *assign.Assignment, addr string) (*Coordinator, error) {
+	return NewCoordinatorConfig(ev, a, addr, Config{})
+}
+
+// NewCoordinatorConfig is NewCoordinator with explicit failure-handling
+// configuration.
+func NewCoordinatorConfig(ev *cost.Evaluator, a *assign.Assignment, addr string, cfg Config) (*Coordinator, error) {
 	sc := ev.Scenario()
 	ledger := cost.NewLedger(sc)
 	p := ev.Params()
@@ -137,6 +183,7 @@ func NewCoordinator(ev *cost.Evaluator, a *assign.Assignment, addr string) (*Coo
 	c := &Coordinator{
 		ev:     ev,
 		ln:     ln,
+		cfg:    cfg.withDefaults(),
 		a:      a.Clone(),
 		ledger: ledger,
 		closed: make(chan struct{}),
@@ -175,6 +222,14 @@ func (c *Coordinator) Stats() (commits, stays, rejects int) {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
 	return c.commits, c.stays, c.rejects
+}
+
+// Abandons returns how many granted freezes were released because the peer
+// died (or stalled past FreezeHold) before delivering its COMMIT frame.
+func (c *Coordinator) Abandons() int {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.abandons
 }
 
 // Assignment returns a snapshot of the authoritative assignment.
@@ -254,10 +309,16 @@ func (c *Coordinator) handleFreeze(conn net.Conn, dec *json.Decoder, enc *json.E
 	}
 
 	// The freeze is now held: bound the wait for the commit frame.
-	conn.SetReadDeadline(time.Now().Add(freezeHoldTimeout))
+	conn.SetReadDeadline(time.Now().Add(c.cfg.FreezeHold))
 	var com frame
 	if err := dec.Decode(&com); err != nil {
-		return err
+		// The peer vanished between GRANTED and COMMIT (EOF/reset is
+		// immediate; a silent stall trips the FreezeHold deadline). The
+		// deferred unlock releases the frozen state the moment we return —
+		// the authoritative assignment never changed, so no rollback is
+		// needed, but the half-open exchange is recorded for operators.
+		c.bump(&c.abandons)
+		return &PeerError{Phase: "commit", Session: session, Err: err}
 	}
 	if com.Type != frameCommit {
 		enc.Encode(frame{Type: frameError, Err: fmt.Sprintf("expected %s, got %s", frameCommit, com.Type)})
@@ -324,6 +385,19 @@ type Runner struct {
 	// core.Parallel: a countdown of c virtual seconds sleeps c×TimeScale.
 	// Defaults to 1 ms per virtual second.
 	TimeScale time.Duration
+	// MaxAttempts bounds how many times one FREEZE→COMMIT round-trip is
+	// attempted before Run gives up with a PeerError, redialing between
+	// attempts. Defaults to 1 (no retries). Retrying restarts the whole
+	// exchange from a fresh FREEZE — any freeze abandoned mid-flight was
+	// already released by the coordinator, and a commit whose ack was lost
+	// simply becomes the base state of the retried hop's snapshot.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts: the delay doubles per failure from BackoffBase, capped at
+	// BackoffMax, with ±50% jitter drawn from the runner's seeded stream.
+	// Default 5ms base, 250ms cap.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
 }
 
 // NewRunner builds the runner for one session.
@@ -334,27 +408,54 @@ func NewRunner(ev *cost.Evaluator, session model.SessionID, cfg core.Config) (*R
 	if int(session) < 0 || int(session) >= ev.Scenario().NumSessions() {
 		return nil, fmt.Errorf("dist: unknown session %d", session)
 	}
-	return &Runner{ev: ev, s: session, cfg: cfg, TimeScale: time.Millisecond}, nil
+	return &Runner{
+		ev: ev, s: session, cfg: cfg,
+		TimeScale:   time.Millisecond,
+		MaxAttempts: 1,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  250 * time.Millisecond,
+	}, nil
 }
 
 // Run connects to the coordinator and executes up to maxHops hops, returning
 // the number performed. A context cancellation or deadline is a clean stop,
-// not an error.
+// not an error. Network faults (peer death in any phase, refused dials) are
+// retried up to MaxAttempts times per round-trip with exponential backoff,
+// redialing each time; exhausting the budget surfaces a PeerError matching
+// errors.Is(err, ErrPeerDied).
 func (r *Runner) Run(ctx context.Context, addr string, maxHops int) (int, error) {
-	var dialer net.Dialer
-	conn, err := dialer.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return 0, fmt.Errorf("dist: dial %s: %w", addr, err)
-	}
-	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(deadline)
-	}
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
 	// Independent per-session randomness, deterministically seeded like the
-	// in-process Parallel engine.
+	// in-process Parallel engine (backoff jitter draws from the same stream).
 	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(r.s)*7919))
+
+	var conn net.Conn
+	var dec *json.Decoder
+	var enc *json.Encoder
+	drop := func() {
+		if conn != nil {
+			conn.Close()
+			conn = nil
+		}
+	}
+	defer drop()
+	dial := func() error {
+		var dialer net.Dialer
+		c, err := dialer.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return &PeerError{Phase: "dial", Session: int(r.s), Err: err}
+		}
+		if deadline, ok := ctx.Deadline(); ok {
+			c.SetDeadline(deadline)
+		}
+		conn = c
+		dec = json.NewDecoder(bufio.NewReader(c))
+		enc = json.NewEncoder(c)
+		return nil
+	}
+	attempts := r.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
 
 	hops := 0
 	for hops < maxHops {
@@ -368,46 +469,118 @@ func (r *Runner) Run(ctx context.Context, addr string, maxHops int) (int, error)
 		case <-timer.C:
 		}
 
-		if err := enc.Encode(frame{Type: frameFreeze, Session: int(r.s)}); err != nil {
-			return hops, r.netErr(ctx, err)
+		// One FREEZE→COMMIT round-trip, restarted from scratch on network
+		// faults: an abandoned freeze was already released by the
+		// coordinator, and a commit whose ack was lost simply becomes part
+		// of the snapshot the retried hop computes against.
+		var lastErr error
+		done := false
+		for att := 0; att < attempts; att++ {
+			if att > 0 {
+				if err := r.backoff(ctx, rng, att); err != nil {
+					return hops, nil
+				}
+			}
+			if conn == nil {
+				if err := dial(); err != nil {
+					if ctx.Err() != nil {
+						return hops, nil
+					}
+					lastErr = err
+					continue
+				}
+			}
+			retry, err := r.exchange(dec, enc, rng)
+			if err == nil {
+				done = true
+				break
+			}
+			if ctx.Err() != nil {
+				return hops, nil
+			}
+			if !retry {
+				return hops, err
+			}
+			drop()
+			lastErr = err
 		}
-		var granted frame
-		if err := dec.Decode(&granted); err != nil {
-			return hops, r.netErr(ctx, err)
+		if !done {
+			return hops, lastErr
 		}
-		if granted.Type != frameGranted {
-			return hops, fmt.Errorf("dist: expected %s, got %s (%s)", frameGranted, granted.Type, granted.Err)
-		}
-
-		// HOP: rebuild the granted snapshot locally and run the shared hop
-		// logic against it.
-		a, ledger, err := r.restore(granted)
-		if err != nil {
-			return hops, err
-		}
-		res, err := core.HopSession(a, r.s, r.ev, ledger, r.cfg, rng)
-		if err != nil {
-			return hops, fmt.Errorf("dist: hop session %d: %w", r.s, err)
-		}
-		com := frame{Type: frameCommit, Session: int(r.s), Moved: res.Moved}
-		if res.Moved {
-			com.Decision = toWire(res.Decision)
-		}
-		if err := enc.Encode(com); err != nil {
-			return hops, r.netErr(ctx, err)
-		}
-		var ack frame
-		if err := dec.Decode(&ack); err != nil {
-			return hops, r.netErr(ctx, err)
-		}
-		switch ack.Type {
-		case frameCommitted, frameReject:
-			hops++
-		default:
-			return hops, fmt.Errorf("dist: unexpected ack %s (%s)", ack.Type, ack.Err)
-		}
+		hops++
 	}
 	return hops, nil
+}
+
+// exchange runs one full FREEZE→GRANTED→COMMIT→ack round-trip on the live
+// connection. The bool classifies a failure as a retryable network fault
+// (peer death) versus a fatal protocol violation.
+func (r *Runner) exchange(dec *json.Decoder, enc *json.Encoder, rng *rand.Rand) (retry bool, err error) {
+	if err := enc.Encode(frame{Type: frameFreeze, Session: int(r.s)}); err != nil {
+		return true, &PeerError{Phase: "freeze", Session: int(r.s), Err: err}
+	}
+	var granted frame
+	if err := dec.Decode(&granted); err != nil {
+		return true, &PeerError{Phase: "granted", Session: int(r.s), Err: err}
+	}
+	if granted.Type != frameGranted {
+		return false, fmt.Errorf("dist: expected %s, got %s (%s)", frameGranted, granted.Type, granted.Err)
+	}
+
+	// HOP: rebuild the granted snapshot locally and run the shared hop
+	// logic against it.
+	a, ledger, err := r.restore(granted)
+	if err != nil {
+		return false, err
+	}
+	res, err := core.HopSession(a, r.s, r.ev, ledger, r.cfg, rng)
+	if err != nil {
+		return false, fmt.Errorf("dist: hop session %d: %w", r.s, err)
+	}
+	com := frame{Type: frameCommit, Session: int(r.s), Moved: res.Moved}
+	if res.Moved {
+		com.Decision = toWire(res.Decision)
+	}
+	if err := enc.Encode(com); err != nil {
+		return true, &PeerError{Phase: "commit", Session: int(r.s), Err: err}
+	}
+	var ack frame
+	if err := dec.Decode(&ack); err != nil {
+		return true, &PeerError{Phase: "ack", Session: int(r.s), Err: err}
+	}
+	switch ack.Type {
+	case frameCommitted, frameReject:
+		return false, nil
+	default:
+		return false, fmt.Errorf("dist: unexpected ack %s (%s)", ack.Type, ack.Err)
+	}
+}
+
+// backoff sleeps before retry attempt att: exponential from BackoffBase,
+// capped at BackoffMax, with ±50% jitter from the runner's seeded stream so
+// herds of runners don't re-dial a recovering coordinator in lockstep.
+func (r *Runner) backoff(ctx context.Context, rng *rand.Rand, att int) error {
+	base := r.BackoffBase
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	ceil := r.BackoffMax
+	if ceil <= 0 {
+		ceil = 250 * time.Millisecond
+	}
+	d := base << uint(att-1)
+	if d <= 0 || d > ceil {
+		d = ceil
+	}
+	d = d/2 + time.Duration(rng.Int63n(int64(d)))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // restore rebuilds an assignment and the other-sessions ledger from a
@@ -432,12 +605,4 @@ func (r *Runner) restore(granted frame) (*assign.Assignment, *cost.Ledger, error
 		ledger.Add(p.SessionLoadOf(a, model.SessionID(s)))
 	}
 	return a, ledger, nil
-}
-
-// netErr maps network errors caused by context expiry to a clean stop.
-func (r *Runner) netErr(ctx context.Context, err error) error {
-	if ctx.Err() != nil {
-		return nil
-	}
-	return fmt.Errorf("dist: %w", err)
 }

@@ -1,0 +1,314 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vconf/internal/core"
+)
+
+// rawConn opens a raw protocol connection for hand-driven exchanges.
+func rawConn(t *testing.T, addr string) (net.Conn, *json.Decoder, *json.Encoder) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, json.NewDecoder(bufio.NewReader(c)), json.NewEncoder(c)
+}
+
+// abruptClose resets the connection (RST, no FIN handshake) — the shape of a
+// crashed peer.
+func abruptClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func waitFor(t *testing.T, what string, f func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if f() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRunnerBoundedRetryOnPeerDeath kills the coordinator side of every
+// connection mid-handshake: the runner must redial exactly MaxAttempts times
+// and then surface a typed peer-death error, not hang or spin forever.
+func TestRunnerBoundedRetryOnPeerDeath(t *testing.T) {
+	ev, _ := distStack(t, 11)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var accepts int32
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			atomic.AddInt32(&accepts, 1)
+			abruptClose(c)
+		}
+	}()
+
+	cfg := core.DefaultConfig(11)
+	cfg.MeanCountdownS = 0.001
+	r, err := NewRunner(ev, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MaxAttempts = 3
+	r.BackoffBase = time.Millisecond
+	r.BackoffMax = 4 * time.Millisecond
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hops, err := r.Run(ctx, ln.Addr().String(), 1)
+	if err == nil {
+		t.Fatal("runner succeeded against a peer that dies on every attempt")
+	}
+	if !errors.Is(err, ErrPeerDied) {
+		t.Fatalf("error %v does not match ErrPeerDied", err)
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Phase == "" {
+		t.Fatalf("error %v is not a phase-tagged PeerError", err)
+	}
+	if hops != 0 {
+		t.Fatalf("counted %d hops with no live coordinator", hops)
+	}
+	if got := atomic.LoadInt32(&accepts); got != 3 {
+		t.Fatalf("runner dialed %d times, want exactly MaxAttempts = 3", got)
+	}
+}
+
+// TestRunnerRetriesThroughFlakyProxy proves retry-after-failure end to end:
+// a proxy kills the runner's first two connections outright, then starts
+// piping to a real coordinator — the run must complete all its hops anyway.
+func TestRunnerRetriesThroughFlakyProxy(t *testing.T) {
+	ev, start := distStack(t, 12)
+	coord, err := NewCoordinator(ev, start, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	proxy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	var conns int32
+	go func() {
+		for {
+			c, err := proxy.Accept()
+			if err != nil {
+				return
+			}
+			if atomic.AddInt32(&conns, 1) <= 2 {
+				abruptClose(c)
+				continue
+			}
+			up, err := net.Dial("tcp", coord.Addr())
+			if err != nil {
+				c.Close()
+				continue
+			}
+			go func() { io.Copy(up, c); up.Close(); c.Close() }()
+			go func() { io.Copy(c, up); up.Close(); c.Close() }()
+		}
+	}()
+
+	cfg := core.DefaultConfig(12)
+	cfg.MeanCountdownS = 0.001
+	r, err := NewRunner(ev, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MaxAttempts = 4
+	r.BackoffBase = time.Millisecond
+	r.BackoffMax = 4 * time.Millisecond
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hops, err := r.Run(ctx, proxy.Addr().String(), 3)
+	if err != nil {
+		t.Fatalf("run through flaky proxy: %v", err)
+	}
+	if hops != 3 {
+		t.Fatalf("completed %d hops, want 3", hops)
+	}
+	if atomic.LoadInt32(&conns) <= 2 {
+		t.Fatal("proxy never killed a connection; the retry path was not exercised")
+	}
+}
+
+// TestFreezeReleasedOnPeerDeath is the FREEZE→COMMIT drop regression: a peer
+// that resets its connection while holding the freeze must release it
+// immediately (not after the FreezeHold deadline), the abandoned exchange
+// must be counted, and the next freeze must proceed normally.
+func TestFreezeReleasedOnPeerDeath(t *testing.T) {
+	ev, start := distStack(t, 13)
+	coord, err := NewCoordinator(ev, start, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// A freezes session 0, then crashes while holding the lock.
+	a, adec, aenc := rawConn(t, coord.Addr())
+	if err := aenc.Encode(frame{Type: frameFreeze, Session: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var granted frame
+	if err := adec.Decode(&granted); err != nil || granted.Type != frameGranted {
+		t.Fatalf("granted = %+v, err %v", granted, err)
+	}
+	abruptClose(a)
+
+	// B's freeze must be granted promptly — far below the 10s default hold.
+	b, bdec, benc := rawConn(t, coord.Addr())
+	defer b.Close()
+	b.SetDeadline(time.Now().Add(2 * time.Second))
+	if err := benc.Encode(frame{Type: frameFreeze, Session: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bdec.Decode(&granted); err != nil || granted.Type != frameGranted {
+		t.Fatalf("freeze after peer death: granted = %+v, err %v (wedged lock?)", granted, err)
+	}
+	if err := benc.Encode(frame{Type: frameCommit, Session: 1, Moved: false}); err != nil {
+		t.Fatal(err)
+	}
+	var ack frame
+	if err := bdec.Decode(&ack); err != nil || ack.Type != frameCommitted {
+		t.Fatalf("ack = %+v, err %v", ack, err)
+	}
+	waitFor(t, "abandon accounting", func() bool { return coord.Abandons() == 1 })
+	if _, stays, _ := coord.Stats(); stays != 1 {
+		t.Fatalf("stays = %d, want 1", stays)
+	}
+}
+
+// TestFreezeHoldDeadline pins the configurable hold: a peer that goes silent
+// (without dying) while holding the freeze is evicted after FreezeHold and
+// the lock handed to the next freeze.
+func TestFreezeHoldDeadline(t *testing.T) {
+	ev, start := distStack(t, 14)
+	coord, err := NewCoordinatorConfig(ev, start, "127.0.0.1:0", Config{FreezeHold: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	a, adec, aenc := rawConn(t, coord.Addr())
+	defer a.Close() // stays open, just silent
+	if err := aenc.Encode(frame{Type: frameFreeze, Session: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var granted frame
+	if err := adec.Decode(&granted); err != nil || granted.Type != frameGranted {
+		t.Fatalf("granted = %+v, err %v", granted, err)
+	}
+
+	b, bdec, benc := rawConn(t, coord.Addr())
+	defer b.Close()
+	b.SetDeadline(time.Now().Add(2 * time.Second))
+	if err := benc.Encode(frame{Type: frameFreeze, Session: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bdec.Decode(&granted); err != nil || granted.Type != frameGranted {
+		t.Fatalf("freeze behind a silent holder: granted = %+v, err %v", granted, err)
+	}
+	waitFor(t, "hold-expiry abandon", func() bool { return coord.Abandons() == 1 })
+}
+
+// TestCoordinatorSurvivesPeerDeathEveryPhase crashes a peer at every point
+// of the protocol state machine, then proves the coordinator still serves a
+// clean exchange and shuts down without wedged handlers.
+func TestCoordinatorSurvivesPeerDeathEveryPhase(t *testing.T) {
+	ev, start := distStack(t, 15)
+	coord, err := NewCoordinator(ev, start, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phases := []struct {
+		name  string
+		drive func(t *testing.T, dec *json.Decoder, enc *json.Encoder)
+	}{
+		{"pre-freeze", func(t *testing.T, dec *json.Decoder, enc *json.Encoder) {}},
+		{"post-freeze", func(t *testing.T, dec *json.Decoder, enc *json.Encoder) {
+			enc.Encode(frame{Type: frameFreeze, Session: 0})
+		}},
+		{"holding-freeze", func(t *testing.T, dec *json.Decoder, enc *json.Encoder) {
+			enc.Encode(frame{Type: frameFreeze, Session: 0})
+			var g frame
+			if err := dec.Decode(&g); err != nil || g.Type != frameGranted {
+				t.Fatalf("granted = %+v, err %v", g, err)
+			}
+		}},
+		{"post-commit", func(t *testing.T, dec *json.Decoder, enc *json.Encoder) {
+			enc.Encode(frame{Type: frameFreeze, Session: 0})
+			var g frame
+			if err := dec.Decode(&g); err != nil || g.Type != frameGranted {
+				t.Fatalf("granted = %+v, err %v", g, err)
+			}
+			enc.Encode(frame{Type: frameCommit, Session: 0, Moved: false})
+		}},
+	}
+	for _, ph := range phases {
+		c, dec, enc := rawConn(t, coord.Addr())
+		c.SetDeadline(time.Now().Add(5 * time.Second))
+		ph.drive(t, dec, enc)
+		abruptClose(c)
+
+		// The coordinator must hand the freeze to a fresh peer promptly
+		// after every crash.
+		v, vdec, venc := rawConn(t, coord.Addr())
+		v.SetDeadline(time.Now().Add(2 * time.Second))
+		if err := venc.Encode(frame{Type: frameFreeze, Session: 1}); err != nil {
+			t.Fatalf("%s: %v", ph.name, err)
+		}
+		var g frame
+		if err := vdec.Decode(&g); err != nil || g.Type != frameGranted {
+			t.Fatalf("%s: freeze after crash: %+v, err %v", ph.name, g, err)
+		}
+		if err := venc.Encode(frame{Type: frameCommit, Session: 1, Moved: false}); err != nil {
+			t.Fatalf("%s: %v", ph.name, err)
+		}
+		var ack frame
+		if err := vdec.Decode(&ack); err != nil || ack.Type != frameCommitted {
+			t.Fatalf("%s: ack = %+v, err %v", ph.name, ack, err)
+		}
+		v.Close()
+	}
+
+	// Close must drain every handler: a wedged serve goroutine (held lock or
+	// deadline-free read) would hang here.
+	done := make(chan error, 1)
+	go func() { done <- coord.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator close wedged on a leaked handler")
+	}
+}

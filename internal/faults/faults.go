@@ -1,0 +1,327 @@
+// Package faults is the seeded, deterministic fault-injection engine: it
+// turns a Config of per-process MTBF/MTTR parameters into a time-ordered
+// schedule of workload fault events (agent failures, correlated regional
+// outages, partial capacity degradations, flash-crowd arrival storms) that
+// merges deterministically with the Poisson/diurnal churn schedules from
+// internal/workload.
+//
+// Determinism contract: the same Config (seed included) yields a
+// byte-identical event schedule, and Merge is a stable two-way merge, so
+// (churn schedule, fault schedule) → merged schedule is a pure function.
+// Each fault process draws from its own derived RNG stream (splitmix-mixed
+// from the seed, a process tag and the target index), so enabling or
+// disabling one process never perturbs another's draws.
+package faults
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vconf/internal/workload"
+)
+
+// Config parameterizes the fault schedule. Every process is a renewal
+// process per target (agent or region): exponential time-to-failure with the
+// given MTBF, then exponential time-to-recovery with the given MTTR. A zero
+// MTBF disables that process.
+type Config struct {
+	Seed int64
+	// HorizonS is the schedule length in virtual seconds (recovery events
+	// beyond it are dropped: the target stays failed through the end).
+	HorizonS float64
+	// NumAgents is the fleet size the per-agent processes draw over.
+	NumAgents int
+	// AgentRegion maps agent → region. Required for regional outages and
+	// flash crowds; nil disables both.
+	AgentRegion []int
+
+	// AgentMTBFS / AgentMTTRS drive whole-agent failures (capacity scale 0)
+	// and recoveries, independently per agent.
+	AgentMTBFS float64
+	AgentMTTRS float64
+
+	// RegionMTBFS / RegionMTTRS drive correlated whole-region outages,
+	// independently per region.
+	RegionMTBFS float64
+	RegionMTTRS float64
+
+	// DegradeMTBFS / DegradeMTTRS drive partial capacity degradations per
+	// agent: each incident draws a scale uniformly in [DegradeFloor, 1) and
+	// restores to 1 after the repair time.
+	DegradeMTBFS float64
+	DegradeMTTRS float64
+	DegradeFloor float64
+
+	// FlashMTBFS is the mean time between flash-crowd onsets per region.
+	// Each onset emits an EventFlashCrowd marker followed by up to
+	// FlashIntensity arrivals from that region's reserved session pool
+	// (FlashSessions[r]); each burst session departs after an exponential
+	// hold with mean FlashHoldS and returns to the pool. The pools must be
+	// disjoint from the churn generator's session pool — the two schedules
+	// are generated independently, so a shared session would double-arrive.
+	FlashMTBFS     float64
+	FlashIntensity int
+	FlashHoldS     float64
+	FlashSessions  [][]int
+}
+
+// numRegions derives the region count from the agent-region map.
+func (c Config) numRegions() int {
+	n := 0
+	for _, r := range c.AgentRegion {
+		if r+1 > n {
+			n = r + 1
+		}
+	}
+	return n
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.HorizonS <= 0 {
+		return fmt.Errorf("faults: horizon must be positive")
+	}
+	if c.NumAgents < 1 {
+		return fmt.Errorf("faults: need at least one agent")
+	}
+	if c.AgentRegion != nil && len(c.AgentRegion) != c.NumAgents {
+		return fmt.Errorf("faults: agent-region map covers %d of %d agents", len(c.AgentRegion), c.NumAgents)
+	}
+	for a, r := range c.AgentRegion {
+		if r < 0 {
+			return fmt.Errorf("faults: agent %d mapped to negative region %d", a, r)
+		}
+	}
+	if c.AgentMTBFS < 0 || c.RegionMTBFS < 0 || c.DegradeMTBFS < 0 || c.FlashMTBFS < 0 {
+		return fmt.Errorf("faults: MTBFs must be non-negative")
+	}
+	if c.AgentMTBFS > 0 && c.AgentMTTRS <= 0 {
+		return fmt.Errorf("faults: agent failures need a positive MTTR")
+	}
+	if c.RegionMTBFS > 0 {
+		if c.RegionMTTRS <= 0 {
+			return fmt.Errorf("faults: region outages need a positive MTTR")
+		}
+		if c.AgentRegion == nil {
+			return fmt.Errorf("faults: region outages need an agent-region map")
+		}
+	}
+	if c.DegradeMTBFS > 0 {
+		if c.DegradeMTTRS <= 0 {
+			return fmt.Errorf("faults: degradations need a positive MTTR")
+		}
+		if c.DegradeFloor < 0 || c.DegradeFloor >= 1 {
+			return fmt.Errorf("faults: degrade floor %v outside [0, 1)", c.DegradeFloor)
+		}
+	}
+	if c.FlashMTBFS > 0 {
+		if c.FlashIntensity < 1 || c.FlashHoldS <= 0 {
+			return fmt.Errorf("faults: flash crowds need intensity ≥ 1 and a positive hold")
+		}
+		if c.AgentRegion == nil {
+			return fmt.Errorf("faults: flash crowds need an agent-region map")
+		}
+		if len(c.FlashSessions) > c.numRegions() {
+			return fmt.Errorf("faults: %d flash pools for %d regions", len(c.FlashSessions), c.numRegions())
+		}
+	}
+	return nil
+}
+
+// subRNG derives an independent stream per (process tag, target index) via a
+// splitmix64 finalizer over the seed — enabling one process never shifts
+// another's draws.
+func subRNG(seed int64, tag, idx int) *rand.Rand {
+	z := uint64(seed) + uint64(tag)*0x9e3779b97f4a7c15 + uint64(idx)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// Process tags for subRNG.
+const (
+	tagAgentFail = iota + 1
+	tagRegionOutage
+	tagDegrade
+	tagFlash
+)
+
+// Schedule generates the fault-event schedule: one renewal process per
+// target per enabled process, merged into a single time-ordered stream.
+// Deterministic: the same Config yields a byte-identical schedule.
+func Schedule(cfg Config) ([]workload.Event, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var events []workload.Event
+
+	if cfg.AgentMTBFS > 0 {
+		for a := 0; a < cfg.NumAgents; a++ {
+			rng := subRNG(cfg.Seed, tagAgentFail, a)
+			renewal(rng, cfg.HorizonS, cfg.AgentMTBFS, cfg.AgentMTTRS, func(t float64, up bool) workload.Event {
+				k := workload.EventAgentFail
+				if up {
+					k = workload.EventAgentRecover
+				}
+				return workload.Event{TimeS: t, Kind: k, Session: -1, Agent: a, Region: regionOf(cfg.AgentRegion, a)}
+			}, &events)
+		}
+	}
+	if cfg.RegionMTBFS > 0 {
+		for r := 0; r < cfg.numRegions(); r++ {
+			rng := subRNG(cfg.Seed, tagRegionOutage, r)
+			r := r
+			renewal(rng, cfg.HorizonS, cfg.RegionMTBFS, cfg.RegionMTTRS, func(t float64, up bool) workload.Event {
+				k := workload.EventRegionOutage
+				if up {
+					k = workload.EventRegionRecover
+				}
+				return workload.Event{TimeS: t, Kind: k, Session: -1, Agent: -1, Region: r}
+			}, &events)
+		}
+	}
+	if cfg.DegradeMTBFS > 0 {
+		for a := 0; a < cfg.NumAgents; a++ {
+			rng := subRNG(cfg.Seed, tagDegrade, a)
+			t := 0.0
+			for {
+				t += rng.ExpFloat64() * cfg.DegradeMTBFS
+				if t >= cfg.HorizonS {
+					break
+				}
+				scale := cfg.DegradeFloor + (1-cfg.DegradeFloor)*rng.Float64()
+				events = append(events, workload.Event{TimeS: t, Kind: workload.EventCapacityDegrade,
+					Session: -1, Agent: a, Region: regionOf(cfg.AgentRegion, a), Scale: scale})
+				t += rng.ExpFloat64() * cfg.DegradeMTTRS
+				if t >= cfg.HorizonS {
+					break
+				}
+				events = append(events, workload.Event{TimeS: t, Kind: workload.EventCapacityDegrade,
+					Session: -1, Agent: a, Region: regionOf(cfg.AgentRegion, a), Scale: 1})
+			}
+		}
+	}
+	if cfg.FlashMTBFS > 0 {
+		for r := range cfg.FlashSessions {
+			flashStream(cfg, r, &events)
+		}
+	}
+
+	// Streams were appended in a fixed order, so a stable sort on time alone
+	// keeps the schedule a pure function of the Config.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TimeS < events[j].TimeS })
+	return events, nil
+}
+
+func regionOf(agentRegion []int, a int) int {
+	if agentRegion == nil {
+		return -1
+	}
+	return agentRegion[a]
+}
+
+// renewal walks one fail/recover renewal process over the horizon.
+func renewal(rng *rand.Rand, horizonS, mtbfS, mttrS float64, mk func(t float64, up bool) workload.Event, out *[]workload.Event) {
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * mtbfS
+		if t >= horizonS {
+			return
+		}
+		*out = append(*out, mk(t, false))
+		t += rng.ExpFloat64() * mttrS
+		if t >= horizonS {
+			return // failed through the horizon: no recovery event
+		}
+		*out = append(*out, mk(t, true))
+	}
+}
+
+// flashStream generates region r's flash-crowd onsets: a marker event plus a
+// burst of arrivals from the region's reserved pool, each with an
+// exponential-hold departure (same idle-pool recycling as PoissonSchedule).
+func flashStream(cfg Config, r int, out *[]workload.Event) {
+	rng := subRNG(cfg.Seed, tagFlash, r)
+	idle := append([]int(nil), cfg.FlashSessions[r]...)
+	var deps departureHeap
+	flushUntil := func(t float64) {
+		for len(deps) > 0 && deps[0].timeS <= t {
+			d := heap.Pop(&deps).(departure)
+			if d.timeS >= cfg.HorizonS {
+				continue
+			}
+			*out = append(*out, workload.Event{TimeS: d.timeS, Kind: workload.EventDeparture, Session: d.session, Region: r})
+			idle = append(idle, d.session)
+		}
+	}
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * cfg.FlashMTBFS
+		if t >= cfg.HorizonS {
+			break
+		}
+		flushUntil(t)
+		*out = append(*out, workload.Event{TimeS: t, Kind: workload.EventFlashCrowd, Session: -1, Agent: -1, Region: r})
+		for j := 0; j < cfg.FlashIntensity && len(idle) > 0; j++ {
+			// Stagger burst arrivals by a millisecond each so the merged
+			// schedule orders them deterministically after the marker.
+			at := t + float64(j+1)*1e-3
+			if at >= cfg.HorizonS {
+				break
+			}
+			// Draw the hold before the next flush so the random sequence is a
+			// pure function of the seed regardless of heap state.
+			hold := rng.ExpFloat64() * cfg.FlashHoldS
+			flushUntil(at)
+			s := idle[0]
+			idle = idle[1:]
+			*out = append(*out, workload.Event{TimeS: at, Kind: workload.EventArrival, Session: s, Region: r})
+			heap.Push(&deps, departure{timeS: at + hold, session: s})
+		}
+	}
+	flushUntil(cfg.HorizonS)
+}
+
+// departure mirrors workload's internal departure heap for flash bursts.
+type departure struct {
+	timeS   float64
+	session int
+}
+
+type departureHeap []departure
+
+func (h departureHeap) Len() int            { return len(h) }
+func (h departureHeap) Less(i, j int) bool  { return h[i].timeS < h[j].timeS }
+func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Merge interleaves two time-ordered schedules into one, stably: on equal
+// timestamps a's event precedes b's. Both inputs must already be
+// time-ordered (Schedule and PoissonSchedule both are).
+func Merge(a, b []workload.Event) []workload.Event {
+	out := make([]workload.Event, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].TimeS <= b[j].TimeS {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -22,9 +22,32 @@ func Oracle(
 	cfg core.Config,
 	durationS float64,
 ) (*assign.Assignment, float64, error) {
+	return OracleDegraded(ev, active, boot, cfg, durationS, nil)
+}
+
+// OracleDegraded is Oracle over a degraded fleet: scales[l] is agent l's
+// effective capacity scale (nil ⇒ all healthy), matching
+// Orchestrator.CapacityScales — so the yardstick re-solves from scratch on
+// the *surviving* fleet, which is what a healed post-incident state must be
+// compared against.
+func OracleDegraded(
+	ev *cost.Evaluator,
+	active []model.SessionID,
+	boot core.Bootstrapper,
+	cfg core.Config,
+	durationS float64,
+	scales []float64,
+) (*assign.Assignment, float64, error) {
 	eng, err := core.NewEngine(ev, cfg)
 	if err != nil {
 		return nil, 0, err
+	}
+	for l, f := range scales {
+		if f != 1 {
+			if err := eng.DegradeAgent(model.AgentID(l), f); err != nil {
+				return nil, 0, err
+			}
+		}
 	}
 	for _, s := range active {
 		if err := eng.ActivateSession(s, boot); err != nil {

@@ -114,6 +114,11 @@ type Config struct {
 	// window (Core.NeighborWindow = 0) walks can reach any agent, so
 	// footprints always cover every stripe regardless of slack.
 	FootprintSlack int
+	// AgentRegion maps agent → region (len NumAgents). Required to handle
+	// regional fault events (EventRegionOutage/EventRegionRecover); nil
+	// rejects them. GenerateSyntheticFleetRegions fleets assign agent i to
+	// region i mod Regions (workload.AgentRegions builds the map).
+	AgentRegion []int
 	// Core parameterizes the refinement chain (β, objective scale, seed).
 	// The countdown is irrelevant here — workers hop back to back.
 	Core core.Config
@@ -215,6 +220,24 @@ type Stats struct {
 	// memory regardless of run length).
 	ReoptP50 time.Duration
 	ReoptP99 time.Duration
+	// Incidents counts capacity-reducing fault events handled (agent
+	// failures, region outages, deeper degradations); Orphans the sessions
+	// they evicted, split into Evacuated (re-homed on the surviving fleet)
+	// and EvacRejects (no feasible placement; the session went down).
+	Incidents   int
+	Orphans     int
+	Evacuated   int
+	EvacRejects int
+	// DegradedRejects counts arrival drops that happened while any agent
+	// was failed or degraded — the paper fleet never rejects, so these
+	// separate "capacity-starved by the incident" from ordinary tight-fleet
+	// drops.
+	DegradedRejects int
+	// RecoverP50 and RecoverP99 are per-incident time-to-recovery
+	// percentiles (fault application through the healing barrier), from the
+	// same log-scale histogram machinery as the reopt latencies.
+	RecoverP50 time.Duration
+	RecoverP99 time.Duration
 	// AdmissionStalls, ReoptWaits, QueueDepthPeak and InFlightPeak are
 	// pipelined-scheduler telemetry (zero with Pipeline off): events whose
 	// admission had to wait (in-flight cap or a claimed trigger session),
@@ -240,6 +263,9 @@ type EventReport struct {
 	// (retried or not). Unlike the outcome tallies it is timing-dependent
 	// whenever workers overlap, so differential tests must not compare it.
 	Conflicts int
+	// Orphans/Evacuated/EvacRejects describe a fault event's healing: the
+	// sessions the incident evicted, and how many were re-homed vs dropped.
+	Orphans, Evacuated, EvacRejects int
 	// Latency is the wall-clock duration of the re-optimization barrier.
 	Latency time.Duration
 	// Objective is Σ Φ_s over active sessions after the event
@@ -285,6 +311,17 @@ type Orchestrator struct {
 	now   float64
 	stats Stats
 	lat   *telemetry.Histogram
+	// Fault-injection state (see faults.go), guarded by mu: per-agent
+	// failed flags and base (partial-degradation) scales, per-region outage
+	// flags, the impaired-agent count driving rejects-during-degradation
+	// accounting, and the per-incident time-to-recovery histogram.
+	failed      []bool
+	baseScale   []float64
+	regionOut   []bool
+	agentRegion []int
+	numRegions  int
+	impaired    int
+	ttr         *telemetry.Histogram
 	// tel is the optional telemetry sink (Config.Telemetry); nil disables
 	// every instrumentation site at the cost of a pointer test.
 	tel    *telemetry.Sink
@@ -326,8 +363,30 @@ func New(ev *cost.Evaluator, boot core.Bootstrapper, cfg Config) (*Orchestrator,
 		cache: cost.NewObjectiveCache(ev),
 		scr:   ev.NewScratch(),
 		lat:   telemetry.NewHistogram(),
+		ttr:   telemetry.NewHistogram(),
 		tel:   cfg.Telemetry,
 		tasks: make(chan reoptTask),
+	}
+	o.failed = make([]bool, sc.NumAgents())
+	o.baseScale = make([]float64, sc.NumAgents())
+	for i := range o.baseScale {
+		o.baseScale[i] = 1
+	}
+	if cfg.AgentRegion != nil {
+		if len(cfg.AgentRegion) != sc.NumAgents() {
+			return nil, fmt.Errorf("orchestrator: agent-region map covers %d of %d agents",
+				len(cfg.AgentRegion), sc.NumAgents())
+		}
+		for a, r := range cfg.AgentRegion {
+			if r < 0 {
+				return nil, fmt.Errorf("orchestrator: agent %d mapped to negative region %d", a, r)
+			}
+			if r+1 > o.numRegions {
+				o.numRegions = r + 1
+			}
+		}
+		o.agentRegion = cfg.AgentRegion
+		o.regionOut = make([]bool, o.numRegions)
 	}
 	// The commit-path scratch and the objective cache's refresh scratch
 	// (both guarded by o.mu) keep their own per-session delay caches; the
@@ -396,6 +455,9 @@ func (o *Orchestrator) HandleEvent(e workload.Event) (EventReport, error) {
 	}
 	if err := o.takeRefErr(); err != nil {
 		return EventReport{}, err
+	}
+	if e.Kind.IsFault() {
+		return o.handleFault(e)
 	}
 	if e.Session < 0 || e.Session >= o.sc.NumSessions() {
 		return EventReport{}, fmt.Errorf("orchestrator: event session %d outside [0, %d)", e.Session, o.sc.NumSessions())
@@ -490,6 +552,11 @@ func (o *Orchestrator) emitRecord(rep *EventReport, tally *eventTally, stalled b
 			// A live departure tears down the session's delay-cache entry.
 			rec.CacheInvalidated = 1
 		}
+	default:
+		// Fault kinds label themselves; evictions tore down one delay-cache
+		// entry per orphan.
+		rec.Kind = rep.Event.Kind.String()
+		rec.CacheInvalidated = rep.Orphans
 	}
 	if tally != nil {
 		rec.SnapshotNs = tally.snapshotNs
@@ -529,6 +596,10 @@ func (o *Orchestrator) applyArrival(timeS float64, s model.SessionID) (bool, []m
 		// custom bootstrapper — must surface loudly, not read as churn.
 		if errors.Is(err, agrank.ErrInfeasible) || errors.Is(err, baseline.ErrInfeasible) {
 			o.stats.Dropped++
+			if o.impaired > 0 {
+				o.stats.DegradedRejects++
+				o.tel.DegradedReject(o.tel.RegionOf(int(s)))
+			}
 			return false, nil, nil
 		}
 		return false, nil, fmt.Errorf("orchestrator: bootstrap session %d: %w", s, err)
@@ -706,6 +777,8 @@ func (o *Orchestrator) Stats() Stats {
 	st := o.stats
 	st.ReoptP50 = o.lat.PercentileDuration(0.50)
 	st.ReoptP99 = o.lat.PercentileDuration(0.99)
+	st.RecoverP50 = o.ttr.PercentileDuration(0.50)
+	st.RecoverP99 = o.ttr.PercentileDuration(0.99)
 	o.mu.Unlock()
 	if o.pipe != nil {
 		ps := o.pipe.Stats()

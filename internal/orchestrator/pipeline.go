@@ -109,6 +109,15 @@ func (o *Orchestrator) handleEventPipelined(e workload.Event) (EventReport, erro
 	if err := o.takeRefErr(); err != nil {
 		return EventReport{}, err
 	}
+	if e.Kind.IsFault() {
+		// A fault is a full barrier: healing re-assigns sessions that
+		// in-flight events may own, so drain the scheduler first, then heal
+		// with exclusive ownership of the whole state.
+		if err := o.pipe.Drain(); err != nil {
+			return EventReport{}, err
+		}
+		return o.handleFault(e)
+	}
 	st, ch, err := o.submitEvent(e, nil)
 	if err != nil {
 		return EventReport{}, err
@@ -161,6 +170,19 @@ func (o *Orchestrator) runPipelined(events []workload.Event, horizonS float64) (
 		if err := o.takeRefErr(); err != nil {
 			o.pipe.Drain()
 			return reports, err
+		}
+		if e.Kind.IsFault() {
+			// Fault barrier: drain so every prior report has retired (and
+			// appended itself to reports), heal, then append in order.
+			if err := o.pipe.Drain(); err != nil {
+				return reports, err
+			}
+			rep, err := o.handleFault(e)
+			if err != nil {
+				return reports, err
+			}
+			reports = append(reports, rep)
+			continue
 		}
 		if _, _, err := o.submitEvent(e, &reports); err != nil {
 			if derr := o.pipe.Drain(); derr != nil {
@@ -221,6 +243,10 @@ func (st *eventState) applyAdmission() (pipeline.Footprint, error) {
 		if err := o.boot(o.a, s, o.ledger); err != nil {
 			if errors.Is(err, agrank.ErrInfeasible) || errors.Is(err, baseline.ErrInfeasible) {
 				o.stats.Dropped++
+				if o.impaired > 0 {
+					o.stats.DegradedRejects++
+					o.tel.DegradedReject(o.tel.RegionOf(int(s)))
+				}
 				st.rep.Admitted = false
 				return pipeline.Footprint{}, nil
 			}

@@ -37,6 +37,8 @@ func coreStats(s Stats) Stats {
 	s.ReoptMax = 0
 	s.ReoptP50 = 0
 	s.ReoptP99 = 0
+	s.RecoverP50 = 0
+	s.RecoverP99 = 0
 	s.AdmissionStalls = 0
 	s.ReoptWaits = 0
 	s.QueueDepthPeak = 0

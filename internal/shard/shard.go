@@ -199,6 +199,10 @@ func New(sc *model.Scenario, p int) *Ledger {
 		bounds:  make([]int32, p+1),
 		shardOf: make([]int32, l),
 	}
+	// Pre-allocate the scale array so a mid-run SetCapacityScale (fault
+	// injection) under one stripe lock never races readers under other
+	// stripes' locks on the lazy slice-header publication.
+	sl.inner.EnsureScale()
 	for i := 0; i <= p; i++ {
 		sl.bounds[i] = int32(i * l / p)
 	}

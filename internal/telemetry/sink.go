@@ -59,6 +59,18 @@ type Sink struct {
 	departs   []*Counter
 	reoptLat  []*Histogram
 
+	// Fault-injection and self-healing instrumentation: injected fault
+	// events by kind, orphaned sessions, per-region evacuation outcomes,
+	// evacuation-latency and time-to-recovery histograms, and
+	// rejects-during-degradation.
+	faults      map[string]*Counter
+	orphans     *Counter
+	evacOK      []*Counter
+	evacRej     []*Counter
+	evacLat     *Histogram
+	recoveryLat *Histogram
+	degRejects  []*Counter
+
 	// Global counters.
 	stalls        *Counter
 	drops         *Counter
@@ -126,6 +138,9 @@ func New(cfg Config) *Sink {
 	s.arrivals = make([]*Counter, regions)
 	s.departs = make([]*Counter, regions)
 	s.reoptLat = make([]*Histogram, regions)
+	s.evacOK = make([]*Counter, regions)
+	s.evacRej = make([]*Counter, regions)
+	s.degRejects = make([]*Counter, regions)
 	for r := 0; r < regions; r++ {
 		lbl := Label{Key: "region", Value: strconv.Itoa(r)}
 		s.commits[r] = s.reg.Counter("vconf_commits_total", "re-optimization proposals committed", lbl)
@@ -135,7 +150,19 @@ func New(cfg Config) *Sink {
 		s.arrivals[r] = s.reg.Counter("vconf_events_total", "churn events handled", Label{Key: "kind", Value: "arrive"}, lbl)
 		s.departs[r] = s.reg.Counter("vconf_events_total", "churn events handled", Label{Key: "kind", Value: "depart"}, lbl)
 		s.reoptLat[r] = s.reg.Histogram("vconf_reopt_latency_ns", "per-event re-optimization barrier latency (ns)", lbl)
+		s.evacOK[r] = s.reg.Counter("vconf_evacuations_total", "orphaned sessions re-homed (ok) or dropped (reject) during healing",
+			Label{Key: "result", Value: "ok"}, lbl)
+		s.evacRej[r] = s.reg.Counter("vconf_evacuations_total", "orphaned sessions re-homed (ok) or dropped (reject) during healing",
+			Label{Key: "result", Value: "reject"}, lbl)
+		s.degRejects[r] = s.reg.Counter("vconf_degraded_rejects_total", "arrivals rejected while agents were failed or degraded", lbl)
 	}
+	s.faults = make(map[string]*Counter, len(faultKinds))
+	for _, k := range faultKinds {
+		s.faults[k] = s.reg.Counter("vconf_faults_injected_total", "fault events injected, by kind", Label{Key: "kind", Value: k})
+	}
+	s.orphans = s.reg.Counter("vconf_orphans_total", "sessions orphaned by failures and degradations")
+	s.evacLat = s.reg.Histogram("vconf_evacuation_latency_ns", "per-orphan evacuation (re-home) latency (ns)")
+	s.recoveryLat = s.reg.Histogram("vconf_time_to_recovery_ns", "per-incident time to recovery (ns)")
 	s.stalls = s.reg.Counter("vconf_admission_stalls_total", "events whose admission waited in the pipelined scheduler")
 	s.drops = s.reg.Counter("vconf_dropped_arrivals_total", "arrivals rejected at admission")
 	s.skips = s.reg.Counter("vconf_skipped_departures_total", "departures for never-admitted sessions")
@@ -308,20 +335,26 @@ func (s *Sink) Record(rec DecisionRecord) {
 	s.haveObjective = true
 
 	sh := s.eventShard
-	if rec.Kind == "depart" {
+	switch rec.Kind {
+	case "depart":
 		s.departs[rec.Region].Inc(sh)
-	} else {
+		if !rec.Admitted {
+			s.skips.Inc(sh)
+		}
+	case "arrive":
 		s.arrivals[rec.Region].Inc(sh)
+		if !rec.Admitted {
+			s.drops.Inc(sh)
+		}
+	default:
+		// Fault-injection kinds count into their own family, never into the
+		// churn event/drop/skip counters.
+		if c := s.faults[rec.Kind]; c != nil {
+			c.Inc(sh)
+		}
 	}
 	if rec.Stalled {
 		s.stalls.Inc(sh)
-	}
-	if !rec.Admitted {
-		if rec.Kind == "depart" {
-			s.skips.Inc(sh)
-		} else {
-			s.drops.Inc(sh)
-		}
 	}
 	if rec.CacheInvalidated > 0 {
 		s.invalidations.Add(sh, int64(rec.CacheInvalidated))
@@ -330,6 +363,48 @@ func (s *Sink) Record(rec DecisionRecord) {
 	s.objective.Set(rec.Objective)
 	s.active.Set(float64(rec.ActiveSessions))
 	s.rec.Append(rec)
+}
+
+// faultKinds are the record kinds routed to vconf_faults_injected_total
+// (workload.EventKind.String() for the fault kinds).
+var faultKinds = []string{"agent-fail", "agent-recover", "region-outage", "region-recover", "degrade", "flash-crowd"}
+
+// Evacuation counts one orphan's re-home attempt (ok or reject) and its
+// latency. Called from the serialized fault-handling path.
+func (s *Sink) Evacuation(region int, ok bool, latencyNs int64) {
+	if s == nil {
+		return
+	}
+	if region < 0 || region >= s.regions {
+		region = 0
+	}
+	sh := s.eventShard
+	s.orphans.Inc(sh)
+	if ok {
+		s.evacOK[region].Inc(sh)
+	} else {
+		s.evacRej[region].Inc(sh)
+	}
+	s.evacLat.Observe(latencyNs)
+}
+
+// Incident records one incident's time-to-recovery.
+func (s *Sink) Incident(ttrNs int64) {
+	if s == nil {
+		return
+	}
+	s.recoveryLat.Observe(ttrNs)
+}
+
+// DegradedReject counts one arrival rejected while the fleet was impaired.
+func (s *Sink) DegradedReject(region int) {
+	if s == nil {
+		return
+	}
+	if region < 0 || region >= s.regions {
+		region = 0
+	}
+	s.degRejects[region].Inc(s.eventShard)
 }
 
 // FeedTick appends the headline metrics to the sink's evolution series at

@@ -69,6 +69,17 @@ func DefaultFleetConfig(seed int64) FleetConfig {
 	}
 }
 
+// AgentRegions returns the agent→region map of a regional synthetic fleet:
+// generateRegionalFleet assigns agent i to region i mod regions. The fault
+// engine and the orchestrator's regional healing consume this.
+func AgentRegions(numAgents, regions int) []int {
+	out := make([]int, numAgents)
+	for i := range out {
+		out[i] = i % regions
+	}
+	return out
+}
+
 // GenerateSyntheticFleet builds a deterministic scenario with an
 // arbitrarily large agent fleet. Delays are synthesized within bounds that
 // keep every assignment under the default Dmax (H ≤ 40 ms, D ≤ 80 ms,
