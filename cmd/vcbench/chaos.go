@@ -62,10 +62,13 @@ type chaosPoint struct {
 
 // chaosReport is the BENCH_7.json payload.
 type chaosReport struct {
-	GeneratedBy string       `json:"generated_by"`
-	Description string       `json:"description"`
-	Meta        runMeta      `json:"meta"`
-	Points      []chaosPoint `json:"points"`
+	GeneratedBy string `json:"generated_by"`
+	// SchemaVersion is benchSchemaVersion at write time; vcreport refuses
+	// mismatched versions.
+	SchemaVersion int          `json:"schema_version"`
+	Description   string       `json:"description"`
+	Meta          runMeta      `json:"meta"`
+	Points        []chaosPoint `json:"points"`
 	// ThroughputRatios maps intensity → events-per-sec ratio over the
 	// fault-free point: the streaming cost of the healing barriers.
 	ThroughputRatios map[string]float64 `json:"throughput_ratios"`
@@ -221,8 +224,9 @@ func runChaosSweep(w io.Writer, format string, fleetAgents int, horizonS float64
 	}
 
 	rep := chaosReport{
-		GeneratedBy: "vcbench -run chaos",
-		Meta:        meta,
+		GeneratedBy:   "vcbench -run chaos",
+		SchemaVersion: benchSchemaVersion,
+		Meta:          meta,
 		Description: "Self-healing under seeded fault injection: the same regional fleet and Poisson churn " +
 			"schedule replayed fault-free, with a light fault mix, and with a heavy one (agent failures, " +
 			"regional outages, partial capacity degradations, per-region flash crowds). Fault events act " +

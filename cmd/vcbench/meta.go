@@ -10,6 +10,13 @@ import (
 	"time"
 )
 
+// benchSchemaVersion tags every BENCH_<n>.json payload so downstream
+// consumers (cmd/vcreport) can reject shape drift loudly instead of
+// misreading renamed fields as regressions. Bump it whenever a report
+// struct changes incompatibly. Reports written before the tag existed
+// omit the field; consumers treat that as accepted legacy.
+const benchSchemaVersion = 1
+
 // runMeta is embedded under "meta" in every JSON benchmark report.
 type runMeta struct {
 	GoVersion   string            `json:"go_version"`

@@ -57,7 +57,10 @@ type shardSweepPoint struct {
 // microReport is the BENCH_<n>.json payload.
 type microReport struct {
 	GeneratedBy string `json:"generated_by"`
-	Description string `json:"description"`
+	// SchemaVersion is benchSchemaVersion at write time; vcreport refuses
+	// mismatched versions.
+	SchemaVersion int    `json:"schema_version"`
+	Description   string `json:"description"`
 	// Meta records the toolchain, host shape and flag surface of the run.
 	Meta       runMeta       `json:"meta"`
 	Benchmarks []microResult `json:"benchmarks"`
@@ -385,8 +388,9 @@ func runShardSweep(shardCounts []int, fleetAgents int, seed int64, sink *telemet
 // HopSession fleet (≥100 for the acceptance numbers; -quick shrinks it).
 func runMicro(w io.Writer, format string, fleetAgents int, seed int64, meta runMeta, sink *telemetry.Sink) error {
 	rep := microReport{
-		GeneratedBy: "vcbench -run micro",
-		Meta:        meta,
+		GeneratedBy:   "vcbench -run micro",
+		SchemaVersion: benchSchemaVersion,
+		Meta:          meta,
 		Description: "Hop-pipeline hot paths (dense reference vs sparse pipeline, and the persistent " +
 			"per-session delay cache vs the per-hop delay-base rebuild: HopSession/warm-hop runs the " +
 			"N_ngbr=1 windowed chain where each hop's BeginSession is a pure warm hit re-synchronized by " +

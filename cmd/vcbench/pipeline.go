@@ -54,7 +54,10 @@ type pipelinePoint struct {
 // pipelineReport is the BENCH_4.json payload.
 type pipelineReport struct {
 	GeneratedBy string `json:"generated_by"`
-	Description string `json:"description"`
+	// SchemaVersion is benchSchemaVersion at write time; vcreport refuses
+	// mismatched versions.
+	SchemaVersion int    `json:"schema_version"`
+	Description   string `json:"description"`
 	// Meta records the toolchain, host shape and flag surface of the run.
 	Meta runMeta `json:"meta"`
 	// HardwareParallelCeiling is the host's measured raw 2-way CPU speedup;
@@ -173,8 +176,9 @@ func runPipelineSweep(w io.Writer, format string, fleetAgents int, horizonS floa
 	}
 
 	rep := pipelineReport{
-		GeneratedBy: "vcbench -run pipeline",
-		Meta:        meta,
+		GeneratedBy:   "vcbench -run pipeline",
+		SchemaVersion: benchSchemaVersion,
+		Meta:          meta,
 		Description: "Pipelined event scheduler vs the serial per-event barrier: churn events/sec over an " +
 			"identical low-conflict workload (regional fleet, intra-region sessions, follow-the-sun " +
 			"diurnal schedule, candidate windows, per-agent ledger stripes). The serial point is the " +

@@ -1,0 +1,378 @@
+// Command vcreport analyzes the observability artifacts the other tools
+// emit: BENCH_<n>.json perf payloads (vcbench), decision-record JSONL
+// traces and causal span JSONL (vcsim -trace-out / -span-out, or the
+// /trace.jsonl and /spans.jsonl endpoints).
+//
+// Usage:
+//
+//	vcreport -a OLD.json -b NEW.json [-tol 0.10]   A/B regression verdict
+//	vcreport -trace trace.jsonl                    per-class delay p50/p99 + fairness
+//	vcreport -spans spans.jsonl                    per-phase time attribution
+//
+// Modes combine freely. The A/B comparison extracts every recognized
+// metric leaf from both files (matched by benchmark/point name), applies
+// the metric's direction — ns_per_op, ns_per_event, recovery_p50_ms,
+// recovery_p99_ms, reopt_p50_ms and reopt_p99_ms are lower-better;
+// events_per_sec is higher-better — and fails (exit 1) when any metric
+// moved the wrong way by more than -tol relative. A BENCH file carrying a
+// schema_version other than the supported one is rejected loudly; a file
+// without the field predates the tag and is accepted as legacy.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// supportedBenchSchema must match cmd/vcbench's benchSchemaVersion.
+const supportedBenchSchema = 1
+
+// metricDir maps recognized metric leaves to their direction: +1 means
+// higher is better, -1 means lower is better. Everything else in a BENCH
+// payload is context, not a comparable.
+var metricDir = map[string]int{
+	"ns_per_op":       -1,
+	"ns_per_event":    -1,
+	"recovery_p50_ms": -1,
+	"recovery_p99_ms": -1,
+	"reopt_p50_ms":    -1,
+	"reopt_p99_ms":    -1,
+	"events_per_sec":  +1,
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vcreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vcreport", flag.ContinueOnError)
+	var (
+		fileA   = fs.String("a", "", "A/B: baseline BENCH_<n>.json")
+		fileB   = fs.String("b", "", "A/B: candidate BENCH_<n>.json")
+		tol     = fs.Float64("tol", 0.10, "A/B: relative tolerance before a move counts as a regression/improvement")
+		traceIn = fs.String("trace", "", "decision-record JSONL file (vcsim -trace-out or /trace.jsonl)")
+		spansIn = fs.String("spans", "", "span JSONL file (vcsim -span-out or /spans.jsonl)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fileA == "" && *fileB == "" && *traceIn == "" && *spansIn == "" {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -a/-b, -trace, or -spans")
+	}
+	if (*fileA == "") != (*fileB == "") {
+		return fmt.Errorf("A/B comparison needs both -a and -b")
+	}
+	if *tol < 0 {
+		return fmt.Errorf("-tol %v negative", *tol)
+	}
+
+	if *spansIn != "" {
+		if err := reportSpans(w, *spansIn); err != nil {
+			return err
+		}
+	}
+	if *traceIn != "" {
+		if err := reportTrace(w, *traceIn); err != nil {
+			return err
+		}
+	}
+	if *fileA != "" {
+		regressions, err := reportAB(w, *fileA, *fileB, *tol)
+		if err != nil {
+			return err
+		}
+		if regressions > 0 {
+			return fmt.Errorf("%d metric(s) regressed beyond ±%.0f%%", regressions, *tol*100)
+		}
+	}
+	return nil
+}
+
+// ---- A/B regression verdict ----------------------------------------------
+
+// loadBench flattens one BENCH payload into name→value metric leaves,
+// validating the schema tag first. Array entries ("benchmarks",
+// "shard_sweep", "points") are keyed by their "name" field so reordering
+// between runs cannot misalign the comparison.
+func loadBench(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if v, ok := doc["schema_version"]; ok {
+		ver, isNum := v.(float64)
+		if !isNum || ver != supportedBenchSchema {
+			return nil, fmt.Errorf("%s: schema_version %v unsupported (this vcreport reads version %d); regenerate the report with a matching vcbench",
+				path, v, supportedBenchSchema)
+		}
+	} // absent: legacy payload from before the tag, accepted
+	metrics := map[string]float64{}
+	for _, section := range []string{"benchmarks", "shard_sweep", "points"} {
+		arr, ok := doc[section].([]interface{})
+		if !ok {
+			continue
+		}
+		for i, entry := range arr {
+			m, ok := entry.(map[string]interface{})
+			if !ok {
+				continue
+			}
+			key, _ := m["name"].(string)
+			if key == "" {
+				key = fmt.Sprintf("#%d", i)
+			}
+			for leaf, val := range m {
+				if _, comparable := metricDir[leaf]; !comparable {
+					continue
+				}
+				if f, isNum := val.(float64); isNum {
+					metrics[section+"/"+key+"/"+leaf] = f
+				}
+			}
+		}
+	}
+	if len(metrics) == 0 {
+		return nil, fmt.Errorf("%s: no recognized metric leaves; not a vcbench payload?", path)
+	}
+	return metrics, nil
+}
+
+// reportAB compares every metric present in both files and returns the
+// regression count.
+func reportAB(w io.Writer, pathA, pathB string, tol float64) (int, error) {
+	a, err := loadBench(pathA)
+	if err != nil {
+		return 0, err
+	}
+	b, err := loadBench(pathB)
+	if err != nil {
+		return 0, err
+	}
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		if _, ok := b[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return 0, fmt.Errorf("no shared metrics between %s and %s", pathA, pathB)
+	}
+
+	fmt.Fprintf(w, "A/B: %s → %s (tolerance ±%.0f%%)\n", pathA, pathB, tol*100)
+	regressions, improvements := 0, 0
+	for _, k := range keys {
+		va, vb := a[k], b[k]
+		dir := metricDir[leafOf(k)]
+		var rel float64
+		switch {
+		case va == vb:
+			rel = 0
+		case va == 0:
+			// Zero baseline (e.g. recovery percentiles of a fault-free
+			// point): any movement is reported but never judged — a relative
+			// tolerance has no meaning against 0.
+			fmt.Fprintf(w, "  note     %-55s %12.4g → %-12.4g (zero baseline, not judged)\n", k, va, vb)
+			continue
+		default:
+			rel = (vb - va) / va
+		}
+		worse := rel * float64(dir) // negative when b moved the wrong way
+		switch {
+		case worse < -tol:
+			regressions++
+			fmt.Fprintf(w, "  REGRESS  %-55s %12.4g → %-12.4g (%+.1f%%)\n", k, va, vb, rel*100)
+		case worse > tol:
+			improvements++
+			fmt.Fprintf(w, "  improve  %-55s %12.4g → %-12.4g (%+.1f%%)\n", k, va, vb, rel*100)
+		}
+	}
+	verdict := "PASS"
+	if regressions > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "verdict: %s — %d metrics compared, %d regressions, %d improvements\n",
+		verdict, len(keys), regressions, improvements)
+	return regressions, nil
+}
+
+func leafOf(key string) string { return key[strings.LastIndex(key, "/")+1:] }
+
+// ---- per-class delay + fairness from a decision trace --------------------
+
+// traceRecord is the subset of telemetry.DecisionRecord vcreport reads.
+type traceRecord struct {
+	Kind     string  `json:"kind"`
+	Session  int     `json:"session"`
+	Admitted bool    `json:"admitted"`
+	Class    string  `json:"class"`
+	DelayMS  float64 `json:"delay_ms"`
+}
+
+func reportTrace(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	byClass := map[string][]float64{}
+	records := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec traceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return fmt.Errorf("%s:%d: %w", path, records+1, err)
+		}
+		records++
+		if rec.DelayMS <= 0 {
+			continue
+		}
+		class := rec.Class
+		if class == "" {
+			class = "default"
+		}
+		byClass[class] = append(byClass[class], rec.DelayMS)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(byClass) == 0 {
+		fmt.Fprintf(w, "trace: %d records, none carrying a session delay\n", records)
+		return nil
+	}
+
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Fprintf(w, "trace: %d records, session delay by SLO class\n", records)
+	var means []float64
+	for _, c := range classes {
+		d := byClass[c]
+		sort.Float64s(d)
+		mean := 0.0
+		for _, v := range d {
+			mean += v
+		}
+		mean /= float64(len(d))
+		means = append(means, mean)
+		fmt.Fprintf(w, "  %-12s n=%-5d mean=%8.2fms p50=%8.2fms p99=%8.2fms\n",
+			c, len(d), mean, quantile(d, 0.50), quantile(d, 0.99))
+	}
+	fmt.Fprintf(w, "  fairness (Jain over class means): %.4f\n", jain(means))
+	return nil
+}
+
+// quantile reads q from an ascending-sorted slice (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// jain is the fairness index (Σx)²/(n·Σx²) ∈ (0, 1].
+func jain(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if len(xs) == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// ---- per-phase attribution from spans ------------------------------------
+
+// spanRecord is the subset of telemetry.SpanRecord vcreport reads.
+type spanRecord struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent"`
+	Name   string `json:"name"`
+	Cat    string `json:"cat"`
+	DurNs  int64  `json:"dur_ns"`
+}
+
+func reportSpans(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	type agg struct {
+		count int
+		total int64
+	}
+	byName := map[string]*agg{}
+	var names []string
+	spans := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec spanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return fmt.Errorf("%s:%d: %w", path, spans+1, err)
+		}
+		spans++
+		a := byName[rec.Name]
+		if a == nil {
+			a = &agg{}
+			byName[rec.Name] = a
+			names = append(names, rec.Name)
+		}
+		a.count++
+		a.total += rec.DurNs
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if spans == 0 {
+		return fmt.Errorf("%s: no spans", path)
+	}
+	// Heaviest first. Parents contain their children, so this is
+	// attribution per span family, not a partition of wall time.
+	sort.Slice(names, func(i, j int) bool { return byName[names[i]].total > byName[names[j]].total })
+	fmt.Fprintf(w, "spans: %d records, time attribution by phase\n", spans)
+	for _, n := range names {
+		a := byName[n]
+		fmt.Fprintf(w, "  %-16s n=%-6d total=%12s mean=%10s\n",
+			n, a.count, time.Duration(a.total).Round(time.Microsecond),
+			(time.Duration(a.total) / time.Duration(a.count)).Round(time.Microsecond))
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const benchA = `{
+  "generated_by": "vcbench -run chaos",
+  "schema_version": 1,
+  "points": [
+    {"name": "ChaosRecovery/none", "events_per_sec": 500, "reopt_p50_ms": 2.0, "reopt_p99_ms": 8.0, "recovery_p50_ms": 0, "recovery_p99_ms": 0},
+    {"name": "ChaosRecovery/heavy", "events_per_sec": 300, "reopt_p50_ms": 3.0, "reopt_p99_ms": 12.0, "recovery_p50_ms": 5.0, "recovery_p99_ms": 20.0}
+  ]
+}`
+
+func TestSelfCompareIsClean(t *testing.T) {
+	dir := t.TempDir()
+	p := write(t, dir, "a.json", benchA)
+	var sb strings.Builder
+	if err := run([]string{"-a", p, "-b", p}, &sb); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "verdict: PASS") || !strings.Contains(sb.String(), "0 regressions") {
+		t.Fatalf("unexpected verdict:\n%s", sb.String())
+	}
+}
+
+func TestRegressionDetectedAndJudgedByDirection(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", benchA)
+	// Candidate: heavy point throughput down 40% (regression), p50 down
+	// 33% (improvement, lower-better), recovery p99 up 50% (regression).
+	b := write(t, dir, "b.json", strings.NewReplacer(
+		`"events_per_sec": 300`, `"events_per_sec": 180`,
+		`"reopt_p50_ms": 3.0`, `"reopt_p50_ms": 2.0`,
+		`"recovery_p99_ms": 20.0`, `"recovery_p99_ms": 30.0`,
+	).Replace(benchA))
+	var sb strings.Builder
+	err := run([]string{"-a", a, "-b", b, "-tol", "0.10"}, &sb)
+	if err == nil {
+		t.Fatalf("regressions not surfaced as an error:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "verdict: FAIL") || !strings.Contains(out, "2 regressions") || !strings.Contains(out, "1 improvements") {
+		t.Fatalf("unexpected verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESS  points/ChaosRecovery/heavy/events_per_sec") {
+		t.Fatalf("throughput regression not flagged:\n%s", out)
+	}
+
+	// The same files inside a generous tolerance pass.
+	sb.Reset()
+	if err := run([]string{"-a", a, "-b", b, "-tol", "0.60"}, &sb); err != nil {
+		t.Fatalf("within-tolerance comparison failed: %v\n%s", err, sb.String())
+	}
+}
+
+func TestZeroBaselineIsNotedNotJudged(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", benchA)
+	b := write(t, dir, "b.json", strings.Replace(benchA, `"recovery_p50_ms": 0,`, `"recovery_p50_ms": 1.0,`, 1))
+	var sb strings.Builder
+	if err := run([]string{"-a", a, "-b", b}, &sb); err != nil {
+		t.Fatalf("zero-baseline movement judged as regression: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "zero baseline") {
+		t.Fatalf("zero-baseline movement not noted:\n%s", sb.String())
+	}
+}
+
+func TestSchemaVersionValidation(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "good.json", benchA)
+
+	// Mismatched version: rejected loudly.
+	bad := write(t, dir, "bad.json", strings.Replace(benchA, `"schema_version": 1`, `"schema_version": 2`, 1))
+	var sb strings.Builder
+	err := run([]string{"-a", good, "-b", bad}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("schema mismatch not rejected: %v", err)
+	}
+
+	// Non-numeric version: rejected too.
+	junk := write(t, dir, "junk.json", strings.Replace(benchA, `"schema_version": 1`, `"schema_version": "v1"`, 1))
+	if err := run([]string{"-a", good, "-b", junk}, &sb); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("non-numeric schema not rejected: %v", err)
+	}
+
+	// Absent version: accepted legacy.
+	legacy := write(t, dir, "legacy.json", strings.Replace(benchA, `  "schema_version": 1,`+"\n", "", 1))
+	sb.Reset()
+	if err := run([]string{"-a", legacy, "-b", legacy}, &sb); err != nil {
+		t.Fatalf("legacy payload rejected: %v", err)
+	}
+}
+
+func TestCommittedBaselineSelfCompare(t *testing.T) {
+	// The repo's committed BENCH_7.json (a legacy payload without the
+	// schema tag) must self-compare clean — the CI smoke contract.
+	p := filepath.Join("..", "..", "BENCH_7.json")
+	if _, err := os.Stat(p); err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-a", p, "-b", p}, &sb); err != nil {
+		t.Fatalf("BENCH_7.json self-comparison failed: %v\n%s", err, sb.String())
+	}
+}
+
+func TestTraceAndSpanReports(t *testing.T) {
+	dir := t.TempDir()
+	trace := write(t, dir, "trace.jsonl", strings.Join([]string{
+		`{"kind":"arrive","session":0,"admitted":true,"class":"interactive","delay_ms":40}`,
+		`{"kind":"arrive","session":1,"admitted":true,"class":"interactive","delay_ms":60}`,
+		`{"kind":"arrive","session":2,"admitted":true,"class":"broadcast","delay_ms":50}`,
+		`{"kind":"depart","session":0,"admitted":true}`,
+	}, "\n"))
+	spans := write(t, dir, "spans.jsonl", strings.Join([]string{
+		`{"seq":0,"id":1,"name":"event:arrive","cat":"event","track":0,"start_ns":100,"dur_ns":5000}`,
+		`{"seq":1,"id":2,"parent":1,"name":"task","cat":"task","track":100,"start_ns":200,"dur_ns":4000}`,
+		`{"seq":2,"id":3,"parent":2,"name":"walk","cat":"task","track":100,"start_ns":200,"dur_ns":3000}`,
+	}, "\n"))
+
+	var sb strings.Builder
+	if err := run([]string{"-trace", trace, "-spans", spans}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"interactive", "broadcast", "fairness (Jain over class means):",
+		"p50=   40.00ms", // interactive p50 (nearest-rank of [40, 60])
+		"event:arrive", "walk",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Fairness of means {50, 50} is exactly 1.
+	if !strings.Contains(out, "fairness (Jain over class means): 1.0000") {
+		t.Fatalf("fairness != 1 for equal class means:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+	if err := run([]string{"-a", "x.json"}, &sb); err == nil {
+		t.Fatal("-a without -b accepted")
+	}
+	if err := run([]string{"-a", "x.json", "-b", "y.json", "-tol", "-1"}, &sb); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}

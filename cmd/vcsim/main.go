@@ -61,6 +61,7 @@ func run(args []string, w io.Writer) error {
 
 		listen   = fs.String("listen", "", "churn: serve /metrics, /trace.jsonl and pprof on this address (e.g. 127.0.0.1:9464)")
 		traceOut = fs.String("trace-out", "", "churn: write the per-decision trace as JSONL to this file")
+		spanOut  = fs.String("span-out", "", "churn: write the finished causal spans as JSONL to this file")
 		linger   = fs.Float64("linger", 0, "churn: keep the -listen endpoint up this many wall seconds after the run")
 
 		chaos      = fs.Bool("chaos", false, "chaos mode: regional fleet churn with seeded fault injection (agent failures, regional outages, degradations, flash crowds)")
@@ -144,6 +145,7 @@ func run(args []string, w io.Writer) error {
 			initName:    *initName,
 			listen:      *listen,
 			traceOut:    *traceOut,
+			spanOut:     *spanOut,
 			linger:      *linger,
 			chaos:       *chaos,
 			agentRegion: agentRegion,
@@ -245,6 +247,30 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
+// printHealBreakdown attributes healing wall time phase by phase from the
+// span ring: degrade (scale application), evict (teardown), re-home
+// (re-bootstrap) and re-balance (post-recovery reopt selection), printed
+// as per-incident means next to the TTR percentiles so a slow recovery
+// points at its slow phase.
+func printHealBreakdown(w io.Writer, sink *telemetry.Sink, incidents int) {
+	if sink == nil || incidents == 0 {
+		return
+	}
+	sums := map[string]time.Duration{}
+	for _, sp := range sink.Spans().Spans() {
+		switch sp.Name {
+		case "heal", "degrade", "evict", "re-home", "re-balance":
+			sums[sp.Name] += time.Duration(sp.DurNs)
+		}
+	}
+	per := func(name string) time.Duration {
+		return (sums[name] / time.Duration(incidents)).Round(time.Microsecond)
+	}
+	fmt.Fprintf(w, "heal phases (mean/incident): total %s = degrade %s + evict %s + re-home %s; re-balance %s across recoveries\n",
+		per("heal"), per("degrade"), per("evict"), per("re-home"),
+		sums["re-balance"].Round(time.Microsecond))
+}
+
 // churnOpts bundles the -churn mode knobs (the flag surface of runChurn).
 type churnOpts struct {
 	params    cost.Params
@@ -260,6 +286,7 @@ type churnOpts struct {
 	initName  string
 	listen    string
 	traceOut  string
+	spanOut   string
 	linger    float64
 	// chaos mode: events is the pre-merged churn+fault schedule (nil falls
 	// back to plain Poisson churn), agentRegion maps agent → region for the
@@ -291,9 +318,11 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 	}
 
 	// The sink stays nil unless asked for: a nil *telemetry.Sink is the
-	// zero-overhead disabled state on every orchestrator hot path.
+	// zero-overhead disabled state on every orchestrator hot path. Chaos
+	// mode always builds one — the heal-phase breakdown reads the span
+	// ring.
 	var sink *telemetry.Sink
-	if opts.listen != "" || opts.traceOut != "" {
+	if opts.listen != "" || opts.traceOut != "" || opts.spanOut != "" || opts.chaos {
 		workers := opts.shards
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
@@ -302,6 +331,9 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 			Workers:       workers,
 			TraceCapacity: len(events) + 8,
 			SessionRegion: opts.homes,
+			SpanCapacity:  16 * (len(events) + 8),
+			Classes:       workload.SLOClassNames,
+			SessionClass:  workload.SessionClasses(sc, 0),
 		})
 	}
 	if opts.listen != "" {
@@ -310,7 +342,7 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(w, "telemetry: serving /metrics, /trace.jsonl, /debug/pprof on http://%s\n", srv.Addr())
+		fmt.Fprintf(w, "telemetry: serving /metrics, /trace.jsonl, /spans.jsonl, /trace.chrome.json, /debug/pprof on http://%s\n", srv.Addr())
 	}
 
 	ocfg := orchestrator.DefaultConfig(opts.seed)
@@ -409,6 +441,7 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 			st.Incidents, st.Orphans, st.Evacuated, st.EvacRejects,
 			st.RecoverP50.Round(10*time.Microsecond), st.RecoverP99.Round(10*time.Microsecond),
 			st.DegradedRejects)
+		printHealBreakdown(w, sink, st.Incidents)
 	}
 
 	active := orc.ActiveSessions()
@@ -456,6 +489,20 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 			return fmt.Errorf("trace-out: %w", werr)
 		}
 		fmt.Fprintf(w, "trace: wrote %d decision records to %s\n", sink.Recorder().Len(), opts.traceOut)
+	}
+	if opts.spanOut != "" {
+		f, err := os.Create(opts.spanOut)
+		if err != nil {
+			return fmt.Errorf("span-out: %w", err)
+		}
+		werr := sink.Spans().WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("span-out: %w", werr)
+		}
+		fmt.Fprintf(w, "spans: wrote %d span records to %s\n", sink.Spans().Len(), opts.spanOut)
 	}
 	if opts.listen != "" && opts.linger > 0 {
 		// Keep the endpoint alive so an external scraper (e.g. the CI smoke

@@ -37,6 +37,18 @@ import (
 	"vconf/internal/core"
 	"vconf/internal/cost"
 	"vconf/internal/model"
+	"vconf/internal/telemetry"
+)
+
+// Span track lanes for the dist protocol, in the shared telemetry lane
+// plan (orchestrator owns 0..199): server freezes serialize on one lane
+// (the freeze lock admits one at a time), client exchanges spread over a
+// small block keyed by session so concurrent runners don't visually
+// overlap.
+const (
+	distServerLane     = 200
+	distClientLaneBase = 240
+	distClientLanes    = 32
 )
 
 // Frame type tags.
@@ -123,6 +135,11 @@ type Config struct {
 	// frame before the coordinator drops the connection and releases the
 	// lock. Defaults to DefaultFreezeHold.
 	FreezeHold time.Duration
+	// Telemetry receives the protocol metric families
+	// (vconf_dist_freeze_ns, vconf_dist_abandons_total,
+	// vconf_dist_retries_total) and per-phase server spans. Nil disables
+	// instrumentation entirely.
+	Telemetry *telemetry.Sink
 }
 
 func (cfg Config) withDefaults() Config {
@@ -138,6 +155,7 @@ type Coordinator struct {
 	ev  *cost.Evaluator
 	ln  net.Listener
 	cfg Config
+	tel *telemetry.Sink
 
 	mu     sync.Mutex // the FREEZE lock, held from GRANTED to COMMITTED
 	a      *assign.Assignment
@@ -184,6 +202,7 @@ func NewCoordinatorConfig(ev *cost.Evaluator, a *assign.Assignment, addr string,
 		ev:     ev,
 		ln:     ln,
 		cfg:    cfg.withDefaults(),
+		tel:    cfg.Telemetry,
 		a:      a.Clone(),
 		ledger: ledger,
 		closed: make(chan struct{}),
@@ -288,10 +307,19 @@ func (c *Coordinator) serve(conn net.Conn) {
 }
 
 // handleFreeze runs one GRANTED→COMMIT exchange under the freeze lock.
+// The freeze-hold histogram spans lock acquisition to release — the window
+// during which the whole fleet is frozen for this one session.
 func (c *Coordinator) handleFreeze(conn net.Conn, dec *json.Decoder, enc *json.Encoder, session int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	held := time.Now()
+	srv := c.tel.StartRoot("dist:freeze", "dist", distServerLane)
+	defer func() {
+		c.tel.DistFreeze(time.Since(held).Nanoseconds())
+		srv.EndArg(int64(session))
+	}()
 
+	grant := c.tel.StartSpan("grant", srv)
 	sc := c.ev.Scenario()
 	granted := frame{Type: frameGranted, Session: session}
 	granted.Users = make([]int, sc.NumUsers())
@@ -307,8 +335,10 @@ func (c *Coordinator) handleFreeze(conn net.Conn, dec *json.Decoder, enc *json.E
 	if err := enc.Encode(granted); err != nil {
 		return err
 	}
+	grant.End()
 
 	// The freeze is now held: bound the wait for the commit frame.
+	wait := c.tel.StartSpan("await-commit", srv)
 	conn.SetReadDeadline(time.Now().Add(c.cfg.FreezeHold))
 	var com frame
 	if err := dec.Decode(&com); err != nil {
@@ -318,8 +348,12 @@ func (c *Coordinator) handleFreeze(conn net.Conn, dec *json.Decoder, enc *json.E
 		// the authoritative assignment never changed, so no rollback is
 		// needed, but the half-open exchange is recorded for operators.
 		c.bump(&c.abandons)
+		c.tel.DistAbandon()
 		return &PeerError{Phase: "commit", Session: session, Err: err}
 	}
+	wait.End()
+	commit := c.tel.StartSpan("commit", srv)
+	defer commit.End()
 	if com.Type != frameCommit {
 		enc.Encode(frame{Type: frameError, Err: fmt.Sprintf("expected %s, got %s", frameCommit, com.Type)})
 		return errors.New("dist: protocol violation")
@@ -398,6 +432,22 @@ type Runner struct {
 	// Default 5ms base, 250ms cap.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// Telemetry receives client-side per-phase spans and the retry
+	// counter; nil disables instrumentation. ParentSpan, when active,
+	// parents each exchange span (e.g. under an orchestrator heal span)
+	// so distributed hops show up inside the triggering incident's flame;
+	// otherwise exchanges root on a per-session client lane.
+	Telemetry  *telemetry.Sink
+	ParentSpan telemetry.Span
+}
+
+// clientSpan starts one exchange-scoped span, parented to ParentSpan when
+// the caller threaded one in, rooted on the session's client lane when not.
+func (r *Runner) clientSpan(name string) telemetry.Span {
+	if r.ParentSpan.Active() {
+		return r.Telemetry.StartSpan(name, r.ParentSpan)
+	}
+	return r.Telemetry.StartRoot(name, "dist", distClientLaneBase+int32(int(r.s)%distClientLanes))
 }
 
 // NewRunner builds the runner for one session.
@@ -477,11 +527,13 @@ func (r *Runner) Run(ctx context.Context, addr string, maxHops int) (int, error)
 		done := false
 		for att := 0; att < attempts; att++ {
 			if att > 0 {
+				r.Telemetry.DistRetry()
 				if err := r.backoff(ctx, rng, att); err != nil {
 					return hops, nil
 				}
 			}
 			if conn == nil {
+				dsp := r.clientSpan("dist:dial")
 				if err := dial(); err != nil {
 					if ctx.Err() != nil {
 						return hops, nil
@@ -489,6 +541,7 @@ func (r *Runner) Run(ctx context.Context, addr string, maxHops int) (int, error)
 					lastErr = err
 					continue
 				}
+				dsp.End()
 			}
 			retry, err := r.exchange(dec, enc, rng)
 			if err == nil {
@@ -515,7 +568,11 @@ func (r *Runner) Run(ctx context.Context, addr string, maxHops int) (int, error)
 // exchange runs one full FREEZE→GRANTED→COMMIT→ack round-trip on the live
 // connection. The bool classifies a failure as a retryable network fault
 // (peer death) versus a fatal protocol violation.
+// Failed exchanges abandon their spans un-Ended (never recorded); the
+// retry counter carries that signal instead.
 func (r *Runner) exchange(dec *json.Decoder, enc *json.Encoder, rng *rand.Rand) (retry bool, err error) {
+	ex := r.clientSpan("dist:exchange")
+	freeze := r.Telemetry.StartSpan("freeze", ex)
 	if err := enc.Encode(frame{Type: frameFreeze, Session: int(r.s)}); err != nil {
 		return true, &PeerError{Phase: "freeze", Session: int(r.s), Err: err}
 	}
@@ -526,9 +583,11 @@ func (r *Runner) exchange(dec *json.Decoder, enc *json.Encoder, rng *rand.Rand) 
 	if granted.Type != frameGranted {
 		return false, fmt.Errorf("dist: expected %s, got %s (%s)", frameGranted, granted.Type, granted.Err)
 	}
+	freeze.End()
 
 	// HOP: rebuild the granted snapshot locally and run the shared hop
 	// logic against it.
+	hop := r.Telemetry.StartSpan("hop", ex)
 	a, ledger, err := r.restore(granted)
 	if err != nil {
 		return false, err
@@ -537,6 +596,8 @@ func (r *Runner) exchange(dec *json.Decoder, enc *json.Encoder, rng *rand.Rand) 
 	if err != nil {
 		return false, fmt.Errorf("dist: hop session %d: %w", r.s, err)
 	}
+	hop.End()
+	commit := r.Telemetry.StartSpan("commit", ex)
 	com := frame{Type: frameCommit, Session: int(r.s), Moved: res.Moved}
 	if res.Moved {
 		com.Decision = toWire(res.Decision)
@@ -550,6 +611,12 @@ func (r *Runner) exchange(dec *json.Decoder, enc *json.Encoder, rng *rand.Rand) 
 	}
 	switch ack.Type {
 	case frameCommitted, frameReject:
+		commit.End()
+		moved := int64(0)
+		if res.Moved {
+			moved = 1
+		}
+		ex.EndArg(moved)
 		return false, nil
 	default:
 		return false, fmt.Errorf("dist: unexpected ack %s (%s)", ack.Type, ack.Err)

@@ -41,6 +41,7 @@ import (
 	"vconf/internal/assign"
 	"vconf/internal/baseline"
 	"vconf/internal/model"
+	"vconf/internal/telemetry"
 	"vconf/internal/workload"
 )
 
@@ -67,8 +68,11 @@ func (o *Orchestrator) handleFault(e workload.Event) (EventReport, error) {
 	if o.tel != nil {
 		tally = &eventTally{chosenAgent: -1}
 	}
+	// Faults always run serially (the pipelined path drains first), so the
+	// event span shares the control lane and heal/task spans nest under it.
+	esp := o.tel.StartRoot(eventSpanName(e.Kind), "event", laneControl)
 	start := time.Now()
-	res, err := o.applyFault(e)
+	res, err := o.applyFault(e, esp)
 	if err != nil {
 		return rep, err
 	}
@@ -78,7 +82,7 @@ func (o *Orchestrator) handleFault(e workload.Event) (EventReport, error) {
 	rep.Reopt = res.reopt
 	if len(res.reopt) > 0 {
 		before := o.snapshotStats()
-		rep.Latency = o.dispatch(res.reopt, tally)
+		rep.Latency = o.dispatch(res.reopt, tally, esp)
 		after := o.snapshotStats()
 		rep.Commits = after.Commits - before.Commits
 		rep.Rejects = after.Rejects - before.Rejects
@@ -104,6 +108,7 @@ func (o *Orchestrator) handleFault(e workload.Event) (EventReport, error) {
 	rep.ActiveSessions = o.cache.NumActive()
 	o.mu.Unlock()
 	o.eventIdx++
+	esp.EndArg(int64(res.orphans))
 	o.emitRecord(&rep, tally, false)
 	if res.incident {
 		o.tel.Incident(ttr.Nanoseconds())
@@ -142,8 +147,9 @@ func (o *Orchestrator) validateFault(e workload.Event) error {
 
 // applyFault mutates the fault state and heals, under the state lock.
 // Repeated failures of an already-failed target (overlapping renewal
-// processes) are idempotent no-ops.
-func (o *Orchestrator) applyFault(e workload.Event) (faultResult, error) {
+// processes) are idempotent no-ops. esp is the fault event's span; heal and
+// re-balance spans nest under it.
+func (o *Orchestrator) applyFault(e workload.Event, esp telemetry.Span) (faultResult, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.advanceClock(e.TimeS)
@@ -154,25 +160,25 @@ func (o *Orchestrator) applyFault(e workload.Event) (faultResult, error) {
 			return res, nil
 		}
 		o.failed[e.Agent] = true
-		return o.degradeLocked([]int{e.Agent})
+		return o.degradeLocked([]int{e.Agent}, esp)
 	case workload.EventAgentRecover:
 		if !o.failed[e.Agent] {
 			return res, nil
 		}
 		o.failed[e.Agent] = false
-		return o.recoverLocked([]int{e.Agent})
+		return o.recoverLocked([]int{e.Agent}, esp)
 	case workload.EventRegionOutage:
 		if o.regionOut[e.Region] {
 			return res, nil
 		}
 		o.regionOut[e.Region] = true
-		return o.degradeLocked(o.regionAgents(e.Region))
+		return o.degradeLocked(o.regionAgents(e.Region), esp)
 	case workload.EventRegionRecover:
 		if !o.regionOut[e.Region] {
 			return res, nil
 		}
 		o.regionOut[e.Region] = false
-		return o.recoverLocked(o.regionAgents(e.Region))
+		return o.recoverLocked(o.regionAgents(e.Region), esp)
 	case workload.EventCapacityDegrade:
 		old := o.baseScale[e.Agent]
 		if e.Scale == old {
@@ -186,9 +192,9 @@ func (o *Orchestrator) applyFault(e workload.Event) (faultResult, error) {
 			return res, nil
 		}
 		if e.Scale < old {
-			return o.degradeLocked([]int{e.Agent})
+			return o.degradeLocked([]int{e.Agent}, esp)
 		}
-		return o.recoverLocked([]int{e.Agent})
+		return o.recoverLocked([]int{e.Agent}, esp)
 	case workload.EventFlashCrowd:
 		return res, nil
 	}
@@ -243,20 +249,26 @@ func (o *Orchestrator) recomputeImpairedLocked() {
 
 // degradeLocked applies the (reduced) effective scales of the given agents,
 // evacuates until the surviving capacities hold, and re-homes the orphans.
-// Caller holds o.mu.
-func (o *Orchestrator) degradeLocked(agents []int) (faultResult, error) {
+// Caller holds o.mu. The heal span is Ended only on the success return, so
+// recorded "heal" spans reconcile exactly with Stats.Incidents (error paths
+// abort the run anyway, and idempotent no-ops never reach this function).
+func (o *Orchestrator) degradeLocked(agents []int, esp telemetry.Span) (faultResult, error) {
 	res := faultResult{incident: true}
+	heal := o.tel.StartSpan("heal", esp)
+	deg := o.tel.StartSpan("degrade", heal)
 	for _, a := range agents {
 		if err := o.applyScaleLocked(a); err != nil {
 			return res, err
 		}
 	}
 	o.recomputeImpairedLocked()
+	deg.EndArg(int64(len(agents)))
 
 	// Evacuation loop: evict the lowest-ID session overlapping a violating
 	// agent, recompute, repeat. Whole sessions move (Φ_s and the delay caps
 	// are session-scoped), and the ascending scan keeps replay
 	// deterministic.
+	evict := o.tel.StartSpan("evict", heal)
 	var orphans []model.SessionID
 	mark := make([]bool, o.sc.NumAgents())
 	for {
@@ -289,12 +301,15 @@ func (o *Orchestrator) degradeLocked(agents []int) (faultResult, error) {
 		}
 	}
 	res.orphans = len(orphans)
+	evict.EndArg(int64(res.orphans))
 
 	// Re-home ascending through the normal bootstrap. Rejects are counted
 	// degradation, not errors.
+	rehome := o.tel.StartSpan("re-home", heal)
 	var rehomed []model.SessionID
 	for _, s := range orphans {
 		start := time.Now()
+		evac := o.tel.StartSpan("evacuate", rehome)
 		ok, err := o.rehomeLocked(s)
 		if err != nil {
 			return res, err
@@ -305,19 +320,24 @@ func (o *Orchestrator) degradeLocked(agents []int) (faultResult, error) {
 		} else {
 			res.evacRejects++
 		}
+		evac.EndArg(int64(s))
 		o.tel.Evacuation(o.tel.RegionOf(int(s)), ok, time.Since(start).Nanoseconds())
 	}
+	rehome.EndArg(int64(res.evacuated))
 	o.stats.Orphans += res.orphans
 	o.stats.Evacuated += res.evacuated
 	o.stats.EvacRejects += res.evacRejects
 	res.reopt = o.capReopt(model.SessionID(-1), rehomed)
+	heal.EndArg(int64(res.orphans))
 	return res, nil
 }
 
 // recoverLocked restores the given agents' effective scales and selects the
-// re-balance set. Caller holds o.mu.
-func (o *Orchestrator) recoverLocked(agents []int) (faultResult, error) {
+// re-balance set. Caller holds o.mu. Recoveries are not incidents, so the
+// span is "re-balance" parented to the event, not a "heal".
+func (o *Orchestrator) recoverLocked(agents []int, esp telemetry.Span) (faultResult, error) {
 	var res faultResult
+	reb := o.tel.StartSpan("re-balance", esp)
 	for _, a := range agents {
 		if err := o.applyScaleLocked(a); err != nil {
 			return res, err
@@ -325,6 +345,7 @@ func (o *Orchestrator) recoverLocked(agents []int) (faultResult, error) {
 	}
 	o.recomputeImpairedLocked()
 	res.reopt = o.rebalanceLocked(agents)
+	reb.EndArg(int64(len(res.reopt)))
 	return res, nil
 }
 

@@ -464,6 +464,9 @@ func (o *Orchestrator) HandleEvent(e workload.Event) (EventReport, error) {
 	}
 	s := model.SessionID(e.Session)
 	rep := EventReport{Event: e, Admitted: true}
+	// The serial path is one event at a time, so the whole control plane
+	// shares the single control lane and spans nest by time containment.
+	esp := o.tel.StartRoot(eventSpanName(e.Kind), "event", laneControl)
 
 	var reopt []model.SessionID
 	switch e.Kind {
@@ -492,7 +495,7 @@ func (o *Orchestrator) HandleEvent(e workload.Event) (EventReport, error) {
 	}
 	if len(reopt) > 0 {
 		before := o.snapshotStats()
-		rep.Latency = o.dispatch(reopt, tally)
+		rep.Latency = o.dispatch(reopt, tally, esp)
 		after := o.snapshotStats()
 		rep.Commits = after.Commits - before.Commits
 		rep.Rejects = after.Rejects - before.Rejects
@@ -510,12 +513,54 @@ func (o *Orchestrator) HandleEvent(e workload.Event) (EventReport, error) {
 	rep.Objective = o.cache.TotalObjective(o.a)
 	rep.ActiveSessions = o.cache.NumActive()
 	o.mu.Unlock()
+	o.observeDelay(tally, e, rep.Admitted)
 	o.eventIdx++
+	esp.EndArg(int64(e.Session))
 	o.emitRecord(&rep, tally, false)
 	if err := o.takeRefErr(); err != nil {
 		return rep, err
 	}
 	return rep, nil
+}
+
+// Trace-lane layout for the span export (see telemetry.StartRoot): spans on
+// one lane nest by time containment, so each serially-consistent execution
+// context gets its own lane.
+const (
+	// laneControl carries the serial event path and all fault healing
+	// (heals always run with the pipeline drained).
+	laneControl = 0
+	// pipelineLanes rotates in-flight pipelined events across lanes
+	// 1..pipelineLanes.
+	pipelineLanes = 61
+	// taskLaneBase + worker ID carries that worker's task spans.
+	taskLaneBase = 100
+)
+
+// eventSpanName maps an event kind to its span name (static strings: span
+// starts stay allocation-free).
+func eventSpanName(k workload.EventKind) string {
+	switch k {
+	case workload.EventArrival:
+		return "event:arrive"
+	case workload.EventDeparture:
+		return "event:depart"
+	default:
+		return "event:" + k.String()
+	}
+}
+
+// observeDelay fills the tally's post-decision session delay for admitted
+// arrivals — the per-class SLO reading. Pure observation (enabled-telemetry
+// runs read, never write, extra state), so nil-vs-enabled runs stay
+// bit-identical. Callers must still own the trigger session's variables:
+// the serial path is quiesced here; the pipelined path calls this at the
+// end of its reopt stage, before the scheduler releases the footprint.
+func (o *Orchestrator) observeDelay(tally *eventTally, e workload.Event, admitted bool) {
+	if o.tel == nil || tally == nil || e.Kind != workload.EventArrival || !admitted {
+		return
+	}
+	tally.delayMS = cost.SessionDelaysOf(o.a, model.SessionID(e.Session)).MeanOfMaxMS
 }
 
 // emitRecord publishes one event's decision record to the telemetry sink
@@ -559,6 +604,7 @@ func (o *Orchestrator) emitRecord(rep *EventReport, tally *eventTally, stalled b
 		rec.CacheInvalidated = rep.Orphans
 	}
 	if tally != nil {
+		rec.DelayMS = tally.delayMS
 		rec.SnapshotNs = tally.snapshotNs
 		rec.WalkNs = tally.walkNs
 		rec.CommitNs = tally.commitNs

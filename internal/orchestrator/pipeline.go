@@ -45,6 +45,7 @@ import (
 	"vconf/internal/model"
 	"vconf/internal/pipeline"
 	"vconf/internal/shard"
+	"vconf/internal/telemetry"
 	"vconf/internal/workload"
 )
 
@@ -65,6 +66,9 @@ type eventState struct {
 	// dispatcher before the retire channel closes), so HandleEvent can tell
 	// "this event never happened" from errors surfaced by other machinery.
 	admitErr error
+	// span traces the event from submission to retirement; task spans nest
+	// under it (zero when telemetry is off).
+	span telemetry.Span
 	// sink, when non-nil, receives the finished report at retire (Run's
 	// in-order collection; retires are serialized by the scheduler).
 	sink *[]EventReport
@@ -88,6 +92,11 @@ func (o *Orchestrator) submitEvent(e workload.Event, sink *[]EventReport) (*even
 		tally: eventTally{chosenAgent: -1},
 		sink:  sink,
 	}
+	// In-flight events overlap, so each gets its own trace lane (reused
+	// modulo pipelineLanes — far above any realistic MaxInFlight, so live
+	// events never share one). The span opens at submission: queue wait is
+	// part of the event's story.
+	st.span = o.tel.StartRoot(eventSpanName(e.Kind), "event", 1+int32(st.seq%pipelineLanes))
 	o.eventIdx++
 	ch, err := o.pipe.Submit(pipeline.Exec{
 		Trigger: int32(e.Session),
@@ -310,6 +319,7 @@ func (st *eventState) applyAdmission() (pipeline.Footprint, error) {
 func (st *eventState) reoptStage() error {
 	o := st.o
 	if len(st.reopt) == 0 {
+		o.observeDelay(&st.tally, st.e, st.rep.Admitted)
 		return nil
 	}
 	start := time.Now()
@@ -321,10 +331,15 @@ func (st *eventState) reoptStage() error {
 			seed:    taskSeed(o.cfg.Core.Seed, s, st.seq),
 			wg:      &wg,
 			tally:   &st.tally,
+			parent:  st.span,
 		}
 	}
 	wg.Wait()
 	st.rep.Latency = time.Since(start)
+	// Read the trigger's delay now, while this event still owns its
+	// footprint — the scheduler releases it when this stage returns, before
+	// retire runs.
+	o.observeDelay(&st.tally, st.e, st.rep.Admitted)
 	o.mu.Lock()
 	o.stats.Tasks += len(st.reopt)
 	o.mu.Unlock()
@@ -354,6 +369,7 @@ func (st *eventState) retire() {
 	st.rep.Objective = o.cache.TotalObjective(o.a)
 	st.rep.ActiveSessions = o.cache.NumActive()
 	o.mu.Unlock()
+	st.span.EndArg(int64(st.e.Session))
 	o.emitRecord(st.rep, &st.tally, st.stalled)
 	if st.sink != nil {
 		*st.sink = append(*st.sink, *st.rep)

@@ -23,6 +23,10 @@ type reoptTask struct {
 	seed    int64
 	wg      *sync.WaitGroup
 	tally   *eventTally
+	// parent is the causal span of the event (or heal) that scheduled this
+	// task; the finished task's attribution spans nest under it (zero when
+	// telemetry is off).
+	parent telemetry.Span
 }
 
 // eventTally accumulates one event's task outcomes; its fields are guarded
@@ -40,6 +44,9 @@ type eventTally struct {
 	chosenAgent                  int
 	cfGap                        float64
 	cfValid                      bool
+	// delayMS is the trigger session's post-decision mean-of-max delay
+	// (admitted arrivals only; see Orchestrator.observeDelay).
+	delayMS float64
 }
 
 // bumpTask increments a global outcome counter and, for pipelined events,
@@ -74,13 +81,13 @@ func (t reoptTask) conflictSlot() *int {
 	return &t.tally.conflicts
 }
 
-// telOutcome mirrors one task outcome into the telemetry sink's per-region
-// sharded counters (no-op when telemetry is off).
+// telOutcome mirrors one task outcome into the telemetry sink's
+// per-(class,region) sharded counters (no-op when telemetry is off).
 func (o *Orchestrator) telOutcome(worker int, s model.SessionID, oc telemetry.TaskOutcome) {
 	if o.tel == nil {
 		return
 	}
-	o.tel.TaskOutcome(worker, o.tel.RegionOf(int(s)), oc)
+	o.tel.TaskOutcome(worker, o.tel.RegionOf(int(s)), o.tel.ClassOf(int(s)), oc)
 }
 
 // telConflict mirrors one lost commit race into the telemetry sink.
@@ -88,7 +95,7 @@ func (o *Orchestrator) telConflict(worker int, s model.SessionID) {
 	if o.tel == nil {
 		return
 	}
-	o.tel.TaskConflict(worker, o.tel.RegionOf(int(s)))
+	o.tel.TaskConflict(worker, o.tel.RegionOf(int(s)), o.tel.ClassOf(int(s)))
 }
 
 // taskSeed derives a deterministic per-task RNG seed, so a task's walk
@@ -110,12 +117,12 @@ func taskSeed(seed int64, s model.SessionID, eventIdx int) int64 {
 // pipeline sound: within one dispatch the event loop is parked and every
 // session appears in at most one task, so a task is the only goroutine
 // reading or writing its session's variables in the live assignment.
-func (o *Orchestrator) dispatch(sessions []model.SessionID, tally *eventTally) time.Duration {
+func (o *Orchestrator) dispatch(sessions []model.SessionID, tally *eventTally, parent telemetry.Span) time.Duration {
 	start := time.Now()
 	var wg sync.WaitGroup
 	for _, s := range sessions {
 		wg.Add(1)
-		o.tasks <- reoptTask{session: s, seed: taskSeed(o.cfg.Core.Seed, s, o.eventIdx), wg: &wg, tally: tally}
+		o.tasks <- reoptTask{session: s, seed: taskSeed(o.cfg.Core.Seed, s, o.eventIdx), wg: &wg, tally: tally, parent: parent}
 	}
 	wg.Wait()
 	o.mu.Lock()
@@ -148,11 +155,12 @@ type workerState struct {
 	ds        []assign.Decision
 }
 
-// taskProbe carries one task's in-flight instrumentation: phase durations
-// and the delay-cache counter baseline captured at task start (the cache
-// counters are cumulative per scratch, so the task's contribution is the
-// difference).
+// taskProbe carries one task's in-flight instrumentation: the task's start
+// time (anchoring its span), phase durations, and the delay-cache counter
+// baseline captured at task start (the cache counters are cumulative per
+// scratch, so the task's contribution is the difference).
 type taskProbe struct {
+	start                               time.Time
 	snapshotNs, walkNs, commitNs        int64
 	commitStart                         time.Time
 	baseHits, basePatches, baseRebuilds int64
@@ -169,7 +177,7 @@ func (p *taskProbe) flushCommit() {
 // beginTaskProbe resets the worker's probe and captures the delay-cache
 // baseline. Caller must have checked o.tel != nil.
 func (o *Orchestrator) beginTaskProbe(w *workerState) *taskProbe {
-	w.probe = taskProbe{}
+	w.probe = taskProbe{start: time.Now()}
 	if dc := w.scr.Eval().DelayCacheStats(); dc != nil {
 		w.probe.baseHits = int64(dc.Hits())
 		w.probe.basePatches = int64(dc.Patches())
@@ -179,9 +187,10 @@ func (o *Orchestrator) beginTaskProbe(w *workerState) *taskProbe {
 }
 
 // finishTaskProbe publishes one task's probe: phase counters and cache
-// deltas to the sink (worker-sharded, lock-free), and — when the task
-// carries an event tally — the same readings into the event's record fields
-// under o.mu.
+// deltas to the sink (worker-sharded, lock-free), the probe's timers
+// promoted into a task span with snapshot/walk/commit attribution children
+// on the worker's trace lane, and — when the task carries an event tally —
+// the same readings into the event's record fields under o.mu.
 func (o *Orchestrator) finishTaskProbe(t reoptTask, w *workerState, probe *taskProbe) {
 	probe.flushCommit()
 	var hits, patches, rebuilds int64
@@ -192,6 +201,24 @@ func (o *Orchestrator) finishTaskProbe(t reoptTask, w *workerState, probe *taskP
 	}
 	o.tel.TaskPhases(w.id, probe.snapshotNs, probe.walkNs, probe.commitNs)
 	o.tel.CacheEvals(w.id, hits, patches, rebuilds)
+	// Promote the finished timers into spans: the task span covers the full
+	// wall interval on the worker's lane (workers run tasks serially, so
+	// lanes never self-overlap); the phase children are laid contiguously
+	// from the start — attribution, not a literal timeline, since retries
+	// interleave the phases (their sum never exceeds the task wall time).
+	lane := taskLaneBase + int32(w.id)
+	task := o.tel.EmitSpan("task", "task", t.parent, lane, probe.start, time.Since(probe.start).Nanoseconds(), int64(t.session))
+	at := probe.start
+	for _, ph := range [...]struct {
+		name string
+		ns   int64
+	}{{"snapshot", probe.snapshotNs}, {"walk", probe.walkNs}, {"commit", probe.commitNs}} {
+		if ph.ns <= 0 {
+			continue
+		}
+		o.tel.EmitSpan(ph.name, "task", task, lane, at, ph.ns, int64(t.session))
+		at = at.Add(time.Duration(ph.ns))
+	}
 	if t.tally != nil {
 		o.mu.Lock()
 		t.tally.snapshotNs += probe.snapshotNs

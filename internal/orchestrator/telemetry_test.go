@@ -263,3 +263,164 @@ func TestTelemetryPerRegionLabels(t *testing.T) {
 		}
 	}
 }
+
+// TestTelemetryHealSpansReconcile is the causal-trace contract for the
+// fault path: every incident records exactly one "heal" span (parented to
+// its fault event's span) with degrade/evict/re-home phase children, the
+// per-orphan "evacuate" spans sum to Stats.Orphans, and recoveries record
+// "re-balance" spans — so the Chrome flame graph attributes healing time
+// phase by phase.
+func TestTelemetryHealSpansReconcile(t *testing.T) {
+	fc := chaosFleet(43)
+	ev, boot, homes := chaosStack(t, fc)
+	events := chaosSchedule(t, 43, fc, homes, 400, 0.15)
+	sink := telemetry.New(telemetry.Config{
+		Workers:       2,
+		TraceCapacity: len(events) + 8,
+		SpanCapacity:  1 << 17,
+	})
+	cfg := chaosConfig(43, fc)
+	cfg.Telemetry = sink
+	o, err := New(ev, boot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.Run(events, 1e18); err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.Incidents == 0 || st.Orphans == 0 {
+		t.Fatalf("schedule exercised no healing: %+v", st)
+	}
+	if sink.Spans().Dropped() != 0 {
+		t.Fatalf("span ring wrapped (%d dropped); grow SpanCapacity", sink.Spans().Dropped())
+	}
+
+	byID := map[uint64]telemetry.SpanRecord{}
+	children := map[uint64][]telemetry.SpanRecord{}
+	var heals []telemetry.SpanRecord
+	counts := map[string]int{}
+	for _, sp := range sink.Spans().Spans() {
+		byID[sp.ID] = sp
+		children[sp.Parent] = append(children[sp.Parent], sp)
+		counts[sp.Name]++
+		if sp.Name == "heal" {
+			heals = append(heals, sp)
+		}
+	}
+	if len(heals) != st.Incidents {
+		t.Fatalf("heal spans = %d, Stats.Incidents = %d", len(heals), st.Incidents)
+	}
+	for _, h := range heals {
+		parent, ok := byID[h.Parent]
+		if !ok || parent.Cat != "event" {
+			t.Fatalf("heal span %d not parented to an event span (parent %d: %+v)", h.ID, h.Parent, parent)
+		}
+		phases := map[string]int{}
+		for _, ch := range children[h.ID] {
+			phases[ch.Name]++
+		}
+		for _, want := range []string{"degrade", "evict", "re-home"} {
+			if phases[want] != 1 {
+				t.Fatalf("heal %d has %d %q children, want 1 (%v)", h.ID, phases[want], want, phases)
+			}
+		}
+	}
+	if counts["evacuate"] != st.Orphans {
+		t.Fatalf("evacuate spans = %d, Stats.Orphans = %d", counts["evacuate"], st.Orphans)
+	}
+	if counts["re-balance"] == 0 {
+		t.Fatal("no re-balance spans across a schedule with recoveries")
+	}
+	// Task spans carry snapshot/walk/commit attribution children that never
+	// exceed the task wall interval.
+	if counts["task"] == 0 {
+		t.Fatal("no task spans recorded")
+	}
+	for id, sp := range byID {
+		if sp.Name != "task" {
+			continue
+		}
+		var sum int64
+		for _, ch := range children[id] {
+			sum += ch.DurNs
+		}
+		if sum > sp.DurNs {
+			t.Fatalf("task %d phase attribution %dns exceeds wall %dns", id, sum, sp.DurNs)
+		}
+	}
+}
+
+// TestTelemetryClassLabels pins the SLO-class plumbing end to end: with a
+// class map configured, the outcome families gain a class label, committed
+// arrivals record their class and session delay, the per-class delay
+// histograms fill, and the Jain fairness gauge lands in (0, 1].
+func TestTelemetryClassLabels(t *testing.T) {
+	ev, boot := testStack(t, workload.Prototype(16))
+	events := churn(t, ev, 16, 300, 0.08, 120)
+	sc := ev.Scenario()
+	classes := workload.SessionClasses(sc, 0)
+	sink := telemetry.New(telemetry.Config{
+		Workers:       4,
+		TraceCapacity: len(events) + 8,
+		Classes:       workload.SLOClassNames,
+		SessionClass:  classes,
+	})
+	cfg := DefaultConfig(16)
+	cfg.Shards = 4
+	cfg.Telemetry = sink
+	o, err := New(ev, boot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.Run(events, 300); err != nil {
+		t.Fatal(err)
+	}
+	if st := o.Stats(); st.Commits == 0 {
+		t.Fatalf("run exercised no commits: %+v", st)
+	}
+
+	var sb strings.Builder
+	if err := sink.Registry().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`vconf_commits_total{class="interactive",region="0"}`,
+		`vconf_commits_total{class="broadcast",region="0"}`,
+		`vconf_session_delay_us_count{class="interactive"}`,
+		`vconf_class_delay_fairness`,
+		`vconf_dist_freeze_ns_count`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	delays := 0
+	for _, rec := range sink.Recorder().Records() {
+		if rec.Kind == "arrive" && rec.Admitted {
+			if want := workload.SLOClassNames[classes[rec.Session]]; rec.Class != want {
+				t.Fatalf("session %d record classed %q, want %q", rec.Session, rec.Class, want)
+			}
+			if rec.DelayMS > 0 {
+				delays++
+			}
+		}
+	}
+	if delays == 0 {
+		t.Fatal("no committed arrival recorded a session delay")
+	}
+
+	var fairness float64
+	for _, m := range sink.Registry().Snapshot() {
+		if m.Name == "vconf_class_delay_fairness" {
+			fairness = m.Value
+		}
+	}
+	if fairness <= 0 || fairness > 1 {
+		t.Fatalf("Jain fairness = %v, want (0, 1]", fairness)
+	}
+}

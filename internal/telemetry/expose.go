@@ -12,7 +12,9 @@ import (
 //	/metrics            Prometheus text format
 //	/metrics.json       JSON snapshot of every instrument
 //	/trace.jsonl        the decision-record ring, one JSON object per line
-//	/trace.chrome.json  the same ring as a Chrome trace-event file
+//	/spans.jsonl        the span ring, one JSON object per line
+//	/trace.chrome.json  records + spans merged into one Chrome trace-event
+//	                    file (spans nested as a causal flame graph)
 //	/debug/pprof/...    the standard runtime profiles
 //
 // Returns a 503-only handler on a nil sink, so a disabled sink can still
@@ -43,9 +45,15 @@ func (s *Sink) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/spans.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := s.spans.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/trace.chrome.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := s.rec.WriteChromeTrace(w); err != nil {
+		if err := s.WriteChromeTrace(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

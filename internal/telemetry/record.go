@@ -65,6 +65,11 @@ type DecisionRecord struct {
 	Objective      float64 `json:"objective"`
 	ObjectiveDelta float64 `json:"objective_delta"`
 	ActiveSessions int     `json:"active_sessions"`
+	// Class is the trigger session's SLO class name (empty when the sink
+	// has no class map); DelayMS its post-decision mean-of-max conferencing
+	// delay, filled only for committed arrivals (0 otherwise).
+	Class   string  `json:"class,omitempty"`
+	DelayMS float64 `json:"delay_ms,omitempty"`
 }
 
 // Recorder is a bounded ring buffer of decision records. Appends are
@@ -86,8 +91,9 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{buf: make([]DecisionRecord, 0, capacity)}
 }
 
-// Append stores one record, assigning its Seq.
-func (r *Recorder) Append(rec DecisionRecord) {
+// Append stores one record, assigning its Seq, and reports whether an
+// older record was overwritten (the ring was full).
+func (r *Recorder) Append(rec DecisionRecord) (overwrote bool) {
 	r.mu.Lock()
 	rec.Seq = r.next
 	r.next++
@@ -95,8 +101,10 @@ func (r *Recorder) Append(rec DecisionRecord) {
 		r.buf = append(r.buf, rec)
 	} else {
 		r.buf[rec.Seq%int64(cap(r.buf))] = rec
+		overwrote = true
 	}
 	r.mu.Unlock()
+	return overwrote
 }
 
 // Len returns the number of records currently held.

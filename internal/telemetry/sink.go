@@ -35,6 +35,16 @@ type Config struct {
 	// Regions fixes the region count; 0 derives it from SessionRegion
 	// (max+1, minimum 1).
 	Regions int
+	// SpanCapacity bounds the span ring. 0 defaults to 16384 (spans are
+	// finer-grained than decision records: one event fans out into task,
+	// phase and heal spans).
+	SpanCapacity int
+	// Classes names the SLO classes (e.g. workload.SLOClassNames); when
+	// set, the commit/reject/no-change/conflict/latency families gain a
+	// class label and SessionClass maps session ID → class index. Empty
+	// keeps the PR 6 region-only label shape.
+	Classes      []string
+	SessionClass []int
 }
 
 // Sink is the instrumentation facade the orchestrator and schedulers call
@@ -43,14 +53,25 @@ type Config struct {
 // (the alloc-pin tests enforce this), so hot paths carry no overhead when
 // telemetry is off.
 type Sink struct {
-	reg *Registry
-	rec *Recorder
+	reg   *Registry
+	rec   *Recorder
+	spans *SpanRing
+
+	// spanSeq allocates causal span identities (atomic; 0 is reserved for
+	// "no parent").
+	spanSeq uint64
 
 	sessionRegion []int
 	regions       int
+	sessionClass  []int
+	classes       []string // empty when class labels are off
+	numClasses    int      // max(1, len(classes))
 
-	// Per-region handle slices, resolved once at construction so the hot
-	// path is an index, not a registry lookup.
+	// Per-(class,region) handle slices indexed class*regions+region,
+	// resolved once at construction so the hot path is an index, not a
+	// registry lookup. Without configured classes the class dimension
+	// collapses to 1 and labels stay region-only. arrivals/departs stay
+	// per-region: the churn kind label already identifies them.
 	commits   []*Counter
 	rejects   []*Counter
 	noChange  []*Counter
@@ -58,6 +79,23 @@ type Sink struct {
 	arrivals  []*Counter
 	departs   []*Counter
 	reoptLat  []*Histogram
+
+	// Per-class SLO observability: post-decision session delay histograms,
+	// running per-class delay sums backing the Jain fairness gauge.
+	classDelay    []*Histogram
+	classDelaySum []float64
+	classDelayN   []int64
+	fairness      *Gauge
+
+	// Dist protocol families (pre-registered so scrapers see them at zero
+	// even before any cross-region coordination runs).
+	distFreeze   *Histogram
+	distAbandons *Counter
+	distRetries  *Counter
+
+	// Ring-overwrite visibility for scrapers.
+	recDropped  *Counter
+	spanDropped *Counter
 
 	// Fault-injection and self-healing instrumentation: injected fault
 	// events by kind, orphaned sessions, per-region evacuation outcomes,
@@ -115,6 +153,9 @@ func New(cfg Config) *Sink {
 	if cfg.TraceCapacity <= 0 {
 		cfg.TraceCapacity = 4096
 	}
+	if cfg.SpanCapacity <= 0 {
+		cfg.SpanCapacity = 16384
+	}
 	regions := cfg.Regions
 	if regions <= 0 {
 		regions = 1
@@ -124,38 +165,68 @@ func New(cfg Config) *Sink {
 			}
 		}
 	}
+	numClasses := len(cfg.Classes)
+	if numClasses == 0 {
+		numClasses = 1
+	}
 	s := &Sink{
 		reg:           NewRegistry(cfg.Workers + 1),
 		rec:           NewRecorder(cfg.TraceCapacity),
+		spans:         NewSpanRing(cfg.SpanCapacity),
 		sessionRegion: cfg.SessionRegion,
 		regions:       regions,
+		sessionClass:  cfg.SessionClass,
+		classes:       cfg.Classes,
+		numClasses:    numClasses,
 		eventShard:    cfg.Workers,
 	}
-	s.commits = make([]*Counter, regions)
-	s.rejects = make([]*Counter, regions)
-	s.noChange = make([]*Counter, regions)
-	s.conflicts = make([]*Counter, regions)
+	s.commits = make([]*Counter, numClasses*regions)
+	s.rejects = make([]*Counter, numClasses*regions)
+	s.noChange = make([]*Counter, numClasses*regions)
+	s.conflicts = make([]*Counter, numClasses*regions)
+	s.reoptLat = make([]*Histogram, numClasses*regions)
 	s.arrivals = make([]*Counter, regions)
 	s.departs = make([]*Counter, regions)
-	s.reoptLat = make([]*Histogram, regions)
 	s.evacOK = make([]*Counter, regions)
 	s.evacRej = make([]*Counter, regions)
 	s.degRejects = make([]*Counter, regions)
+	for c := 0; c < numClasses; c++ {
+		for r := 0; r < regions; r++ {
+			lbls := []Label{{Key: "region", Value: strconv.Itoa(r)}}
+			if len(s.classes) > 0 {
+				lbls = []Label{{Key: "class", Value: s.classes[c]}, {Key: "region", Value: strconv.Itoa(r)}}
+			}
+			i := c*regions + r
+			s.commits[i] = s.reg.Counter("vconf_commits_total", "re-optimization proposals committed", lbls...)
+			s.rejects[i] = s.reg.Counter("vconf_rejects_total", "re-optimization proposals rejected at commit validation", lbls...)
+			s.noChange[i] = s.reg.Counter("vconf_nochange_total", "re-optimization walks that found no improvement", lbls...)
+			s.conflicts[i] = s.reg.Counter("vconf_conflicts_total", "commit attempts that lost a cross-shard race", lbls...)
+			s.reoptLat[i] = s.reg.Histogram("vconf_reopt_latency_ns", "per-event re-optimization barrier latency (ns)", lbls...)
+		}
+	}
 	for r := 0; r < regions; r++ {
 		lbl := Label{Key: "region", Value: strconv.Itoa(r)}
-		s.commits[r] = s.reg.Counter("vconf_commits_total", "re-optimization proposals committed", lbl)
-		s.rejects[r] = s.reg.Counter("vconf_rejects_total", "re-optimization proposals rejected at commit validation", lbl)
-		s.noChange[r] = s.reg.Counter("vconf_nochange_total", "re-optimization walks that found no improvement", lbl)
-		s.conflicts[r] = s.reg.Counter("vconf_conflicts_total", "commit attempts that lost a cross-shard race", lbl)
 		s.arrivals[r] = s.reg.Counter("vconf_events_total", "churn events handled", Label{Key: "kind", Value: "arrive"}, lbl)
 		s.departs[r] = s.reg.Counter("vconf_events_total", "churn events handled", Label{Key: "kind", Value: "depart"}, lbl)
-		s.reoptLat[r] = s.reg.Histogram("vconf_reopt_latency_ns", "per-event re-optimization barrier latency (ns)", lbl)
 		s.evacOK[r] = s.reg.Counter("vconf_evacuations_total", "orphaned sessions re-homed (ok) or dropped (reject) during healing",
 			Label{Key: "result", Value: "ok"}, lbl)
 		s.evacRej[r] = s.reg.Counter("vconf_evacuations_total", "orphaned sessions re-homed (ok) or dropped (reject) during healing",
 			Label{Key: "result", Value: "reject"}, lbl)
 		s.degRejects[r] = s.reg.Counter("vconf_degraded_rejects_total", "arrivals rejected while agents were failed or degraded", lbl)
 	}
+	s.classDelay = make([]*Histogram, numClasses)
+	s.classDelaySum = make([]float64, numClasses)
+	s.classDelayN = make([]int64, numClasses)
+	for c := 0; c < numClasses; c++ {
+		s.classDelay[c] = s.reg.Histogram("vconf_session_delay_us", "post-decision session mean-of-max delay (µs), by SLO class",
+			Label{Key: "class", Value: s.className(c)})
+	}
+	s.fairness = s.reg.Gauge("vconf_class_delay_fairness", "Jain fairness index over per-class mean session delay (1 = perfectly fair)")
+	s.distFreeze = s.reg.Histogram("vconf_dist_freeze_ns", "dist coordinator: per-session freeze hold (grant to release, ns)")
+	s.distAbandons = s.reg.Counter("vconf_dist_abandons_total", "dist coordinator: frozen sessions abandoned by peer death or timeout")
+	s.distRetries = s.reg.Counter("vconf_dist_retries_total", "dist runner: re-dialed coordination attempts after a failed exchange")
+	s.recDropped = s.reg.Counter("vconf_trace_dropped_total", "ring records overwritten before scrape, by ring", Label{Key: "ring", Value: "decisions"})
+	s.spanDropped = s.reg.Counter("vconf_trace_dropped_total", "ring records overwritten before scrape, by ring", Label{Key: "ring", Value: "spans"})
 	s.faults = make(map[string]*Counter, len(faultKinds))
 	for _, k := range faultKinds {
 		s.faults[k] = s.reg.Counter("vconf_faults_injected_total", "fault events injected, by kind", Label{Key: "kind", Value: k})
@@ -238,34 +309,71 @@ func (s *Sink) Regions() int {
 	return s.regions
 }
 
-// TaskOutcome counts one task's terminal outcome on the worker's counter
-// shard, labeled with the task session's region.
-func (s *Sink) TaskOutcome(worker, region int, oc TaskOutcome) {
-	if s == nil {
-		return
+// ClassOf maps a session to its SLO class index (0 without a class map).
+func (s *Sink) ClassOf(session int) int {
+	if s == nil || session < 0 || session >= len(s.sessionClass) {
+		return 0
 	}
+	c := s.sessionClass[session]
+	if c < 0 || c >= s.numClasses {
+		return 0
+	}
+	return c
+}
+
+// Classes returns the configured class names (nil when class labels are
+// off).
+func (s *Sink) Classes() []string {
+	if s == nil {
+		return nil
+	}
+	return s.classes
+}
+
+// className is the label value for class c ("default" when classes are
+// unconfigured, so always-registered per-class families stay labeled).
+func (s *Sink) className(c int) string {
+	if c >= 0 && c < len(s.classes) {
+		return s.classes[c]
+	}
+	return "default"
+}
+
+// crIndex flattens (class, region) into the per-(class,region) handle
+// slices, clamping both out-of-range dimensions to 0.
+func (s *Sink) crIndex(class, region int) int {
 	if region < 0 || region >= s.regions {
 		region = 0
 	}
+	if class < 0 || class >= s.numClasses {
+		class = 0
+	}
+	return class*s.regions + region
+}
+
+// TaskOutcome counts one task's terminal outcome on the worker's counter
+// shard, labeled with the task session's region and SLO class.
+func (s *Sink) TaskOutcome(worker, region, class int, oc TaskOutcome) {
+	if s == nil {
+		return
+	}
+	i := s.crIndex(class, region)
 	switch oc {
 	case OutcomeCommit:
-		s.commits[region].Inc(worker)
+		s.commits[i].Inc(worker)
 	case OutcomeReject:
-		s.rejects[region].Inc(worker)
+		s.rejects[i].Inc(worker)
 	case OutcomeNoChange:
-		s.noChange[region].Inc(worker)
+		s.noChange[i].Inc(worker)
 	}
 }
 
 // TaskConflict counts one lost cross-shard commit race.
-func (s *Sink) TaskConflict(worker, region int) {
+func (s *Sink) TaskConflict(worker, region, class int) {
 	if s == nil {
 		return
 	}
-	if region < 0 || region >= s.regions {
-		region = 0
-	}
-	s.conflicts[region].Inc(worker)
+	s.conflicts[s.crIndex(class, region)].Inc(worker)
 }
 
 // TaskPhases accumulates one task's phase durations (ns).
@@ -325,6 +433,10 @@ func (s *Sink) Record(rec DecisionRecord) {
 		return
 	}
 	rec.Region = s.RegionOf(rec.Session)
+	class := s.ClassOf(rec.Session)
+	if len(s.classes) > 0 {
+		rec.Class = s.className(class)
+	}
 	if rec.WallNs == 0 {
 		rec.WallNs = time.Now().UnixNano()
 	}
@@ -335,6 +447,12 @@ func (s *Sink) Record(rec DecisionRecord) {
 	s.haveObjective = true
 
 	sh := s.eventShard
+	if rec.DelayMS > 0 {
+		s.classDelay[class].Observe(int64(rec.DelayMS * 1e3))
+		s.classDelaySum[class] += rec.DelayMS
+		s.classDelayN[class]++
+		s.fairness.Set(s.jainLocked())
+	}
 	switch rec.Kind {
 	case "depart":
 		s.departs[rec.Region].Inc(sh)
@@ -359,10 +477,58 @@ func (s *Sink) Record(rec DecisionRecord) {
 	if rec.CacheInvalidated > 0 {
 		s.invalidations.Add(sh, int64(rec.CacheInvalidated))
 	}
-	s.reoptLat[rec.Region].Observe(rec.LatencyNs)
+	s.reoptLat[s.crIndex(class, rec.Region)].Observe(rec.LatencyNs)
 	s.objective.Set(rec.Objective)
 	s.active.Set(float64(rec.ActiveSessions))
-	s.rec.Append(rec)
+	if s.rec.Append(rec) {
+		s.recDropped.Inc(sh)
+	}
+}
+
+// jainLocked computes the Jain fairness index (Σx)²/(n·Σx²) over the
+// per-class mean delays with at least one observation. 1 means every class
+// sees the same mean delay; 1/n means one class absorbs all of it. Called
+// only from the serialized Record path (like the running sums it reads).
+func (s *Sink) jainLocked() float64 {
+	var sum, sumSq float64
+	n := 0
+	for c := 0; c < s.numClasses; c++ {
+		if s.classDelayN[c] == 0 {
+			continue
+		}
+		m := s.classDelaySum[c] / float64(s.classDelayN[c])
+		sum += m
+		sumSq += m * m
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// DistFreeze observes one coordinator freeze hold (grant → release, ns).
+func (s *Sink) DistFreeze(ns int64) {
+	if s == nil {
+		return
+	}
+	s.distFreeze.Observe(ns)
+}
+
+// DistAbandon counts one frozen session abandoned by peer death/timeout.
+func (s *Sink) DistAbandon() {
+	if s == nil {
+		return
+	}
+	s.distAbandons.Inc(s.eventShard)
+}
+
+// DistRetry counts one re-dialed runner attempt after a failed exchange.
+func (s *Sink) DistRetry() {
+	if s == nil {
+		return
+	}
+	s.distRetries.Inc(s.eventShard)
 }
 
 // faultKinds are the record kinds routed to vconf_faults_injected_total
@@ -415,9 +581,9 @@ func (s *Sink) FeedTick(t float64) {
 		return
 	}
 	var commits, conflicts int64
-	for r := 0; r < s.regions; r++ {
-		commits += s.commits[r].Value()
-		conflicts += s.conflicts[r].Value()
+	for i := range s.commits {
+		commits += s.commits[i].Value()
+		conflicts += s.conflicts[i].Value()
 	}
 	warm := s.cacheHits.Value() + s.cachePatches.Value()
 	cold := s.cacheRebuilds.Value()

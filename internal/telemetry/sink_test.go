@@ -21,8 +21,8 @@ func TestNilSinkSafe(t *testing.T) {
 	if s.RegionOf(3) != 0 || s.Regions() != 0 || s.EventShard() != 0 {
 		t.Fatal("nil sink returned nonzero identities")
 	}
-	s.TaskOutcome(1, 0, OutcomeCommit)
-	s.TaskConflict(1, 0)
+	s.TaskOutcome(1, 0, 0, OutcomeCommit)
+	s.TaskConflict(1, 0, 0)
 	s.TaskPhases(1, 1, 2, 3)
 	s.CacheEvals(1, 1, 2, 3)
 	s.SchedulerStats(1, 2, 3, 4)
@@ -39,8 +39,8 @@ func TestNilSinkSafe(t *testing.T) {
 func TestNilSinkZeroAlloc(t *testing.T) {
 	var s *Sink
 	allocs := testing.AllocsPerRun(1000, func() {
-		s.TaskOutcome(0, 0, OutcomeCommit)
-		s.TaskConflict(0, 0)
+		s.TaskOutcome(0, 0, 0, OutcomeCommit)
+		s.TaskConflict(0, 0, 0)
 		s.TaskPhases(0, 1, 2, 3)
 		s.CacheEvals(0, 1, 2, 3)
 		_ = s.RegionOf(5)
@@ -56,8 +56,8 @@ func TestNilSinkZeroAlloc(t *testing.T) {
 func TestEnabledHotPathZeroAlloc(t *testing.T) {
 	s := New(Config{Workers: 4})
 	allocs := testing.AllocsPerRun(1000, func() {
-		s.TaskOutcome(1, 0, OutcomeCommit)
-		s.TaskConflict(2, 0)
+		s.TaskOutcome(1, 0, 0, OutcomeCommit)
+		s.TaskConflict(2, 0, 0)
 		s.TaskPhases(3, 10, 20, 30)
 		s.CacheEvals(0, 1, 0, 1)
 	})
@@ -77,7 +77,7 @@ func TestSinkRegionMapping(t *testing.T) {
 	if s.RegionOf(-1) != 0 || s.RegionOf(99) != 0 {
 		t.Fatal("out-of-range sessions must map to region 0")
 	}
-	s.TaskOutcome(0, 2, OutcomeCommit)
+	s.TaskOutcome(0, 2, 0, OutcomeCommit)
 	s.Record(DecisionRecord{Kind: "arrive", Session: 2, Admitted: true})
 	var sb strings.Builder
 	if err := s.Registry().WriteProm(&sb); err != nil {
@@ -150,7 +150,7 @@ func TestCounterfactualSummary(t *testing.T) {
 
 func TestFeedTickSeries(t *testing.T) {
 	s := New(Config{Workers: 1})
-	s.TaskOutcome(0, 0, OutcomeCommit)
+	s.TaskOutcome(0, 0, 0, OutcomeCommit)
 	s.CacheEvals(0, 3, 0, 1)
 	s.Record(DecisionRecord{Kind: "arrive", Admitted: true, Objective: 5, ActiveSessions: 1})
 	s.FeedTick(10)
@@ -174,7 +174,7 @@ func TestFeedTickSeries(t *testing.T) {
 
 func TestServeEndpoints(t *testing.T) {
 	s := New(Config{Workers: 1})
-	s.TaskOutcome(0, 0, OutcomeCommit)
+	s.TaskOutcome(0, 0, 0, OutcomeCommit)
 	s.Record(DecisionRecord{Kind: "arrive", Admitted: true, Commits: 1})
 	srv, err := Serve(s, "127.0.0.1:0")
 	if err != nil {

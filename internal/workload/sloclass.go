@@ -1,0 +1,44 @@
+package workload
+
+import "vconf/internal/model"
+
+// SLO classes partition sessions by the delay budget they effectively live
+// under. Small conferences are interactive: every participant speaks, so
+// the paper's Dmax cap (FleetConfig.DelayCapMS when overridden) binds on
+// the worst round-trip and users notice every millisecond. Large
+// conferences behave like broadcasts: one or two speakers fan out to many
+// viewers, so the same cap is slack for most flows and throughput matters
+// more than tail delay. Splitting the telemetry along this line keeps an
+// interactive-delay regression from hiding inside a broadcast-dominated
+// mean.
+const (
+	ClassInteractive = 0
+	ClassBroadcast   = 1
+)
+
+// SLOClassNames names the classes, indexed by the Class* constants; pass
+// it to telemetry.Config.Classes.
+var SLOClassNames = []string{"interactive", "broadcast"}
+
+// DefaultBroadcastMinSize is the session size at which a conference stops
+// being interactive: at 5+ participants the floor is effectively one-to-
+// many.
+const DefaultBroadcastMinSize = 5
+
+// SessionClasses derives the per-session SLO class vector for sc: sessions
+// with at least broadcastMinSize participants are ClassBroadcast, smaller
+// ones ClassInteractive. A non-positive threshold selects
+// DefaultBroadcastMinSize. Pass the result to
+// telemetry.Config.SessionClass.
+func SessionClasses(sc *model.Scenario, broadcastMinSize int) []int {
+	if broadcastMinSize <= 0 {
+		broadcastMinSize = DefaultBroadcastMinSize
+	}
+	out := make([]int, sc.NumSessions())
+	for s := 0; s < sc.NumSessions(); s++ {
+		if sc.Session(model.SessionID(s)).Size() >= broadcastMinSize {
+			out[s] = ClassBroadcast
+		}
+	}
+	return out
+}

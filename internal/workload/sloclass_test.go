@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"testing"
+
+	"vconf/internal/model"
+)
+
+func TestSessionClasses(t *testing.T) {
+	wl := Prototype(7)
+	sc, err := Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := SessionClasses(sc, 0)
+	if len(classes) != sc.NumSessions() {
+		t.Fatalf("len = %d, want %d sessions", len(classes), sc.NumSessions())
+	}
+	for s, c := range classes {
+		size := sc.Session(model.SessionID(s)).Size()
+		want := ClassInteractive
+		if size >= DefaultBroadcastMinSize {
+			want = ClassBroadcast
+		}
+		if c != want {
+			t.Fatalf("session %d (size %d) classed %d, want %d", s, size, c, want)
+		}
+	}
+
+	// An explicit threshold of 1 makes every session a broadcast.
+	for s, c := range SessionClasses(sc, 1) {
+		if c != ClassBroadcast {
+			t.Fatalf("session %d classed %d under threshold 1", s, c)
+		}
+	}
+	if len(SLOClassNames) != 2 || SLOClassNames[ClassInteractive] != "interactive" || SLOClassNames[ClassBroadcast] != "broadcast" {
+		t.Fatalf("SLOClassNames = %v", SLOClassNames)
+	}
+}
