@@ -1,13 +1,20 @@
 // Command vcreport analyzes the observability artifacts the other tools
 // emit: BENCH_<n>.json perf payloads (vcbench), decision-record JSONL
-// traces and causal span JSONL (vcsim -trace-out / -span-out, or the
-// /trace.jsonl and /spans.jsonl endpoints).
+// traces, causal span JSONL, health sampler windows, SLO alert timelines
+// and final metric snapshots (vcsim -trace-out / -span-out /
+// -timeseries-out / -alerts-out / -metrics-out, or the corresponding
+// exposition endpoints).
 //
 // Usage:
 //
 //	vcreport -a OLD.json -b NEW.json [-tol 0.10]   A/B regression verdict
 //	vcreport -trace trace.jsonl                    per-class delay p50/p99 + fairness
 //	vcreport -spans spans.jsonl                    per-phase time attribution
+//	vcreport -timeseries ts.json                   windowed health summary
+//	vcreport -alerts alerts.json                   SLO alert timeline + alert minutes
+//	vcreport -metrics metrics.json                 final snapshot highlights
+//	vcreport -tsa A.json -tsb B.json               A/B windowed-health verdict
+//	         [-alerts-a A.json -alerts-b B.json]   ... with alert minutes
 //
 // Modes combine freely. The A/B comparison extracts every recognized
 // metric leaf from both files (matched by benchmark/point name), applies
@@ -17,6 +24,12 @@
 // moved the wrong way by more than -tol relative. A BENCH file carrying a
 // schema_version other than the supported one is rejected loudly; a file
 // without the field predates the tag and is accepted as legacy.
+//
+// The windowed-health A/B (-tsa/-tsb, optionally -alerts-a/-alerts-b)
+// compares run-level health aggregates the same way: drop/reject/conflict
+// ratios, unhealthy-window counts, per-class windowed p99 delay and alert
+// minutes are lower-better, commit rate is higher-better; regressions
+// beyond -tol fail the verdict (exit 1).
 package main
 
 import (
@@ -58,21 +71,38 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vcreport", flag.ContinueOnError)
 	var (
-		fileA   = fs.String("a", "", "A/B: baseline BENCH_<n>.json")
-		fileB   = fs.String("b", "", "A/B: candidate BENCH_<n>.json")
-		tol     = fs.Float64("tol", 0.10, "A/B: relative tolerance before a move counts as a regression/improvement")
-		traceIn = fs.String("trace", "", "decision-record JSONL file (vcsim -trace-out or /trace.jsonl)")
-		spansIn = fs.String("spans", "", "span JSONL file (vcsim -span-out or /spans.jsonl)")
+		fileA    = fs.String("a", "", "A/B: baseline BENCH_<n>.json")
+		fileB    = fs.String("b", "", "A/B: candidate BENCH_<n>.json")
+		tol      = fs.Float64("tol", 0.10, "A/B: relative tolerance before a move counts as a regression/improvement")
+		traceIn  = fs.String("trace", "", "decision-record JSONL file (vcsim -trace-out or /trace.jsonl)")
+		spansIn  = fs.String("spans", "", "span JSONL file (vcsim -span-out or /spans.jsonl)")
+		tsIn     = fs.String("timeseries", "", "health sampler windows (vcsim -timeseries-out or /timeseries.json)")
+		alertsIn = fs.String("alerts", "", "SLO alert timeline (vcsim -alerts-out or /alerts.json)")
+		metrIn   = fs.String("metrics", "", "final metric snapshot (vcsim -metrics-out or /metrics.json)")
+		tsA      = fs.String("tsa", "", "health A/B: baseline sampler windows")
+		tsB      = fs.String("tsb", "", "health A/B: candidate sampler windows")
+		alertsA  = fs.String("alerts-a", "", "health A/B: baseline alert timeline (optional, needs -tsa/-tsb)")
+		alertsB  = fs.String("alerts-b", "", "health A/B: candidate alert timeline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *fileA == "" && *fileB == "" && *traceIn == "" && *spansIn == "" {
+	if *fileA == "" && *fileB == "" && *traceIn == "" && *spansIn == "" &&
+		*tsIn == "" && *alertsIn == "" && *metrIn == "" && *tsA == "" && *tsB == "" {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -a/-b, -trace, or -spans")
+		return fmt.Errorf("nothing to do: pass -a/-b, -trace, -spans, -timeseries, -alerts, -metrics, or -tsa/-tsb")
 	}
 	if (*fileA == "") != (*fileB == "") {
 		return fmt.Errorf("A/B comparison needs both -a and -b")
+	}
+	if (*tsA == "") != (*tsB == "") {
+		return fmt.Errorf("health A/B comparison needs both -tsa and -tsb")
+	}
+	if (*alertsA == "") != (*alertsB == "") {
+		return fmt.Errorf("health A/B comparison needs both -alerts-a and -alerts-b")
+	}
+	if *alertsA != "" && *tsA == "" {
+		return fmt.Errorf("-alerts-a/-alerts-b ride on -tsa/-tsb")
 	}
 	if *tol < 0 {
 		return fmt.Errorf("-tol %v negative", *tol)
@@ -88,14 +118,38 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
-	if *fileA != "" {
-		regressions, err := reportAB(w, *fileA, *fileB, *tol)
+	if *metrIn != "" {
+		if err := reportMetrics(w, *metrIn); err != nil {
+			return err
+		}
+	}
+	if *tsIn != "" {
+		if err := reportTimeseries(w, *tsIn); err != nil {
+			return err
+		}
+	}
+	if *alertsIn != "" {
+		if err := reportAlerts(w, *alertsIn); err != nil {
+			return err
+		}
+	}
+	regressions := 0
+	if *tsA != "" {
+		n, err := reportHealthAB(w, *tsA, *tsB, *alertsA, *alertsB, *tol)
 		if err != nil {
 			return err
 		}
-		if regressions > 0 {
-			return fmt.Errorf("%d metric(s) regressed beyond ±%.0f%%", regressions, *tol*100)
+		regressions += n
+	}
+	if *fileA != "" {
+		n, err := reportAB(w, *fileA, *fileB, *tol)
+		if err != nil {
+			return err
 		}
+		regressions += n
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond ±%.0f%%", regressions, *tol*100)
 	}
 	return nil
 }
@@ -213,6 +267,316 @@ func reportAB(w io.Writer, pathA, pathB string, tol float64) (int, error) {
 }
 
 func leafOf(key string) string { return key[strings.LastIndex(key, "/")+1:] }
+
+// ---- windowed health, alert timelines and metric snapshots ---------------
+
+// tsDoc / tsWindow / tsClass mirror telemetry.TimeseriesDoc's JSON surface
+// (the subset vcreport reads).
+type tsDoc struct {
+	IntervalS    float64    `json:"interval_s"`
+	WindowsTotal int64      `json:"windows_total"`
+	Windows      []tsWindow `json:"windows"`
+}
+
+type tsWindow struct {
+	Index         int64     `json:"index"`
+	StartS        float64   `json:"start_s"`
+	EndS          float64   `json:"end_s"`
+	Events        int64     `json:"events"`
+	Commits       int64     `json:"commits"`
+	Rejects       int64     `json:"rejects"`
+	Conflicts     int64     `json:"conflicts"`
+	Arrivals      int64     `json:"arrivals"`
+	Drops         int64     `json:"drops"`
+	Orphans       int64     `json:"orphans"`
+	EvacRejects   int64     `json:"evac_rejects"`
+	Faults        int64     `json:"faults"`
+	Incident      int       `json:"incident"`
+	IncidentKind  string    `json:"incident_kind"`
+	CommitsPerS   float64   `json:"commits_per_s"`
+	RejectRatio   float64   `json:"reject_ratio"`
+	ConflictRatio float64   `json:"conflict_ratio"`
+	DropRatio     float64   `json:"drop_ratio"`
+	Classes       []tsClass `json:"classes"`
+}
+
+type tsClass struct {
+	Class  string `json:"class"`
+	DelayN int64  `json:"delay_n"`
+	P99US  int64  `json:"delay_p99_us"`
+}
+
+// alertsDoc mirrors telemetry.AlertsDoc's JSON surface.
+type alertsDoc struct {
+	IntervalS float64 `json:"interval_s"`
+	Status    []struct {
+		Rule          string  `json:"rule"`
+		Firing        bool    `json:"firing"`
+		Fires         int     `json:"fires"`
+		Resolves      int     `json:"resolves"`
+		FiringS       float64 `json:"firing_s"`
+		MaxFastBurn   float64 `json:"max_fast_burn"`
+		FiringWindows int64   `json:"firing_windows"`
+	} `json:"status"`
+	Events []struct {
+		Rule         string  `json:"rule"`
+		State        string  `json:"state"`
+		TimeS        float64 `json:"time_s"`
+		FastBurn     float64 `json:"fast_burn"`
+		SlowBurn     float64 `json:"slow_burn"`
+		Incident     int     `json:"incident"`
+		IncidentKind string  `json:"incident_kind"`
+	} `json:"events"`
+}
+
+func loadJSONDoc(path string, into interface{}) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// healthAggregates flattens one timeseries document into run-level
+// comparables. Ratio means are event-weighted (totals over totals, not a
+// mean of per-window ratios), so sparse windows don't dominate.
+func healthAggregates(doc *tsDoc) map[string]float64 {
+	var commits, rejects, nochange, conflicts, arrivals, drops, orphans, evacRej int64
+	var unhealthy int64
+	classN := map[string]int64{}
+	classP99Sum := map[string]float64{}
+	var horizon float64
+	for i := range doc.Windows {
+		w := &doc.Windows[i]
+		commits += w.Commits
+		rejects += w.Rejects
+		conflicts += w.Conflicts
+		arrivals += w.Arrivals
+		drops += w.Drops
+		orphans += w.Orphans
+		evacRej += w.EvacRejects
+		if w.DropRatio > 0 {
+			unhealthy++
+		}
+		horizon += doc.IntervalS
+		for _, c := range w.Classes {
+			if c.DelayN > 0 {
+				classN[c.Class]++
+				classP99Sum[c.Class] += float64(c.P99US)
+			}
+		}
+	}
+	_ = nochange
+	agg := map[string]float64{
+		"windows":           float64(len(doc.Windows)),
+		"commits_per_s":     0,
+		"reject_ratio":      0,
+		"conflict_ratio":    0,
+		"drop_ratio":        0,
+		"unhealthy_windows": float64(unhealthy),
+	}
+	if horizon > 0 {
+		agg["commits_per_s"] = float64(commits) / horizon
+	}
+	if t := commits + rejects; t > 0 {
+		agg["reject_ratio"] = float64(rejects) / float64(t)
+	}
+	if t := commits + conflicts; t > 0 {
+		agg["conflict_ratio"] = float64(conflicts) / float64(t)
+	}
+	if t := arrivals + orphans; t > 0 {
+		agg["drop_ratio"] = float64(drops+evacRej) / float64(t)
+	}
+	for c, n := range classN {
+		agg["delay_p99_us/"+c] = classP99Sum[c] / float64(n)
+	}
+	return agg
+}
+
+// healthDir gives each health comparable its direction (higher/lower
+// better); per-class delay keys match by prefix.
+func healthDir(key string) int {
+	if key == "commits_per_s" {
+		return +1
+	}
+	return -1
+}
+
+func reportTimeseries(w io.Writer, path string) error {
+	var doc tsDoc
+	if err := loadJSONDoc(path, &doc); err != nil {
+		return err
+	}
+	agg := healthAggregates(&doc)
+	fmt.Fprintf(w, "timeseries: %d windows held (%d total, %.0fs each)\n",
+		len(doc.Windows), doc.WindowsTotal, doc.IntervalS)
+	fmt.Fprintf(w, "  commits %.2f/s, reject ratio %.4f, conflict ratio %.4f, drop ratio %.4f, %d window(s) with drops\n",
+		agg["commits_per_s"], agg["reject_ratio"], agg["conflict_ratio"], agg["drop_ratio"],
+		int(agg["unhealthy_windows"]))
+	var classes []string
+	for k := range agg {
+		if strings.HasPrefix(k, "delay_p99_us/") {
+			classes = append(classes, strings.TrimPrefix(k, "delay_p99_us/"))
+		}
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(w, "  class %-12s mean windowed p99 delay %.0fµs\n", c, agg["delay_p99_us/"+c])
+	}
+	// Incident-marked windows show where faults landed in the series.
+	last := 0
+	for i := range doc.Windows {
+		w2 := &doc.Windows[i]
+		if w2.Incident != 0 && w2.Incident != last && w2.Faults > 0 {
+			fmt.Fprintf(w, "  incident %d (%s) in window %d [%.0fs, %.0fs): drop ratio %.3f\n",
+				w2.Incident, w2.IncidentKind, w2.Index, w2.StartS, w2.EndS, w2.DropRatio)
+			last = w2.Incident
+		}
+	}
+	return nil
+}
+
+func reportAlerts(w io.Writer, path string) error {
+	var doc alertsDoc
+	if err := loadJSONDoc(path, &doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "alerts: %d transitions\n", len(doc.Events))
+	for _, ev := range doc.Events {
+		inc := ""
+		if ev.Incident != 0 {
+			inc = fmt.Sprintf(" incident=%d(%s)", ev.Incident, ev.IncidentKind)
+		}
+		fmt.Fprintf(w, "  t=%7.1fs %-7s %-18s fast burn %.1f slow burn %.1f%s\n",
+			ev.TimeS, ev.State, ev.Rule, ev.FastBurn, ev.SlowBurn, inc)
+	}
+	total := 0.0
+	for _, st := range doc.Status {
+		total += st.FiringS
+		fmt.Fprintf(w, "  rule %-18s fires=%d resolves=%d alert minutes %.2f, max fast burn %.1f\n",
+			st.Rule, st.Fires, st.Resolves, st.FiringS/60, st.MaxFastBurn)
+	}
+	fmt.Fprintf(w, "  total alert minutes: %.2f\n", total/60)
+	return nil
+}
+
+// reportMetrics summarizes a final /metrics.json snapshot: totals per
+// counter family plus the latency-histogram percentiles.
+func reportMetrics(w io.Writer, path string) error {
+	var doc struct {
+		Metrics []struct {
+			Name  string            `json:"name"`
+			Type  string            `json:"type"`
+			Label map[string]string `json:"labels"`
+			Value float64           `json:"value"`
+			Count int64             `json:"count"`
+			P50   int64             `json:"p50"`
+			P99   int64             `json:"p99"`
+		} `json:"metrics"`
+	}
+	if err := loadJSONDoc(path, &doc); err != nil {
+		return err
+	}
+	if len(doc.Metrics) == 0 {
+		return fmt.Errorf("%s: no metrics; not a /metrics.json snapshot?", path)
+	}
+	counters := map[string]float64{}
+	var names []string
+	fmt.Fprintf(w, "metrics: %d instruments in snapshot\n", len(doc.Metrics))
+	for _, m := range doc.Metrics {
+		switch m.Type {
+		case "counter":
+			if _, seen := counters[m.Name]; !seen {
+				names = append(names, m.Name)
+			}
+			counters[m.Name] += m.Value
+		case "histogram":
+			if m.Count > 0 {
+				fmt.Fprintf(w, "  %-38s n=%-7d p50=%-10d p99=%d\n", m.Name, m.Count, m.P50, m.P99)
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if counters[n] > 0 {
+			fmt.Fprintf(w, "  %-38s total=%.0f\n", n, counters[n])
+		}
+	}
+	return nil
+}
+
+// reportHealthAB compares two runs' windowed-health aggregates (plus alert
+// minutes when timelines are given) and returns the regression count.
+func reportHealthAB(w io.Writer, pathA, pathB, alertsA, alertsB string, tol float64) (int, error) {
+	var a, b tsDoc
+	if err := loadJSONDoc(pathA, &a); err != nil {
+		return 0, err
+	}
+	if err := loadJSONDoc(pathB, &b); err != nil {
+		return 0, err
+	}
+	aggA, aggB := healthAggregates(&a), healthAggregates(&b)
+	if alertsA != "" {
+		var da, db alertsDoc
+		if err := loadJSONDoc(alertsA, &da); err != nil {
+			return 0, err
+		}
+		if err := loadJSONDoc(alertsB, &db); err != nil {
+			return 0, err
+		}
+		sum := func(d *alertsDoc) (s float64) {
+			for _, st := range d.Status {
+				s += st.FiringS
+			}
+			return s / 60
+		}
+		aggA["alert_minutes"], aggB["alert_minutes"] = sum(&da), sum(&db)
+	}
+	keys := make([]string, 0, len(aggA))
+	for k := range aggA {
+		if k == "windows" {
+			continue // context, not a health comparable
+		}
+		if _, ok := aggB[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "health A/B: %s → %s (tolerance ±%.0f%%)\n", pathA, pathB, tol*100)
+	regressions, improvements := 0, 0
+	for _, k := range keys {
+		va, vb := aggA[k], aggB[k]
+		var rel float64
+		switch {
+		case va == vb:
+			continue
+		case va == 0:
+			fmt.Fprintf(w, "  note     %-30s %12.4g → %-12.4g (zero baseline, not judged)\n", k, va, vb)
+			continue
+		default:
+			rel = (vb - va) / va
+		}
+		worse := rel * float64(healthDir(k))
+		switch {
+		case worse < -tol:
+			regressions++
+			fmt.Fprintf(w, "  REGRESS  %-30s %12.4g → %-12.4g (%+.1f%%)\n", k, va, vb, rel*100)
+		case worse > tol:
+			improvements++
+			fmt.Fprintf(w, "  improve  %-30s %12.4g → %-12.4g (%+.1f%%)\n", k, va, vb, rel*100)
+		}
+	}
+	verdict := "PASS"
+	if regressions > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "health verdict: %s — %d aggregates compared, %d regressions, %d improvements\n",
+		verdict, len(keys), regressions, improvements)
+	return regressions, nil
+}
 
 // ---- per-class delay + fairness from a decision trace --------------------
 

@@ -64,6 +64,14 @@ func run(args []string, w io.Writer) error {
 		spanOut  = fs.String("span-out", "", "churn: write the finished causal spans as JSONL to this file")
 		linger   = fs.Float64("linger", 0, "churn: keep the -listen endpoint up this many wall seconds after the run")
 
+		slo         = fs.Bool("slo", false, "churn: evaluate burn-rate SLO alerts over the health sampler windows and print the alert timeline")
+		sloDelayMS  = fs.Float64("slo-delay-ms", 400, "churn: per-class p-high session-delay SLO target (ms) for -slo")
+		sampleEvery = fs.Float64("sample-every", 1, "churn: health sampler window length (virtual seconds; 0 disables sampling)")
+		metricsOut  = fs.String("metrics-out", "", "churn: write the final /metrics.json snapshot to this file")
+		tsOut       = fs.String("timeseries-out", "", "churn: write the health sampler windows (/timeseries.json) to this file")
+		alertsOut   = fs.String("alerts-out", "", "churn: write the SLO alert timeline (/alerts.json) to this file")
+		flightOut   = fs.String("flightrec-out", "", "churn: write the flight-recorder dumps (/flightrec.json) to this file")
+
 		chaos      = fs.Bool("chaos", false, "chaos mode: regional fleet churn with seeded fault injection (agent failures, regional outages, degradations, flash crowds)")
 		agents     = fs.Int("agents", 24, "chaos: fleet size")
 		regions    = fs.Int("regions", 4, "chaos: fleet regions")
@@ -147,6 +155,13 @@ func run(args []string, w io.Writer) error {
 			traceOut:    *traceOut,
 			spanOut:     *spanOut,
 			linger:      *linger,
+			slo:         *slo,
+			sloDelayMS:  *sloDelayMS,
+			sampleEvery: *sampleEvery,
+			metricsOut:  *metricsOut,
+			tsOut:       *tsOut,
+			alertsOut:   *alertsOut,
+			flightOut:   *flightOut,
 			chaos:       *chaos,
 			agentRegion: agentRegion,
 			homes:       homes,
@@ -271,6 +286,45 @@ func printHealBreakdown(w io.Writer, sink *telemetry.Sink, incidents int) {
 		sums["re-balance"].Round(time.Microsecond))
 }
 
+// printHealthSummary prints the SLO alert timeline, per-rule burn-rate
+// status and the flight-recorder activity — the human-readable face of
+// /alerts.json and /flightrec.json. All virtual-time, so the block is
+// byte-identical across same-seed runs.
+func printHealthSummary(w io.Writer, sink *telemetry.Sink) {
+	if eng := sink.Alerts(); eng != nil {
+		for _, ev := range eng.Events() {
+			inc := ""
+			if ev.Incident != 0 {
+				inc = fmt.Sprintf(" incident=%d(%s)", ev.Incident, ev.IncidentKind)
+			}
+			fmt.Fprintf(w, "slo: t=%7.1fs %-7s %-18s fast burn %.1f slow burn %.1f%s\n",
+				ev.TimeS, ev.State, ev.Rule, ev.FastBurn, ev.SlowBurn, inc)
+		}
+		for _, rs := range eng.Summary() {
+			fmt.Fprintf(w, "slo: rule %-18s fires=%d resolves=%d firing %.0fs (%d windows), max fast burn %.1f\n",
+				rs.Rule, rs.Fires, rs.Resolves, rs.FiringS, rs.FiringWindows, rs.MaxFastBurn)
+		}
+	}
+	if fl := sink.Flight(); fl != nil {
+		if dumps := fl.Dumps(); len(dumps) > 0 || fl.Dropped() > 0 {
+			fmt.Fprintf(w, "flightrec: %d dumps frozen (%d dropped)\n", len(dumps), fl.Dropped())
+		}
+	}
+}
+
+// writeDoc streams one exposition document to a file.
+func writeDoc(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
 // churnOpts bundles the -churn mode knobs (the flag surface of runChurn).
 type churnOpts struct {
 	params    cost.Params
@@ -288,6 +342,16 @@ type churnOpts struct {
 	traceOut  string
 	spanOut   string
 	linger    float64
+	// Health monitoring: slo enables the stock burn-rate rule set with
+	// sloDelayMS as the per-class delay target; sampleEvery sizes the
+	// sampler windows; the *Out paths dump the exposition documents.
+	slo         bool
+	sloDelayMS  float64
+	sampleEvery float64
+	metricsOut  string
+	tsOut       string
+	alertsOut   string
+	flightOut   string
 	// chaos mode: events is the pre-merged churn+fault schedule (nil falls
 	// back to plain Poisson churn), agentRegion maps agent → region for the
 	// orchestrator's regional healing, homes maps session → home region for
@@ -322,19 +386,31 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 	// mode always builds one — the heal-phase breakdown reads the span
 	// ring.
 	var sink *telemetry.Sink
-	if opts.listen != "" || opts.traceOut != "" || opts.spanOut != "" || opts.chaos {
+	if opts.listen != "" || opts.traceOut != "" || opts.spanOut != "" || opts.chaos || opts.slo ||
+		opts.metricsOut != "" || opts.tsOut != "" || opts.alertsOut != "" || opts.flightOut != "" {
 		workers := opts.shards
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		sink = telemetry.New(telemetry.Config{
+		cfg := telemetry.Config{
 			Workers:       workers,
 			TraceCapacity: len(events) + 8,
 			SessionRegion: opts.homes,
 			SpanCapacity:  16 * (len(events) + 8),
 			Classes:       workload.SLOClassNames,
 			SessionClass:  workload.SessionClasses(sc, 0),
-		})
+		}
+		if opts.sampleEvery > 0 {
+			cfg.Sample = &telemetry.SamplerConfig{IntervalS: opts.sampleEvery}
+		}
+		if opts.slo {
+			targets := make(map[string]int64, len(workload.SLOClassNames))
+			for _, c := range workload.SLOClassNames {
+				targets[c] = int64(opts.sloDelayMS * 1000)
+			}
+			cfg.SLO = telemetry.DefaultSLORules(workload.SLOClassNames, targets)
+		}
+		sink = telemetry.New(cfg)
 	}
 	if opts.listen != "" {
 		srv, err := telemetry.Serve(sink, opts.listen)
@@ -342,7 +418,7 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(w, "telemetry: serving /metrics, /trace.jsonl, /spans.jsonl, /trace.chrome.json, /debug/pprof on http://%s\n", srv.Addr())
+		fmt.Fprintf(w, "telemetry: serving /metrics, /trace.jsonl, /spans.jsonl, /trace.chrome.json, /timeseries.json, /alerts.json, /flightrec.json, /debug/pprof on http://%s\n", srv.Addr())
 	}
 
 	ocfg := orchestrator.DefaultConfig(opts.seed)
@@ -425,6 +501,10 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 		}
 	}
 
+	// Close the sampler's partial tail window so the final series, alert
+	// evaluation and file dumps cover the whole horizon.
+	sink.FlushSampler()
+
 	st := orc.Stats()
 	rts := rt.Stats()
 	meanLat := "n/a"
@@ -443,6 +523,7 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 			st.DegradedRejects)
 		printHealBreakdown(w, sink, st.Incidents)
 	}
+	printHealthSummary(w, sink)
 
 	active := orc.ActiveSessions()
 	switch {
@@ -503,6 +584,30 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 			return fmt.Errorf("span-out: %w", werr)
 		}
 		fmt.Fprintf(w, "spans: wrote %d span records to %s\n", sink.Spans().Len(), opts.spanOut)
+	}
+	if opts.metricsOut != "" {
+		if err := writeDoc(opts.metricsOut, sink.Registry().WriteJSON); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+		fmt.Fprintf(w, "metrics: wrote final snapshot to %s\n", opts.metricsOut)
+	}
+	if opts.tsOut != "" {
+		if err := writeDoc(opts.tsOut, sink.Sampler().WriteJSON); err != nil {
+			return fmt.Errorf("timeseries-out: %w", err)
+		}
+		fmt.Fprintf(w, "timeseries: wrote %d windows to %s\n", sink.Sampler().TotalWindows(), opts.tsOut)
+	}
+	if opts.alertsOut != "" {
+		if err := writeDoc(opts.alertsOut, sink.Alerts().WriteJSON); err != nil {
+			return fmt.Errorf("alerts-out: %w", err)
+		}
+		fmt.Fprintf(w, "alerts: wrote %d transitions to %s\n", len(sink.Alerts().Events()), opts.alertsOut)
+	}
+	if opts.flightOut != "" {
+		if err := writeDoc(opts.flightOut, sink.Flight().WriteJSON); err != nil {
+			return fmt.Errorf("flightrec-out: %w", err)
+		}
+		fmt.Fprintf(w, "flightrec: wrote %d dumps to %s\n", len(sink.Flight().Dumps()), opts.flightOut)
 	}
 	if opts.listen != "" && opts.linger > 0 {
 		// Keep the endpoint alive so an external scraper (e.g. the CI smoke

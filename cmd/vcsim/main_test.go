@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -181,5 +182,160 @@ func TestRunRejectsBadFlag(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-nope"}, &buf); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// sloFlags is the seeded chaos scenario the SLO acceptance tests run: a
+// regional outage around t=12 pushes evacuation rejects over the 1%
+// availability budget, firing the burn-rate alert, which resolves after
+// the region heals.
+func sloFlags(extra ...string) []string {
+	return append([]string{"-churn", "-chaos", "-slo", "-duration", "120",
+		"-rate", "0.2", "-hold", "60", "-interval", "30", "-users", "48",
+		"-agents", "16", "-regions", "4", "-shards", "2", "-seed", "7"}, extra...)
+}
+
+func TestRunChaosSLOAlertTimeline(t *testing.T) {
+	dir := t.TempDir()
+	alertsA := filepath.Join(dir, "alertsA.json")
+	alertsB := filepath.Join(dir, "alertsB.json")
+	flight := filepath.Join(dir, "flight.json")
+
+	var bufA bytes.Buffer
+	if err := run(sloFlags("-alerts-out", alertsA, "-flightrec-out", flight), &bufA); err != nil {
+		t.Fatalf("run chaos slo: %v", err)
+	}
+	out := bufA.String()
+	for _, want := range []string{"slo: t=", "flightrec:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, want := range []string{`fire\s+availability`, `resolve\s+availability`} {
+		if !regexp.MustCompile(want).MatchString(out) {
+			t.Fatalf("output missing %s:\n%s", want, out)
+		}
+	}
+
+	var bufB bytes.Buffer
+	if err := run(sloFlags("-alerts-out", alertsB), &bufB); err != nil {
+		t.Fatalf("run chaos slo (again): %v", err)
+	}
+	a, err := os.ReadFile(alertsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(alertsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("alert timeline is not byte-identical across same-seed runs")
+	}
+
+	// The timeline must contain a fire during an injected incident and a
+	// later resolve of the same rule.
+	var alerts struct {
+		Events []struct {
+			Rule         string  `json:"rule"`
+			State        string  `json:"state"`
+			TimeS        float64 `json:"time_s"`
+			Incident     int     `json:"incident"`
+			IncidentKind string  `json:"incident_kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(a, &alerts); err != nil {
+		t.Fatalf("alerts file is not JSON: %v", err)
+	}
+	fireIncident, fireAt := 0, -1.0
+	resolved := false
+	for _, ev := range alerts.Events {
+		if ev.State == "fire" && ev.Incident > 0 && fireAt < 0 {
+			fireIncident, fireAt = ev.Incident, ev.TimeS
+			if ev.IncidentKind == "" {
+				t.Fatalf("fire event missing incident kind: %+v", ev)
+			}
+		}
+		if ev.State == "resolve" && fireAt >= 0 && ev.TimeS > fireAt {
+			resolved = true
+		}
+	}
+	if fireIncident == 0 {
+		t.Fatalf("no alert fired during an injected incident:\n%s", a)
+	}
+	if !resolved {
+		t.Fatalf("alert never resolved after firing:\n%s", a)
+	}
+
+	// The flight recorder must hold a dump correlated to that incident id.
+	fr, err := os.ReadFile(flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Dumps []struct {
+			Trigger  string `json:"trigger"`
+			Incident int    `json:"incident"`
+		} `json:"dumps"`
+	}
+	if err := json.Unmarshal(fr, &doc); err != nil {
+		t.Fatalf("flightrec file is not JSON: %v", err)
+	}
+	correlated := false
+	for _, d := range doc.Dumps {
+		if d.Incident == fireIncident {
+			correlated = true
+		}
+	}
+	if !correlated {
+		t.Fatalf("no flight dump correlated to incident %d:\n%s", fireIncident, fr)
+	}
+}
+
+func TestRunChurnHealthFileOutputs(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	ts := filepath.Join(dir, "ts.json")
+	var buf bytes.Buffer
+	err := run([]string{"-churn", "-duration", "60", "-rate", "0.1", "-hold", "60",
+		"-interval", "30", "-users", "24", "-shards", "2",
+		"-metrics-out", metrics, "-timeseries-out", ts}, &buf)
+	if err != nil {
+		t.Fatalf("run churn with health outputs: %v", err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	mb, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, m := range snap.Metrics {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"vconf_commits_total", "vconf_events_total"} {
+		if !names[want] {
+			t.Fatalf("metrics snapshot missing %s", want)
+		}
+	}
+	var tsDoc struct {
+		IntervalS float64          `json:"interval_s"`
+		Windows   []map[string]any `json:"windows"`
+	}
+	tb, err := os.ReadFile(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(tb, &tsDoc); err != nil {
+		t.Fatalf("timeseries file is not JSON: %v", err)
+	}
+	if tsDoc.IntervalS != 1 || len(tsDoc.Windows) == 0 {
+		t.Fatalf("timeseries doc wrong: interval=%v windows=%d", tsDoc.IntervalS, len(tsDoc.Windows))
 	}
 }

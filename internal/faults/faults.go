@@ -215,6 +215,18 @@ func Schedule(cfg Config) ([]workload.Event, error) {
 	// Streams were appended in a fixed order, so a stable sort on time alone
 	// keeps the schedule a pure function of the Config.
 	sort.SliceStable(events, func(i, j int) bool { return events[i].TimeS < events[j].TimeS })
+	// Incident ids number the fault-kind events in schedule order (1-based;
+	// burst arrivals/departures stay 0 like ordinary churn). Assigned after
+	// the sort so the id ↔ time order correlation survives any mix of
+	// processes, giving telemetry a deterministic key to join alert
+	// timelines and flight-recorder dumps against.
+	seq := 0
+	for i := range events {
+		if events[i].Kind.IsFault() {
+			seq++
+			events[i].Incident = seq
+		}
+	}
 	return events, nil
 }
 

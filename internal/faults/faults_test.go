@@ -158,6 +158,15 @@ func TestProcessIndependence(t *testing.T) {
 			fromFull = append(fromFull, e)
 		}
 	}
+	// Incident ids are a schedule-global sequence over the merged fault
+	// stream, so they legitimately renumber when other processes are
+	// disabled; compare the streams modulo that field.
+	for i := range fromFull {
+		fromFull[i].Incident = 0
+	}
+	for i := range agentOnly {
+		agentOnly[i].Incident = 0
+	}
 	if !reflect.DeepEqual(fromFull, agentOnly) {
 		t.Fatal("disabling other processes perturbed the agent-failure stream")
 	}

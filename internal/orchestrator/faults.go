@@ -112,6 +112,17 @@ func (o *Orchestrator) handleFault(e workload.Event) (EventReport, error) {
 	o.emitRecord(&rep, tally, false)
 	if res.incident {
 		o.tel.Incident(ttr.Nanoseconds())
+		// Freeze the black box for capacity-reducing incidents. The record
+		// just retired, so the flight recorder's incident marker already
+		// points at this event; per-incident dedupe keeps repeated triggers
+		// from burning the dump budget.
+		trigger := "fault"
+		if rep.EvacRejects > 0 {
+			trigger = "evac-reject"
+		}
+		o.tel.TriggerFlight(trigger, fmt.Sprintf(
+			"%s: %d orphans, %d evacuated, %d evac rejects",
+			e.Kind.String(), rep.Orphans, rep.Evacuated, rep.EvacRejects))
 	}
 	if err := o.takeRefErr(); err != nil {
 		return rep, err
@@ -230,9 +241,12 @@ func (o *Orchestrator) effScaleLocked(a int) float64 {
 }
 
 // applyScaleLocked pushes agent a's effective scale into the authoritative
-// ledger. Caller holds o.mu.
+// ledger, mirroring it into the flight recorder so incident dumps can read
+// the fleet's impairment map without taking o.mu. Caller holds o.mu.
 func (o *Orchestrator) applyScaleLocked(a int) error {
-	return o.ledger.SetCapacityScale(model.AgentID(a), o.effScaleLocked(a))
+	sc := o.effScaleLocked(a)
+	o.tel.SetCapacityScale(a, sc)
+	return o.ledger.SetCapacityScale(model.AgentID(a), sc)
 }
 
 // recomputeImpairedLocked refreshes the impaired-agent count driving

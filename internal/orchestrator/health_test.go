@@ -1,0 +1,226 @@
+package orchestrator
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+
+	"vconf/internal/model"
+	"vconf/internal/telemetry"
+	"vconf/internal/workload"
+)
+
+// healthConfig wires a sink with the windowed sampler and a tight
+// availability rule into a chaos-capable orchestrator config.
+func healthConfig(seed int64, fc workload.FleetConfig, nEvents int) (Config, *telemetry.Sink) {
+	sink := telemetry.New(telemetry.Config{
+		Workers:       4,
+		TraceCapacity: nEvents + 8,
+		SpanCapacity:  16 * (nEvents + 8),
+		Sample:        &telemetry.SamplerConfig{IntervalS: 5},
+		SLO: []telemetry.SLORule{{
+			Name: "availability", Kind: telemetry.RuleAvailability,
+			Budget: 0.01, FastWindows: 2, SlowWindows: 6, FireBurn: 5,
+		}},
+	})
+	cfg := chaosConfig(seed, fc)
+	cfg.Telemetry = sink
+	return cfg, sink
+}
+
+// healthDocs renders the sampler windows and alert timeline of one chaos
+// run on the given engine path.
+func healthDocs(t *testing.T, fc workload.FleetConfig, events []workload.Event, cfg Config, sink *telemetry.Sink) (string, string) {
+	t.Helper()
+	ev, boot, _ := chaosStack(t, fc)
+	o, err := New(ev, boot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.Run(events, 1e18); err != nil {
+		t.Fatal(err)
+	}
+	sink.FlushSampler()
+	var ts, al bytes.Buffer
+	if err := sink.Sampler().WriteJSON(&ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Alerts().WriteJSON(&al); err != nil {
+		t.Fatal(err)
+	}
+	return ts.String(), al.String()
+}
+
+// stallsField matches the one per-window field that is scheduler telemetry
+// rather than workload outcome: the pipelined dispatcher marks an event
+// stalled when an admission scan happens to pass over it, which depends on
+// goroutine timing. It is always zero on the serial path and may vary
+// run-to-run on the pipelined path; everything else must be byte-identical.
+var stallsField = regexp.MustCompile(`"stalls": \d+`)
+
+// TestHealthWindowsDeterministicAcrossPaths pins the sampler's central
+// claim: windows are filled from the serialized decision-record stream, so
+// the serial and pipelined engine paths — and repeated runs of either —
+// produce byte-identical /timeseries.json and /alerts.json documents,
+// modulo the stalls counter, which only the pipelined scheduler can bump.
+func TestHealthWindowsDeterministicAcrossPaths(t *testing.T) {
+	fc := chaosFleet(31)
+	_, _, homes := chaosStack(t, fc)
+	events := chaosSchedule(t, 31, fc, homes, 400, 0.10)
+	norm := func(s string) string { return stallsField.ReplaceAllString(s, `"stalls": 0`) }
+
+	serialCfg, serialSink := healthConfig(31, fc, len(events))
+	tsSerial, alSerial := healthDocs(t, fc, events, serialCfg, serialSink)
+
+	againCfg, againSink := healthConfig(31, fc, len(events))
+	tsAgain, alAgain := healthDocs(t, fc, events, againCfg, againSink)
+	if tsSerial != tsAgain || alSerial != alAgain {
+		t.Fatal("same path, same seed produced different health documents")
+	}
+
+	pipeCfg, pipeSink := healthConfig(31, fc, len(events))
+	pipeCfg.Pipeline = true
+	pipeCfg.MaxInFlight = 1
+	tsPipe, alPipe := healthDocs(t, fc, events, pipeCfg, pipeSink)
+
+	pipe2Cfg, pipe2Sink := healthConfig(31, fc, len(events))
+	pipe2Cfg.Pipeline = true
+	pipe2Cfg.MaxInFlight = 1
+	tsPipe2, alPipe2 := healthDocs(t, fc, events, pipe2Cfg, pipe2Sink)
+	if norm(tsPipe) != norm(tsPipe2) || alPipe != alPipe2 {
+		t.Fatal("pipelined path, same seed produced different health documents (beyond stalls)")
+	}
+
+	if norm(tsSerial) != norm(tsPipe) {
+		t.Fatal("pipelined path produced different sampler windows than serial (beyond stalls)")
+	}
+	if alSerial != alPipe {
+		t.Fatal("pipelined path produced a different alert timeline than serial")
+	}
+}
+
+// TestFaultsFreezeCorrelatedFlightDumps pins the orchestrator→flight
+// recorder wiring: capacity-reducing incidents freeze dumps carrying the
+// schedule's deterministic incident ids and kinds.
+func TestFaultsFreezeCorrelatedFlightDumps(t *testing.T) {
+	fc := chaosFleet(32)
+	_, _, homes := chaosStack(t, fc)
+	events := chaosSchedule(t, 32, fc, homes, 400, 0.10)
+	cfg, sink := healthConfig(32, fc, len(events))
+	_, _ = healthDocs(t, fc, events, cfg, sink)
+
+	// Index the schedule's incident ids → kinds.
+	kinds := map[int]string{}
+	for _, e := range events {
+		if e.Incident != 0 {
+			kinds[e.Incident] = e.Kind.String()
+		}
+	}
+	if len(kinds) == 0 {
+		t.Fatal("schedule carries no incident ids")
+	}
+	dumps := sink.Flight().Dumps()
+	if len(dumps) == 0 {
+		t.Fatal("chaos run froze no flight dumps")
+	}
+	faultDumps, withTail := 0, 0
+	for _, d := range dumps {
+		switch d.Trigger {
+		case "fault", "evac-reject":
+			faultDumps++
+			if d.Incident == 0 {
+				t.Fatalf("fault dump without incident id: %+v", d)
+			}
+			if want := kinds[d.Incident]; d.IncidentKind != want {
+				t.Fatalf("dump incident %d kind = %q, schedule says %q", d.Incident, d.IncidentKind, want)
+			}
+		case "alert":
+			if len(d.ActiveAlerts) == 0 {
+				t.Fatalf("alert dump without active alerts: %+v", d)
+			}
+		}
+		// Dumps frozen before the first sampling window closes carry an
+		// empty tail; later ones must not.
+		if len(d.Windows) > 0 {
+			withTail++
+		}
+	}
+	if faultDumps == 0 {
+		t.Fatal("no fault-triggered dumps across a chaos run")
+	}
+	if withTail == 0 {
+		t.Fatal("no dump carried a closed-window tail")
+	}
+}
+
+// TestInvariantFailureTriggersFlight pins the CheckInvariants wiring: a
+// failing check freezes an "invariant" dump before returning the error.
+func TestInvariantFailureTriggersFlight(t *testing.T) {
+	fc := chaosFleet(33)
+	_, _, homes := chaosStack(t, fc)
+	events := chaosSchedule(t, 33, fc, homes, 200, 0.12)
+	cfg, sink := healthConfig(33, fc, len(events))
+	ev, boot, _ := chaosStack(t, fc)
+	o, err := New(ev, boot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.Run(events, 1e18); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatalf("healthy state flagged: %v", err)
+	}
+	before := len(sink.Flight().Dumps())
+
+	// Sabotage the ledger out from under the live sessions: shrinking a
+	// loaded agent's capacity to (effectively) zero makes Fits fail.
+	sessions := o.ActiveSessions()
+	if len(sessions) == 0 {
+		t.Skip("no live sessions at horizon to violate")
+	}
+	for a := 0; a < fc.NumAgents; a++ {
+		_ = o.ledger.SetCapacityScale(model.AgentID(a), 1e-9)
+	}
+	err = o.CheckInvariants()
+	if err == nil {
+		t.Fatal("sabotaged ledger passed CheckInvariants")
+	}
+	dumps := sink.Flight().Dumps()
+	if len(dumps) != before+1 {
+		t.Fatalf("invariant failure froze %d dumps, want exactly 1 more than %d", len(dumps), before)
+	}
+	last := dumps[len(dumps)-1]
+	if last.Trigger != "invariant" || last.Reason != err.Error() {
+		t.Fatalf("invariant dump wrong: trigger=%q reason=%q, want the CheckInvariants error", last.Trigger, last.Reason)
+	}
+}
+
+// TestStatsQuantilesBatch pins the Stats percentile fill after the switch
+// to the batched Quantiles accessor: p50 ≤ p99 and both land on histogram
+// bucket bounds (no regression vs the repeated-Percentile fill).
+func TestStatsQuantilesBatch(t *testing.T) {
+	fc := chaosFleet(34)
+	_, _, homes := chaosStack(t, fc)
+	events := chaosSchedule(t, 34, fc, homes, 300, 0.10)
+	cfg, _ := healthConfig(34, fc, len(events))
+	ev, boot, _ := chaosStack(t, fc)
+	o, err := New(ev, boot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.Run(events, 1e18); err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.ReoptP50 < 0 || st.ReoptP99 < st.ReoptP50 {
+		t.Fatalf("reopt percentiles inverted: p50=%v p99=%v", st.ReoptP50, st.ReoptP99)
+	}
+	if st.Incidents > 0 && (st.RecoverP99 < st.RecoverP50 || st.RecoverP50 <= 0) {
+		t.Fatalf("recovery percentiles wrong: p50=%v p99=%v over %d incidents",
+			st.RecoverP50, st.RecoverP99, st.Incidents)
+	}
+}

@@ -587,6 +587,12 @@ func (o *Orchestrator) emitRecord(rep *EventReport, tally *eventTally, stalled b
 		ChosenAgent:    -1,
 		Objective:      rep.Objective,
 		ActiveSessions: rep.ActiveSessions,
+		// Fault-path outcomes ride on the record so the windowed sampler
+		// sees them on the serialized retire stream (zero for churn kinds).
+		Incident:    rep.Event.Incident,
+		Orphans:     rep.Orphans,
+		Evacuated:   rep.Evacuated,
+		EvacRejects: rep.EvacRejects,
 	}
 	switch rep.Event.Kind {
 	case workload.EventArrival:
@@ -819,12 +825,13 @@ func (o *Orchestrator) Now() float64 {
 // Stats returns a copy of the activity counters, including the latency
 // percentiles and (in pipelined mode) the scheduler telemetry.
 func (o *Orchestrator) Stats() Stats {
+	qs := []float64{0.50, 0.99}
 	o.mu.Lock()
 	st := o.stats
-	st.ReoptP50 = o.lat.PercentileDuration(0.50)
-	st.ReoptP99 = o.lat.PercentileDuration(0.99)
-	st.RecoverP50 = o.ttr.PercentileDuration(0.50)
-	st.RecoverP99 = o.ttr.PercentileDuration(0.99)
+	lat := o.lat.QuantilesDuration(qs)
+	ttr := o.ttr.QuantilesDuration(qs)
+	st.ReoptP50, st.ReoptP99 = lat[0], lat[1]
+	st.RecoverP50, st.RecoverP99 = ttr[0], ttr[1]
 	o.mu.Unlock()
 	if o.pipe != nil {
 		ps := o.pipe.Stats()
@@ -857,8 +864,18 @@ func (o *Orchestrator) Recomputes() int {
 // and delay-feasible, the ledger within every capacity, and the ledger
 // usage reconciling against the active sessions' loads recomputed from the
 // assignment — which catches lost, duplicated or half-committed sessions
-// after concurrent commit storms. Used by tests after every event.
+// after concurrent commit storms. Used by tests after every event. A
+// failure freezes a flight-recorder dump before returning, so the black
+// box captures the state that tripped the check.
 func (o *Orchestrator) CheckInvariants() error {
+	err := o.checkInvariants()
+	if err != nil {
+		o.tel.TriggerFlight("invariant", err.Error())
+	}
+	return err
+}
+
+func (o *Orchestrator) checkInvariants() error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if !o.ledger.Fits(nil) {

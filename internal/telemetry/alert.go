@@ -1,0 +1,359 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file is the SLO burn-rate alert engine, evaluated Google-SRE style
+// over the windowed sampler's series: each rule defines an error budget
+// and a "bad event" predicate; the burn rate over the last K windows is
+// (bad fraction)/(budget), and a rule fires only when BOTH a fast
+// (default 5-window) and a slow (default 60-window) burn exceed the
+// threshold — the fast window confirms the problem is still happening,
+// the slow window filters one-off blips whose budget impact is noise. A
+// firing rule resolves as soon as the fast burn drops back under the
+// threshold.
+//
+// Everything the engine consumes is virtual-time windowed data, so the
+// fire/resolve timeline is a pure function of the seed: /alerts.json is
+// byte-identical across same-seed runs.
+
+// Rule kinds.
+const (
+	// RuleDelay counts delay observations above TargetUS in Class (all
+	// classes when Class is empty) as bad; total is the class's delay
+	// observations.
+	RuleDelay = "delay"
+	// RuleAvailability counts dropped arrivals plus evacuation rejects as
+	// bad; total is arrivals plus orphans.
+	RuleAvailability = "availability"
+)
+
+// SLORule is one declarative SLO with its burn-rate alerting policy.
+type SLORule struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"` // RuleDelay or RuleAvailability
+	Class string `json:"class,omitempty"`
+	// TargetUS is the delay cap (µs) for RuleDelay.
+	TargetUS int64 `json:"target_us,omitempty"`
+	// Budget is the error budget: the tolerated bad-event fraction
+	// (e.g. 0.01 = 1%). Must be > 0.
+	Budget float64 `json:"budget"`
+	// FastWindows/SlowWindows are the two evaluation horizons in sampler
+	// windows (defaults 5 and 60). FireBurn is the burn-rate threshold
+	// both must exceed to fire (default 10 — bad fraction at 10× budget).
+	FastWindows int     `json:"fast_windows"`
+	SlowWindows int     `json:"slow_windows"`
+	FireBurn    float64 `json:"fire_burn"`
+}
+
+// withDefaults fills the zero-valued policy knobs.
+func (r SLORule) withDefaults() SLORule {
+	if r.FastWindows <= 0 {
+		r.FastWindows = 5
+	}
+	if r.SlowWindows <= 0 {
+		r.SlowWindows = 60
+	}
+	if r.FireBurn <= 0 {
+		r.FireBurn = 10
+	}
+	if r.Budget <= 0 {
+		r.Budget = 0.01
+	}
+	return r
+}
+
+// Validate checks a rule's shape.
+func (r SLORule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("telemetry: SLO rule needs a name")
+	}
+	switch r.Kind {
+	case RuleDelay:
+		if r.TargetUS <= 0 {
+			return fmt.Errorf("telemetry: delay rule %q needs a positive target", r.Name)
+		}
+	case RuleAvailability:
+	default:
+		return fmt.Errorf("telemetry: rule %q has unknown kind %q", r.Name, r.Kind)
+	}
+	if r.Budget < 0 || r.Budget > 1 {
+		return fmt.Errorf("telemetry: rule %q budget %v outside [0, 1]", r.Name, r.Budget)
+	}
+	return nil
+}
+
+// AlertEvent is one fire or resolve transition on the deterministic alert
+// timeline. Window/TimeS index the closed window that triggered the
+// transition; Incident correlates with the fault schedule's incident ids.
+type AlertEvent struct {
+	Seq          int     `json:"seq"`
+	Rule         string  `json:"rule"`
+	State        string  `json:"state"` // "fire" | "resolve"
+	Window       int64   `json:"window"`
+	TimeS        float64 `json:"time_s"`
+	FastBurn     float64 `json:"fast_burn"`
+	SlowBurn     float64 `json:"slow_burn"`
+	Incident     int     `json:"incident,omitempty"`
+	IncidentKind string  `json:"incident_kind,omitempty"`
+}
+
+// RuleStatus summarizes one rule's run-to-date alerting activity.
+type RuleStatus struct {
+	Rule          string  `json:"rule"`
+	Firing        bool    `json:"firing"`
+	Fires         int     `json:"fires"`
+	Resolves      int     `json:"resolves"`
+	FiringWindows int64   `json:"firing_windows"`
+	FiringS       float64 `json:"firing_s"`
+	MaxFastBurn   float64 `json:"max_fast_burn"`
+}
+
+// alertEventCap bounds the timeline (a run that trips it is misconfigured
+// rather than interesting; drops are counted, not silent).
+const alertEventCap = 4096
+
+// AlertEngine evaluates a rule set over the sampler's closed windows.
+type AlertEngine struct {
+	mu       sync.Mutex
+	interval float64
+	rules    []SLORule
+	firing   []bool
+	status   []RuleStatus
+	events   []AlertEvent
+	dropped  int64
+
+	firingGauge *Gauge
+	transitions [][2]*Counter // per rule: [fire, resolve]
+	shard       int
+
+	// onFire receives every fire transition with the ring tail that
+	// produced it and the then-firing rule names (the sink routes it to
+	// the flight recorder). Called with the engine lock held, so the
+	// callback must not call back into the engine.
+	onFire func(rule SLORule, ev AlertEvent, tail []Window, active []string)
+}
+
+// newAlertEngine validates and normalizes the rule set.
+func newAlertEngine(rules []SLORule, interval float64) (*AlertEngine, error) {
+	e := &AlertEngine{interval: interval}
+	for _, r := range rules {
+		r = r.withDefaults()
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		e.rules = append(e.rules, r)
+		e.status = append(e.status, RuleStatus{Rule: r.Name})
+	}
+	e.firing = make([]bool, len(e.rules))
+	return e, nil
+}
+
+// maxWindows is the deepest window horizon any rule needs.
+func (e *AlertEngine) maxWindows() int {
+	n := 1
+	for _, r := range e.rules {
+		if r.SlowWindows > n {
+			n = r.SlowWindows
+		}
+		if r.FastWindows > n {
+			n = r.FastWindows
+		}
+	}
+	return n
+}
+
+// burn computes the burn rate of rule r over the trailing k windows of
+// tail: (bad fraction)/(budget), 0 when no eligible events landed.
+func burn(r SLORule, tail []Window, k int) float64 {
+	if k > len(tail) {
+		k = len(tail)
+	}
+	var bad, total int64
+	for i := len(tail) - k; i < len(tail); i++ {
+		w := &tail[i]
+		switch r.Kind {
+		case RuleDelay:
+			for ci := range w.Classes {
+				cw := &w.Classes[ci]
+				if r.Class != "" && cw.Class != r.Class {
+					continue
+				}
+				bad += cw.AboveUS(r.TargetUS)
+				total += cw.DelayN
+			}
+		case RuleAvailability:
+			bad += w.Drops + w.EvacRejects
+			total += w.Arrivals + w.Orphans
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(bad) / float64(total) / r.Budget
+}
+
+// observe evaluates every rule against the freshly closed window (last in
+// tail). Called from the sampler's onClose hook on the retire path.
+func (e *AlertEngine) observe(w *Window, tail []Window) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	nFiring := 0
+	for i, r := range e.rules {
+		fast := burn(r, tail, r.FastWindows)
+		slow := burn(r, tail, r.SlowWindows)
+		if fast > e.status[i].MaxFastBurn {
+			e.status[i].MaxFastBurn = fast
+		}
+		switch {
+		case !e.firing[i] && fast >= r.FireBurn && slow >= r.FireBurn:
+			e.firing[i] = true
+			e.status[i].Firing = true
+			e.status[i].Fires++
+			e.appendLocked(i, "fire", w, fast, slow, tail)
+		case e.firing[i] && fast < r.FireBurn:
+			e.firing[i] = false
+			e.status[i].Firing = false
+			e.status[i].Resolves++
+			e.appendLocked(i, "resolve", w, fast, slow, nil)
+		}
+		if e.firing[i] {
+			e.status[i].FiringWindows++
+			e.status[i].FiringS = float64(e.status[i].FiringWindows) * e.interval
+			nFiring++
+		}
+	}
+	if e.firingGauge != nil {
+		e.firingGauge.Set(float64(nFiring))
+	}
+}
+
+// appendLocked records one transition (and routes fires to onFire).
+func (e *AlertEngine) appendLocked(rule int, state string, w *Window, fast, slow float64, tail []Window) {
+	ev := AlertEvent{
+		Seq:          len(e.events) + int(e.dropped),
+		Rule:         e.rules[rule].Name,
+		State:        state,
+		Window:       w.Index,
+		TimeS:        w.EndS,
+		FastBurn:     fast,
+		SlowBurn:     slow,
+		Incident:     w.Incident,
+		IncidentKind: w.IncidentKind,
+	}
+	if len(e.events) >= alertEventCap {
+		e.dropped++
+	} else {
+		e.events = append(e.events, ev)
+	}
+	if e.transitions != nil {
+		k := 0
+		if state == "resolve" {
+			k = 1
+		}
+		e.transitions[rule][k].Inc(e.shard)
+	}
+	if state == "fire" && e.onFire != nil {
+		var active []string
+		for j, f := range e.firing {
+			if f {
+				active = append(active, e.rules[j].Name)
+			}
+		}
+		e.onFire(e.rules[rule], ev, tail, active)
+	}
+}
+
+// Events returns the transition timeline in order.
+func (e *AlertEngine) Events() []AlertEvent {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]AlertEvent(nil), e.events...)
+}
+
+// Summary returns each rule's run-to-date status.
+func (e *AlertEngine) Summary() []RuleStatus {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]RuleStatus(nil), e.status...)
+}
+
+// ActiveAlerts lists the names of the currently firing rules.
+func (e *AlertEngine) ActiveAlerts() []string {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for i, f := range e.firing {
+		if f {
+			out = append(out, e.rules[i].Name)
+		}
+	}
+	return out
+}
+
+// AlertsDoc is the /alerts.json document shape (also what vcreport
+// ingests offline).
+type AlertsDoc struct {
+	IntervalS float64      `json:"interval_s"`
+	Rules     []SLORule    `json:"rules"`
+	Status    []RuleStatus `json:"status"`
+	Events    []AlertEvent `json:"events"`
+	Dropped   int64        `json:"dropped,omitempty"`
+}
+
+// WriteJSON renders the rule set, per-rule status and the deterministic
+// transition timeline. Works on a nil engine (empty document).
+func (e *AlertEngine) WriteJSON(w io.Writer) error {
+	doc := AlertsDoc{Rules: []SLORule{}, Status: []RuleStatus{}, Events: []AlertEvent{}}
+	if e != nil {
+		e.mu.Lock()
+		doc.IntervalS = e.interval
+		doc.Rules = append(doc.Rules, e.rules...)
+		doc.Status = append(doc.Status, e.status...)
+		doc.Events = append(doc.Events, e.events...)
+		doc.Dropped = e.dropped
+		e.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DefaultSLORules is the stock -slo rule set: an availability SLO over
+// admission (1% budget) plus a p-high delay SLO per configured class at
+// the given per-class µs targets (classes missing from targets get no
+// delay rule).
+func DefaultSLORules(classes []string, targetUS map[string]int64) []SLORule {
+	rules := []SLORule{{
+		Name:   "availability",
+		Kind:   RuleAvailability,
+		Budget: 0.01,
+	}}
+	for _, c := range classes {
+		t, ok := targetUS[c]
+		if !ok || t <= 0 {
+			continue
+		}
+		rules = append(rules, SLORule{
+			Name:     c + "-delay",
+			Kind:     RuleDelay,
+			Class:    c,
+			TargetUS: t,
+			Budget:   0.05,
+		})
+	}
+	return rules
+}

@@ -15,7 +15,14 @@ import (
 //	/spans.jsonl        the span ring, one JSON object per line
 //	/trace.chrome.json  records + spans merged into one Chrome trace-event
 //	                    file (spans nested as a causal flame graph)
+//	/timeseries.json    the windowed sampler's closed windows
+//	/alerts.json        SLO rules, per-rule status and the deterministic
+//	                    alert fire/resolve timeline
+//	/flightrec.json     the incident flight recorder's frozen dumps
 //	/debug/pprof/...    the standard runtime profiles
+//
+// The health-monitoring endpoints serve valid empty documents when the
+// sampler/alert engine is off, so scrapers never need feature detection.
 //
 // Returns a 503-only handler on a nil sink, so a disabled sink can still
 // be mounted unconditionally.
@@ -54,6 +61,24 @@ func (s *Sink) Handler() http.Handler {
 	mux.HandleFunc("/trace.chrome.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := s.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/timeseries.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.sampler.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/alerts.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.alerts.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/flightrec.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.flight.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getWithType(t *testing.T, addr, path string) (int, string, string) {
+	t.Helper()
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+}
+
+// TestServeBusyPortReturnsError pins the failure mode of a taken address:
+// Serve must return an error — no panic, no half-started server — and the
+// original endpoint must keep working.
+func TestServeBusyPortReturnsError(t *testing.T) {
+	s := New(Config{Workers: 1})
+	srv, err := Serve(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := Serve(s, srv.Addr()); err == nil {
+		t.Fatal("Serve on an already-bound port did not error")
+	}
+	if code, _, _ := getWithType(t, srv.Addr(), "/metrics"); code != 200 {
+		t.Fatalf("original endpoint broken after failed rebind: %d", code)
+	}
+}
+
+// TestServeContentTypes pins the Content-Type header of every exposition
+// endpoint — scrapers and browsers key off them.
+func TestServeContentTypes(t *testing.T) {
+	s := New(Config{Workers: 1, Sample: &SamplerConfig{IntervalS: 1}})
+	s.Record(DecisionRecord{TimeS: 0.5, Kind: "arrive", Admitted: true})
+	s.FlushSampler()
+	srv, err := Serve(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for path, wantType := range map[string]string{
+		"/metrics":           "text/plain; version=0.0.4; charset=utf-8",
+		"/metrics.json":      "application/json",
+		"/trace.jsonl":       "application/x-ndjson",
+		"/spans.jsonl":       "application/x-ndjson",
+		"/timeseries.json":   "application/json",
+		"/alerts.json":       "application/json",
+		"/flightrec.json":    "application/json",
+		"/trace.chrome.json": "application/json",
+	} {
+		code, ct, _ := getWithType(t, srv.Addr(), path)
+		if code != 200 {
+			t.Fatalf("%s: code = %d", path, code)
+		}
+		if ct != wantType {
+			t.Fatalf("%s: Content-Type = %q, want %q", path, ct, wantType)
+		}
+	}
+}
+
+// TestServeUnknownPath404s pins that unmounted paths return 404, not a
+// catch-all handler's output.
+func TestServeUnknownPath404s(t *testing.T) {
+	s := New(Config{Workers: 1})
+	srv, err := Serve(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/nope", "/metrics/extra", "/alerts"} {
+		if code, _, _ := getWithType(t, srv.Addr(), path); code != http.StatusNotFound {
+			t.Fatalf("%s: code = %d, want 404", path, code)
+		}
+	}
+}
+
+// TestHealthEndpointsEmptyWithoutSampler pins that the health endpoints
+// serve valid empty documents when sampling is off — scrapers need no
+// feature detection.
+func TestHealthEndpointsEmptyWithoutSampler(t *testing.T) {
+	s := New(Config{Workers: 1})
+	srv, err := Serve(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for path, marker := range map[string]string{
+		"/timeseries.json": `"windows": []`,
+		"/alerts.json":     `"events": []`,
+		"/flightrec.json":  `"dumps": []`,
+	} {
+		code, _, body := getWithType(t, srv.Addr(), path)
+		if code != 200 || !strings.Contains(body, marker) {
+			t.Fatalf("%s: code=%d body=%q, want 200 with %q", path, code, body, marker)
+		}
+	}
+}

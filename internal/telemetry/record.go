@@ -70,6 +70,15 @@ type DecisionRecord struct {
 	// delay, filled only for committed arrivals (0 otherwise).
 	Class   string  `json:"class,omitempty"`
 	DelayMS float64 `json:"delay_ms,omitempty"`
+	// Incident is the fault schedule's incident id for fault-kind events
+	// (0 for churn events); Orphans/Evacuated/EvacRejects the healing
+	// outcome of that event. They make the serialized decision stream
+	// self-contained for the windowed sampler, so window contents never
+	// depend on racing reads of live counter shards.
+	Incident    int `json:"incident,omitempty"`
+	Orphans     int `json:"orphans,omitempty"`
+	Evacuated   int `json:"evacuated,omitempty"`
+	EvacRejects int `json:"evac_rejects,omitempty"`
 }
 
 // Recorder is a bounded ring buffer of decision records. Appends are

@@ -206,6 +206,72 @@ func (h *Histogram) PercentileDuration(q float64) time.Duration {
 	return time.Duration(h.Percentile(q))
 }
 
+// Quantiles returns the readings for every quantile in qs from a single
+// bucket scan — Percentile re-walks all 256 buckets per call, so batch
+// reads (p50/p90/p99 fills) should come here instead. The result aligns
+// with qs (any order); each entry equals Percentile(q) exactly (the
+// parity test pins this).
+func (h *Histogram) Quantiles(qs []float64) []int64 {
+	out := make([]int64, len(qs))
+	n := h.n.Load()
+	if n == 0 || len(qs) == 0 {
+		return out
+	}
+	var counts [histBuckets]int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	quantilesFromCounts(&counts, n, qs, out)
+	return out
+}
+
+// QuantilesDuration is Quantiles as time.Durations.
+func (h *Histogram) QuantilesDuration(qs []float64) []time.Duration {
+	vs := h.Quantiles(qs)
+	out := make([]time.Duration, len(vs))
+	for i, v := range vs {
+		out[i] = time.Duration(v)
+	}
+	return out
+}
+
+// quantilesFromCounts resolves every quantile in qs over a quarter-octave
+// bucket array in one pass, writing bucket lower bounds into out (aligned
+// with qs). n is the authoritative sample count (it may exceed the sum of
+// counts when writers race a live histogram — the same slack Percentile
+// accepts). Shared by Histogram.Quantiles and the windowed sampler's
+// per-window delta buckets.
+func quantilesFromCounts(counts *[histBuckets]int64, n int64, qs []float64, out []int64) {
+	if n <= 0 {
+		return
+	}
+	// Process targets in ascending order so one cumulative walk serves all.
+	order := make([]int, len(qs))
+	targets := make([]int64, len(qs))
+	for i, q := range qs {
+		order[i] = i
+		t := int64(q*float64(n) + 0.5)
+		if t < 1 {
+			t = 1
+		}
+		targets[i] = t
+	}
+	sort.Slice(order, func(a, b int) bool { return targets[order[a]] < targets[order[b]] })
+	var acc int64
+	j := 0
+	for i := 0; i < histBuckets && j < len(order); i++ {
+		c := counts[i]
+		if c == 0 {
+			continue
+		}
+		acc += c
+		for j < len(order) && acc >= targets[order[j]] {
+			out[order[j]] = bucketLowerBound(i)
+			j++
+		}
+	}
+}
+
 // metric is one registered instrument with its identity.
 type metric struct {
 	name   string
@@ -422,8 +488,8 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		case HistogramType:
 			s.Count = m.hist.Count()
 			s.Sum = m.hist.Sum()
-			s.P50 = m.hist.Percentile(0.50)
-			s.P99 = m.hist.Percentile(0.99)
+			ps := m.hist.Quantiles([]float64{0.50, 0.99})
+			s.P50, s.P99 = ps[0], ps[1]
 		}
 		out = append(out, s)
 	}

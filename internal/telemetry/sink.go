@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"strconv"
@@ -45,6 +46,17 @@ type Config struct {
 	// keeps the PR 6 region-only label shape.
 	Classes      []string
 	SessionClass []int
+	// Sample enables the windowed time-series sampler (nil = off; forced
+	// on with defaults when SLO rules are configured).
+	Sample *SamplerConfig
+	// SLO declares the burn-rate alert rules evaluated over the sampler's
+	// windows. Invalid rules panic at New — a programmer error, like a
+	// duplicate metric registration (validate with SLORule.Validate when
+	// the rules come from user input).
+	SLO []SLORule
+	// Flight resizes the always-on incident flight recorder (nil keeps
+	// the defaults).
+	Flight *FlightConfig
 }
 
 // Sink is the instrumentation facade the orchestrator and schedulers call
@@ -131,6 +143,18 @@ type Sink struct {
 	ledgerCommit *Gauge
 	ledgerConfl  *Gauge
 	ledgerInfeas *Gauge
+
+	// Continuous health monitoring: the windowed sampler, the burn-rate
+	// alert engine over its series, the incident flight recorder, and the
+	// latest-window gauges the sampler mirrors into the registry.
+	sampler          *Sampler
+	alerts           *AlertEngine
+	flight           *FlightRecorder
+	winCommitsPerS   *Gauge
+	winRejectRatio   *Gauge
+	winConflictRatio *Gauge
+	winDropRatio     *Gauge
+	winDelayP99      []*Gauge
 
 	// prevObjective backs ObjectiveDelta (guarded by the recorder mutex's
 	// caller — Record is invoked from the serialized event-retire path).
@@ -258,6 +282,86 @@ func New(cfg Config) *Sink {
 	s.feedCommits = trace.NewSeries("telemetry/commits_total")
 	s.feedConflicts = trace.NewSeries("telemetry/conflicts_total")
 	s.feedCacheWarmPct = trace.NewSeries("telemetry/cache_warm_pct")
+
+	// The flight recorder is always on for an enabled sink: it costs
+	// nothing until triggered, and -chaos runs without SLO rules still
+	// want fault dumps.
+	var fcfg FlightConfig
+	if cfg.Flight != nil {
+		fcfg = *cfg.Flight
+	}
+	s.flight = newFlightRecorder(fcfg)
+	s.flight.shard = s.eventShard
+	s.flight.dumpCtr = make(map[string]*Counter, len(flightTriggers))
+	for _, t := range flightTriggers {
+		s.flight.dumpCtr[t] = s.reg.Counter("vconf_flight_dumps_total", "flight-recorder dumps frozen, by trigger",
+			Label{Key: "trigger", Value: t})
+	}
+
+	if cfg.Sample == nil && len(cfg.SLO) > 0 {
+		cfg.Sample = &SamplerConfig{}
+	}
+	if cfg.Sample != nil {
+		classNames := s.classes
+		if len(classNames) == 0 {
+			classNames = []string{"default"}
+		}
+		s.sampler = newSampler(*cfg.Sample, classNames)
+		s.winCommitsPerS = s.reg.Gauge("vconf_window_commits_per_s", "last closed sampler window: commit rate")
+		s.winRejectRatio = s.reg.Gauge("vconf_window_reject_ratio", "last closed sampler window: task rejects over task outcomes")
+		s.winConflictRatio = s.reg.Gauge("vconf_window_conflict_ratio", "last closed sampler window: lost commit races over commit attempts")
+		s.winDropRatio = s.reg.Gauge("vconf_window_drop_ratio", "last closed sampler window: dropped arrivals + evac rejects over arrivals + orphans")
+		s.winDelayP99 = make([]*Gauge, len(classNames))
+		for c, name := range classNames {
+			s.winDelayP99[c] = s.reg.Gauge("vconf_window_delay_p99_us", "last closed sampler window: session-delay p99 (µs), by SLO class",
+				Label{Key: "class", Value: name})
+		}
+		if len(cfg.SLO) > 0 {
+			eng, err := newAlertEngine(cfg.SLO, s.sampler.Interval())
+			if err != nil {
+				panic(err)
+			}
+			eng.shard = s.eventShard
+			eng.firingGauge = s.reg.Gauge("vconf_alerts_firing", "SLO burn-rate rules currently firing")
+			eng.transitions = make([][2]*Counter, len(eng.rules))
+			for i, r := range eng.rules {
+				eng.transitions[i][0] = s.reg.Counter("vconf_alert_transitions_total", "SLO alert transitions, by rule and state",
+					Label{Key: "rule", Value: r.Name}, Label{Key: "state", Value: "fire"})
+				eng.transitions[i][1] = s.reg.Counter("vconf_alert_transitions_total", "SLO alert transitions, by rule and state",
+					Label{Key: "rule", Value: r.Name}, Label{Key: "state", Value: "resolve"})
+			}
+			eng.onFire = func(rule SLORule, ev AlertEvent, tail []Window, active []string) {
+				if fw := s.flight.cfg.Windows; len(tail) > fw {
+					tail = tail[len(tail)-fw:]
+				}
+				reason := fmt.Sprintf("%s: fast burn %.2f, slow burn %.2f at window %d", rule.Name, ev.FastBurn, ev.SlowBurn, ev.Window)
+				s.triggerFlight("alert", reason, tail, active)
+			}
+			s.alerts = eng
+			if n := eng.maxWindows(); n > s.sampler.tailNeed {
+				s.sampler.tailNeed = n
+			}
+		}
+		if fw := s.flight.cfg.Windows; fw > s.sampler.tailNeed {
+			s.sampler.tailNeed = fw
+		}
+		s.sampler.onClose = func(w *Window, tail []Window) {
+			s.winCommitsPerS.Set(w.CommitsPerS)
+			s.winRejectRatio.Set(w.RejectRatio)
+			s.winConflictRatio.Set(w.ConflictRatio)
+			s.winDropRatio.Set(w.DropRatio)
+			for _, cw := range w.Classes {
+				for c, name := range classNames {
+					if name == cw.Class {
+						s.winDelayP99[c].Set(float64(cw.P99US))
+					}
+				}
+			}
+			if s.alerts != nil {
+				s.alerts.observe(w, tail)
+			}
+		}
+	}
 	return s
 }
 
@@ -446,6 +550,18 @@ func (s *Sink) Record(rec DecisionRecord) {
 	s.prevObjective = rec.Objective
 	s.haveObjective = true
 
+	// Health monitoring rides the serialized retire path: the flight
+	// recorder advances its incident marker, then the sampler folds the
+	// record into the current window (closing windows — and evaluating
+	// alert rules — when the virtual clock crossed a boundary). Workers
+	// never see any of this.
+	if s.flight != nil {
+		s.flight.noteRecord(&rec)
+	}
+	if s.sampler != nil {
+		s.sampler.observe(&rec, class)
+	}
+
 	sh := s.eventShard
 	if rec.DelayMS > 0 {
 		s.classDelay[class].Observe(int64(rec.DelayMS * 1e3))
@@ -505,6 +621,32 @@ func (s *Sink) jainLocked() float64 {
 		return 0
 	}
 	return sum * sum / (float64(n) * sumSq)
+}
+
+// Sampler exposes the windowed time-series sampler (nil when disabled).
+func (s *Sink) Sampler() *Sampler {
+	if s == nil {
+		return nil
+	}
+	return s.sampler
+}
+
+// Alerts exposes the SLO burn-rate alert engine (nil when disabled).
+func (s *Sink) Alerts() *AlertEngine {
+	if s == nil {
+		return nil
+	}
+	return s.alerts
+}
+
+// FlushSampler closes the sampler's final partial window so end-of-run
+// exposition and alert evaluation see the full horizon. No-op when the
+// sampler is off.
+func (s *Sink) FlushSampler() {
+	if s == nil {
+		return
+	}
+	s.sampler.Flush()
 }
 
 // DistFreeze observes one coordinator freeze hold (grant → release, ns).

@@ -111,6 +111,10 @@ func TestChromeTraceNestedShape(t *testing.T) {
 	s.EmitSpan("snapshot", "task", task, 100, base, 300, 7)
 	s.EmitSpan("walk", "task", task, 100, base.Add(300*time.Nanosecond), 500, 7)
 	s.EmitSpan("commit", "task", task, 100, base.Add(800*time.Nanosecond), 200, 7)
+	// The retro-emitted children extend to base+1000ns of wall time; the
+	// root's duration is measured live, so make sure it ends after them
+	// rather than racing the emit calls on a fast machine.
+	time.Sleep(10 * time.Microsecond)
 	root.EndArg(7)
 
 	var b strings.Builder
