@@ -884,3 +884,93 @@ func BenchmarkAblationFreezeProtocol(b *testing.B) {
 	b.ReportMetric(float64(frozenHops), "frozen-hops")
 	b.ReportMetric(float64(optimisticHops), "optimistic-hops")
 }
+
+// ---------------------------------------------------------------------------
+// Sim-core benches (virtual-clock engine vs eager materialization)
+
+// simCoreBenchConfigs is a scenario-independent virtual-hour chaos mix:
+// Poisson churn plus the full fault processes, sized to a few thousand
+// merged events per iteration.
+func simCoreBenchConfigs() (vconf.ChurnConfig, vconf.FaultConfig) {
+	const (
+		regions = 4
+		agents  = 60
+		pool    = 300
+	)
+	ccfg := vconf.ChurnConfig{
+		Seed:            1,
+		HorizonS:        1800,
+		ArrivalRatePerS: 2,
+		MeanHoldS:       60,
+		NumSessions:     pool,
+	}
+	pools := make([][]int, regions)
+	for s := pool; s < pool+8*regions; s++ {
+		pools[s%regions] = append(pools[s%regions], s)
+	}
+	fcfg := vconf.FaultConfig{
+		Seed:           2,
+		HorizonS:       1800,
+		NumAgents:      agents,
+		AgentRegion:    vconf.AgentRegions(agents, regions),
+		AgentMTBFS:     600,
+		AgentMTTRS:     60,
+		RegionMTBFS:    1200,
+		RegionMTTRS:    90,
+		DegradeMTBFS:   900,
+		DegradeMTTRS:   90,
+		DegradeFloor:   0.4,
+		FlashMTBFS:     600,
+		FlashIntensity: 3,
+		FlashHoldS:     60,
+		FlashSessions:  pools,
+	}
+	return ccfg, fcfg
+}
+
+// BenchmarkSimCoreEagerSlice materializes and merges the whole schedule,
+// the pre-engine path: O(horizon) memory, sort-dominated.
+func BenchmarkSimCoreEagerSlice(b *testing.B) {
+	ccfg, fcfg := simCoreBenchConfigs()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		ch, err := vconf.GenerateChurn(ccfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fl, err := vconf.GenerateFaults(fcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += len(vconf.MergeSchedules(ch, fl))
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkSimCoreLazyEngine streams the identical event sequence through
+// the virtual-clock engine: O(in-flight) memory, no sort.
+func BenchmarkSimCoreLazyEngine(b *testing.B) {
+	ccfg, fcfg := simCoreBenchConfigs()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		cs, err := vconf.NewChurnEventSource(ccfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs, err := vconf.NewFaultEventSource(fcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := vconf.NewSimEngine(cs, fs)
+		for {
+			if _, ok := eng.Next(); !ok {
+				break
+			}
+			total++
+		}
+		if err := eng.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
+}

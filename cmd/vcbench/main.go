@@ -34,7 +34,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vcbench", flag.ContinueOnError)
 	var (
-		which     = fs.String("run", "all", "experiment id (fig2..fig10, table2, thm1, solvers, micro, pipeline, chaos, all)")
+		which     = fs.String("run", "all", "experiment id (fig2..fig10, table2, thm1, solvers, micro, pipeline, chaos, simcore, all)")
 		seed      = fs.Int64("seed", 1, "base random seed")
 		scenarios = fs.Int("scenarios", 100, "random scenarios per sweep point (paper: 100)")
 		duration  = fs.Float64("duration", 200, "virtual seconds of Alg. 1 per run")
@@ -106,8 +106,21 @@ func run(args []string, w io.Writer) error {
 		}
 		return runChaosSweep(w, *format, fleetAgents, horizonS, *seed, meta, sink)
 	}
+	// The sim-core sweep measures the lazy virtual-clock engine against the
+	// eager pre-materialized path; with -format json it emits the
+	// BENCH_10.json payload.
+	if *which == "simcore" {
+		if *format == "csv" {
+			return fmt.Errorf("simcore sweep supports text or json output, not csv")
+		}
+		fleetAgents, horizonS, dayS := 96, 300.0, 86400.0
+		if *quick {
+			fleetAgents, horizonS, dayS = 32, 120, 3600
+		}
+		return runSimCore(w, *format, fleetAgents, horizonS, dayS, *seed, meta, sink)
+	}
 	if *format == "json" {
-		return fmt.Errorf("json output is only available for -run micro, -run pipeline or -run chaos")
+		return fmt.Errorf("json output is only available for -run micro, -run pipeline, -run chaos or -run simcore")
 	}
 
 	type experiment struct {

@@ -15,6 +15,7 @@
 //	vcreport -metrics metrics.json                 final snapshot highlights
 //	vcreport -tsa A.json -tsb B.json               A/B windowed-health verdict
 //	         [-alerts-a A.json -alerts-b B.json]   ... with alert minutes
+//	vcreport -trace-a A.jsonl -trace-b B.jsonl     sim-trace divergence (vcsim -record-trace)
 //
 // Modes combine freely. The A/B comparison extracts every recognized
 // metric leaf from both files (matched by benchmark/point name), applies
@@ -43,6 +44,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"vconf/internal/sim"
 )
 
 // supportedBenchSchema must match cmd/vcbench's benchSchemaVersion.
@@ -83,20 +86,26 @@ func run(args []string, w io.Writer) error {
 		tsB      = fs.String("tsb", "", "health A/B: candidate sampler windows")
 		alertsA  = fs.String("alerts-a", "", "health A/B: baseline alert timeline (optional, needs -tsa/-tsb)")
 		alertsB  = fs.String("alerts-b", "", "health A/B: candidate alert timeline")
+		simA     = fs.String("trace-a", "", "sim-trace divergence: baseline trace (vcsim -record-trace)")
+		simB     = fs.String("trace-b", "", "sim-trace divergence: candidate trace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *fileA == "" && *fileB == "" && *traceIn == "" && *spansIn == "" &&
-		*tsIn == "" && *alertsIn == "" && *metrIn == "" && *tsA == "" && *tsB == "" {
+		*tsIn == "" && *alertsIn == "" && *metrIn == "" && *tsA == "" && *tsB == "" &&
+		*simA == "" && *simB == "" {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -a/-b, -trace, -spans, -timeseries, -alerts, -metrics, or -tsa/-tsb")
+		return fmt.Errorf("nothing to do: pass -a/-b, -trace, -spans, -timeseries, -alerts, -metrics, -tsa/-tsb, or -trace-a/-trace-b")
 	}
 	if (*fileA == "") != (*fileB == "") {
 		return fmt.Errorf("A/B comparison needs both -a and -b")
 	}
 	if (*tsA == "") != (*tsB == "") {
 		return fmt.Errorf("health A/B comparison needs both -tsa and -tsb")
+	}
+	if (*simA == "") != (*simB == "") {
+		return fmt.Errorf("sim-trace divergence needs both -trace-a and -trace-b")
 	}
 	if (*alertsA == "") != (*alertsB == "") {
 		return fmt.Errorf("health A/B comparison needs both -alerts-a and -alerts-b")
@@ -131,6 +140,15 @@ func run(args []string, w io.Writer) error {
 	if *alertsIn != "" {
 		if err := reportAlerts(w, *alertsIn); err != nil {
 			return err
+		}
+	}
+	if *simA != "" {
+		diverged, err := reportSimTraceAB(w, *simA, *simB)
+		if err != nil {
+			return err
+		}
+		if diverged {
+			return fmt.Errorf("sim traces diverge")
 		}
 	}
 	regressions := 0
@@ -267,6 +285,35 @@ func reportAB(w io.Writer, pathA, pathB string, tol float64) (int, error) {
 }
 
 func leafOf(key string) string { return key[strings.LastIndex(key, "/")+1:] }
+
+// ---- sim-trace divergence ------------------------------------------------
+
+// reportSimTraceAB compares two vcsim -record-trace files in lockstep and
+// prints either "identical" or the first divergence (seq, virtual time,
+// event kind, differing field). Returns whether the traces diverge.
+func reportSimTraceAB(w io.Writer, pathA, pathB string) (bool, error) {
+	fa, err := os.Open(pathA)
+	if err != nil {
+		return false, err
+	}
+	defer fa.Close()
+	fb, err := os.Open(pathB)
+	if err != nil {
+		return false, err
+	}
+	defer fb.Close()
+	div, n, err := sim.CompareTraces(fa, fb)
+	if err != nil {
+		return false, err
+	}
+	if div == nil {
+		fmt.Fprintf(w, "sim trace A/B: identical — %d records match (%s vs %s)\n", n, pathA, pathB)
+		return false, nil
+	}
+	fmt.Fprintf(w, "sim trace A/B: DIVERGED at seq %d (t=%.6fs %s): %s A=%q B=%q\n",
+		div.Seq, div.TimeS, div.Kind, div.Field, div.Want, div.Got)
+	return true, nil
+}
 
 // ---- windowed health, alert timelines and metric snapshots ---------------
 

@@ -54,6 +54,9 @@ func run(args []string, w io.Writer) error {
 		interval = fs.Float64("interval", 10, "telemetry print interval (virtual seconds)")
 
 		churn     = fs.Bool("churn", false, "online mode: Poisson churn through the orchestrator")
+		virtual   = fs.Bool("virtual", false, "virtual-clock mode: drive the orchestrator from the lazy discrete-event engine (control plane only, decoupled from wall time)")
+		recTrace  = fs.String("record-trace", "", "virtual: record the merged event stream + decision digests as a versioned JSONL trace (implies -virtual)")
+		repTrace  = fs.String("replay-trace", "", "virtual: replay a recorded trace and verify every decision digest; scenario flags must match the recording run (implies -virtual)")
 		rate      = fs.Float64("rate", 0.05, "churn: session arrival rate λ (per virtual second)")
 		hold      = fs.Float64("hold", 120, "churn: mean session hold time (virtual seconds)")
 		shards    = fs.Int("shards", 0, "churn: solver pool size (0 = GOMAXPROCS)")
@@ -138,7 +141,8 @@ func run(args []string, w io.Writer) error {
 
 	coreCfg := core.DefaultConfig(*seed)
 	coreCfg.Beta = *beta
-	if *churn || *chaos {
+	virtualMode := *virtual || *recTrace != "" || *repTrace != ""
+	if *churn || *chaos || virtualMode {
 		opts := churnOpts{
 			params:      p,
 			boot:        boot,
@@ -165,27 +169,27 @@ func run(args []string, w io.Writer) error {
 			chaos:       *chaos,
 			agentRegion: agentRegion,
 			homes:       homes,
+			recordTrace: *recTrace,
+			replayTrace: *repTrace,
+		}
+		opts.churnCfg = workload.ChurnConfig{
+			Seed:            *seed,
+			HorizonS:        *duration,
+			ArrivalRatePerS: *rate,
+			MeanHoldS:       *hold,
+			NumSessions:     sc.NumSessions(),
 		}
 		if *chaos {
 			// Churn draws from the front of the session pool; flash crowds
 			// burst from the remaining sessions, grouped by home region, so
 			// the two generators can never double-arrive a session.
 			nChurn := len(homes) * 3 / 5
-			events, err := workload.PoissonSchedule(workload.ChurnConfig{
-				Seed:            *seed,
-				HorizonS:        *duration,
-				ArrivalRatePerS: *rate,
-				MeanHoldS:       *hold,
-				NumSessions:     nChurn,
-			})
-			if err != nil {
-				return err
-			}
+			opts.churnCfg.NumSessions = nChurn
 			pools := make([][]int, *regions)
 			for s := nChurn; s < len(homes); s++ {
 				pools[homes[s]] = append(pools[homes[s]], s)
 			}
-			faultEvents, err := faults.Schedule(faults.Config{
+			opts.faultCfg = &faults.Config{
 				Seed:           *seed + 1,
 				HorizonS:       *duration,
 				NumAgents:      *agents,
@@ -201,7 +205,17 @@ func run(args []string, w io.Writer) error {
 				FlashIntensity: *flashSize,
 				FlashHoldS:     *hold / 2,
 				FlashSessions:  pools,
-			})
+			}
+		}
+		if virtualMode {
+			return runVirtual(w, sc, ev, opts)
+		}
+		if *chaos {
+			events, err := workload.PoissonSchedule(opts.churnCfg)
+			if err != nil {
+				return err
+			}
+			faultEvents, err := faults.Schedule(*opts.faultCfg)
 			if err != nil {
 				return err
 			}
@@ -360,6 +374,13 @@ type churnOpts struct {
 	events      []workload.Event
 	agentRegion []int
 	homes       []int
+	// Virtual-clock mode: churnCfg/faultCfg are the lazy generator specs
+	// (faultCfg nil outside chaos mode); recordTrace/replayTrace are the
+	// sim-trace file paths.
+	churnCfg    workload.ChurnConfig
+	faultCfg    *faults.Config
+	recordTrace string
+	replayTrace string
 }
 
 // runChurn drives the online orchestrator over a Poisson churn schedule and
@@ -369,13 +390,7 @@ func runChurn(w io.Writer, sc *model.Scenario, ev *cost.Evaluator, opts churnOpt
 	events := opts.events
 	if events == nil {
 		var err error
-		events, err = workload.PoissonSchedule(workload.ChurnConfig{
-			Seed:            opts.seed,
-			HorizonS:        opts.duration,
-			ArrivalRatePerS: opts.rate,
-			MeanHoldS:       opts.hold,
-			NumSessions:     sc.NumSessions(),
-		})
+		events, err = workload.PoissonSchedule(opts.churnCfg)
 		if err != nil {
 			return err
 		}

@@ -222,6 +222,10 @@ func Schedule(cfg Config) ([]workload.Event, error) {
 	// timelines and flight-recorder dumps against.
 	seq := 0
 	for i := range events {
+		// Every event of the fault schedule — burst churn included — carries
+		// the fault-side merge rank, so equal-timestamp ties against the
+		// churn schedule resolve identically in Merge and in the lazy engine.
+		events[i].Rank = workload.RankFaults
 		if events[i].Kind.IsFault() {
 			seq++
 			events[i].Incident = seq
@@ -319,14 +323,20 @@ func (h *departureHeap) Pop() interface{} {
 	return x
 }
 
-// Merge interleaves two time-ordered schedules into one, stably: on equal
-// timestamps a's event precedes b's. Both inputs must already be
-// time-ordered (Schedule and PoissonSchedule both are).
+// Merge interleaves two time-ordered schedules into one by the explicit
+// (TimeS, Rank) order of workload.Event.Before — on equal timestamps the
+// lower-ranked (churn) event precedes, and on full key ties a's event
+// precedes b's. For the canonical Merge(churn, faults) call this is
+// byte-identical to the historical stable a-first merge, but the order no
+// longer depends on operand position: it is the same contract the
+// virtual-clock engine (internal/sim) applies, so eager and lazy paths
+// cannot diverge on ties. Both inputs must already be time-ordered
+// (Schedule and PoissonSchedule both are).
 func Merge(a, b []workload.Event) []workload.Event {
 	out := make([]workload.Event, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
-		if a[i].TimeS <= b[j].TimeS {
+		if !b[j].Before(a[i]) {
 			out = append(out, a[i])
 			i++
 		} else {

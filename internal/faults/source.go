@@ -1,0 +1,339 @@
+package faults
+
+// Lazy, pull-based fault generation for the virtual-clock engine
+// (internal/sim): NewSource yields the exact event stream Schedule would
+// return — byte-identical per Config, pinned by differential tests —
+// without materializing the slice.
+//
+// The eager path builds one sub-stream per (process, target) from its own
+// splitmix64-derived RNG, concatenates them in a fixed order and stable-
+// sorts on time. The lazy equivalent runs every sub-stream as a suspended
+// iterator and k-way-merges them on (time, stream index): each stream is
+// internally time-ordered, so the (time, stream index) key reproduces the
+// stable sort's tie order exactly. Incident ids are assigned to fault-kind
+// events as they pop, which matches the eager post-sort numbering.
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"vconf/internal/workload"
+)
+
+// Source is a lazy generator of the fault event stream. It satisfies the
+// sim.EventSource contract.
+type Source struct {
+	streams  []faultStream
+	pq       mergeHeap
+	incident int
+}
+
+// Next returns the next fault-schedule event in time order (ties broken by
+// the fixed process/target stream order), or ok=false once every process
+// has run past the horizon.
+func (s *Source) Next() (workload.Event, bool) {
+	if len(s.pq) == 0 {
+		return workload.Event{}, false
+	}
+	top := &s.pq[0]
+	ev := top.ev
+	if next, ok := s.streams[top.stream].next(); ok {
+		top.ev = next
+		heap.Fix(&s.pq, 0)
+	} else {
+		heap.Pop(&s.pq)
+	}
+	if ev.Kind.IsFault() {
+		s.incident++
+		ev.Incident = s.incident
+	}
+	return ev, true
+}
+
+// Err reports a stream failure. Fault generation is infallible after
+// configuration validation, so it always returns nil.
+func (s *Source) Err() error { return nil }
+
+// NewSource builds the lazy equivalent of Schedule(cfg): the returned
+// source yields exactly the events the eager call would return, in the
+// same order, from the same seed.
+func NewSource(cfg Config) (*Source, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Source{}
+	// Stream registration order must match the eager concatenation order:
+	// agent failures, region outages, degradations, flash crowds.
+	if cfg.AgentMTBFS > 0 {
+		for a := 0; a < cfg.NumAgents; a++ {
+			a := a
+			s.streams = append(s.streams, &renewalStream{
+				rng: subRNG(cfg.Seed, tagAgentFail, a), horizonS: cfg.HorizonS,
+				mtbfS: cfg.AgentMTBFS, mttrS: cfg.AgentMTTRS,
+				mk: func(t float64, up bool) workload.Event {
+					k := workload.EventAgentFail
+					if up {
+						k = workload.EventAgentRecover
+					}
+					return workload.Event{TimeS: t, Kind: k, Session: -1, Agent: a,
+						Region: regionOf(cfg.AgentRegion, a), Rank: workload.RankFaults}
+				},
+			})
+		}
+	}
+	if cfg.RegionMTBFS > 0 {
+		for r := 0; r < cfg.numRegions(); r++ {
+			r := r
+			s.streams = append(s.streams, &renewalStream{
+				rng: subRNG(cfg.Seed, tagRegionOutage, r), horizonS: cfg.HorizonS,
+				mtbfS: cfg.RegionMTBFS, mttrS: cfg.RegionMTTRS,
+				mk: func(t float64, up bool) workload.Event {
+					k := workload.EventRegionOutage
+					if up {
+						k = workload.EventRegionRecover
+					}
+					return workload.Event{TimeS: t, Kind: k, Session: -1, Agent: -1,
+						Region: r, Rank: workload.RankFaults}
+				},
+			})
+		}
+	}
+	if cfg.DegradeMTBFS > 0 {
+		for a := 0; a < cfg.NumAgents; a++ {
+			s.streams = append(s.streams, &degradeStream{
+				rng: subRNG(cfg.Seed, tagDegrade, a), cfg: cfg, agent: a,
+			})
+		}
+	}
+	if cfg.FlashMTBFS > 0 {
+		for r := range cfg.FlashSessions {
+			s.streams = append(s.streams, newFlashSource(cfg, r))
+		}
+	}
+	for i, st := range s.streams {
+		if ev, ok := st.next(); ok {
+			s.pq = append(s.pq, mergeEntry{ev: ev, stream: i})
+		}
+	}
+	heap.Init(&s.pq)
+	return s, nil
+}
+
+// faultStream is one suspended (process, target) iterator; every stream is
+// internally time-ordered.
+type faultStream interface {
+	next() (workload.Event, bool)
+}
+
+// mergeEntry is one stream's lookahead event in the k-way merge heap.
+type mergeEntry struct {
+	ev     workload.Event
+	stream int
+}
+
+// mergeHeap orders lookaheads by (time, stream index) — the key that
+// reproduces the eager path's stable sort over the fixed concatenation
+// order.
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].ev.TimeS != h[j].ev.TimeS {
+		return h[i].ev.TimeS < h[j].ev.TimeS
+	}
+	return h[i].stream < h[j].stream
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// renewalStream suspends renewal(): alternate exponential time-to-failure
+// and time-to-recovery draws until either crosses the horizon.
+type renewalStream struct {
+	rng          *rand.Rand
+	horizonS     float64
+	mtbfS, mttrS float64
+	mk           func(t float64, up bool) workload.Event
+	t            float64
+	up           bool // next emission is a recovery
+	done         bool
+}
+
+func (r *renewalStream) next() (workload.Event, bool) {
+	if r.done {
+		return workload.Event{}, false
+	}
+	if !r.up {
+		r.t += r.rng.ExpFloat64() * r.mtbfS
+		if r.t >= r.horizonS {
+			r.done = true
+			return workload.Event{}, false
+		}
+		r.up = true
+		return r.mk(r.t, false), true
+	}
+	r.t += r.rng.ExpFloat64() * r.mttrS
+	if r.t >= r.horizonS {
+		r.done = true // failed through the horizon: no recovery event
+		return workload.Event{}, false
+	}
+	r.up = false
+	return r.mk(r.t, true), true
+}
+
+// degradeStream suspends the degradation renewal loop: each incident draws
+// its scale right after the onset time, restores to 1 after the repair.
+type degradeStream struct {
+	rng   *rand.Rand
+	cfg   Config
+	agent int
+	t     float64
+	up    bool
+	done  bool
+}
+
+func (d *degradeStream) next() (workload.Event, bool) {
+	if d.done {
+		return workload.Event{}, false
+	}
+	base := workload.Event{Kind: workload.EventCapacityDegrade, Session: -1,
+		Agent: d.agent, Region: regionOf(d.cfg.AgentRegion, d.agent), Rank: workload.RankFaults}
+	if !d.up {
+		d.t += d.rng.ExpFloat64() * d.cfg.DegradeMTBFS
+		if d.t >= d.cfg.HorizonS {
+			d.done = true
+			return workload.Event{}, false
+		}
+		base.TimeS = d.t
+		base.Scale = d.cfg.DegradeFloor + (1-d.cfg.DegradeFloor)*d.rng.Float64()
+		d.up = true
+		return base, true
+	}
+	d.t += d.rng.ExpFloat64() * d.cfg.DegradeMTTRS
+	if d.t >= d.cfg.HorizonS {
+		d.done = true
+		return workload.Event{}, false
+	}
+	base.TimeS = d.t
+	base.Scale = 1
+	d.up = false
+	return base, true
+}
+
+// flashSource suspends flashStream(): onsets, burst arrivals and their
+// heap-recycled departures interleave exactly as the eager generator
+// appends them. The mode field is the suspended program counter.
+type flashSource struct {
+	rng    *rand.Rand
+	cfg    Config
+	region int
+	idle   []int
+	deps   departureHeap
+
+	mode flashMode
+	t    float64 // current onset time
+	j    int     // burst arrival index within the onset
+	at   float64 // pending burst arrival time
+	hold float64 // pending burst arrival's hold draw
+}
+
+type flashMode int
+
+const (
+	flashOnset        flashMode = iota // draw the next onset time
+	flashFlushMarker                   // drain departures due before the onset, then emit the marker
+	flashBurst                         // begin the next burst arrival (pool/intensity checks, draws)
+	flashFlushArrival                  // drain departures due before the arrival, then emit it
+	flashFinal                         // drain departures due before the horizon
+	flashDone
+)
+
+func newFlashSource(cfg Config, r int) *flashSource {
+	return &flashSource{
+		rng:    subRNG(cfg.Seed, tagFlash, r),
+		cfg:    cfg,
+		region: r,
+		idle:   append([]int(nil), cfg.FlashSessions[r]...),
+	}
+}
+
+// flushOne pops the next departure due at or before limit, recycling its
+// session; ok=false when none is due. Departures at or past the horizon are
+// popped and recycled but never emitted, exactly like the eager flushUntil.
+func (f *flashSource) flushOne(limit float64) (workload.Event, bool) {
+	for len(f.deps) > 0 && f.deps[0].timeS <= limit {
+		d := heap.Pop(&f.deps).(departure)
+		if d.timeS >= f.cfg.HorizonS {
+			continue
+		}
+		f.idle = append(f.idle, d.session)
+		return workload.Event{TimeS: d.timeS, Kind: workload.EventDeparture,
+			Session: d.session, Region: f.region, Rank: workload.RankFaults}, true
+	}
+	return workload.Event{}, false
+}
+
+func (f *flashSource) next() (workload.Event, bool) {
+	for {
+		switch f.mode {
+		case flashOnset:
+			f.t += f.rng.ExpFloat64() * f.cfg.FlashMTBFS
+			if f.t >= f.cfg.HorizonS {
+				f.mode = flashFinal
+				continue
+			}
+			f.mode = flashFlushMarker
+		case flashFlushMarker:
+			if ev, ok := f.flushOne(f.t); ok {
+				return ev, true
+			}
+			f.j = 0
+			f.mode = flashBurst
+			return workload.Event{TimeS: f.t, Kind: workload.EventFlashCrowd,
+				Session: -1, Agent: -1, Region: f.region, Rank: workload.RankFaults}, true
+		case flashBurst:
+			// The pool check reads the pre-flush idle state, like the eager
+			// loop condition; the flush below may still refill the pool in
+			// time for the pop.
+			if f.j >= f.cfg.FlashIntensity || len(f.idle) == 0 {
+				f.mode = flashOnset
+				continue
+			}
+			// Stagger burst arrivals by a millisecond each so the merged
+			// schedule orders them deterministically after the marker.
+			f.at = f.t + float64(f.j+1)*1e-3
+			if f.at >= f.cfg.HorizonS {
+				f.mode = flashOnset
+				continue
+			}
+			// Draw the hold before the flush so the random sequence is a
+			// pure function of the seed regardless of heap state.
+			f.hold = f.rng.ExpFloat64() * f.cfg.FlashHoldS
+			f.mode = flashFlushArrival
+		case flashFlushArrival:
+			if ev, ok := f.flushOne(f.at); ok {
+				return ev, true
+			}
+			s := f.idle[0]
+			f.idle = f.idle[1:]
+			heap.Push(&f.deps, departure{timeS: f.at + f.hold, session: s})
+			f.j++
+			f.mode = flashBurst
+			return workload.Event{TimeS: f.at, Kind: workload.EventArrival,
+				Session: s, Region: f.region, Rank: workload.RankFaults}, true
+		case flashFinal:
+			if ev, ok := f.flushOne(f.cfg.HorizonS); ok {
+				return ev, true
+			}
+			f.mode = flashDone
+		default:
+			return workload.Event{}, false
+		}
+	}
+}

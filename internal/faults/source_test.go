@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"vconf/internal/workload"
+)
+
+// drain collects a lazy source, checking time order as it goes.
+func drain(t *testing.T, src *Source) []workload.Event {
+	t.Helper()
+	var out []workload.Event
+	prev := -1.0
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if e.TimeS < prev {
+			t.Fatalf("lazy source emitted out of order: %v after %v", e.TimeS, prev)
+		}
+		prev = e.TimeS
+		out = append(out, e)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("lazy source error: %v", err)
+	}
+	return out
+}
+
+// TestLazyFaultsDifferential pins the tentpole equivalence for the fault
+// engine: the k-way-merged lazy source yields byte-for-byte the schedule
+// the eager sort-based path materializes — incident numbering, flash-burst
+// interleavings and all — across seeds and process subsets.
+func TestLazyFaultsDifferential(t *testing.T) {
+	full := testConfig()
+	agentsOnly := testConfig()
+	agentsOnly.RegionMTBFS, agentsOnly.DegradeMTBFS, agentsOnly.FlashMTBFS = 0, 0, 0
+	flashOnly := testConfig()
+	flashOnly.AgentMTBFS, flashOnly.RegionMTBFS, flashOnly.DegradeMTBFS = 0, 0, 0
+	// A tight flash pool with high intensity exercises the pre-flush pool
+	// check and the heap-recycled pops.
+	flashTight := flashOnly
+	flashTight.FlashIntensity = 6
+	flashTight.FlashHoldS = 5
+	flashTight.FlashSessions = [][]int{{20, 21}}
+	cfgs := []Config{full, agentsOnly, flashOnly, flashTight}
+	for i, cfg := range cfgs {
+		for seed := int64(1); seed <= 4; seed++ {
+			cfg.Seed = seed
+			eager, err := Schedule(cfg)
+			if err != nil {
+				t.Fatalf("cfg %d seed %d: %v", i, seed, err)
+			}
+			src, err := NewSource(cfg)
+			if err != nil {
+				t.Fatalf("cfg %d seed %d: %v", i, seed, err)
+			}
+			lazy := drain(t, src)
+			if !reflect.DeepEqual(eager, lazy) {
+				n := len(eager)
+				if len(lazy) < n {
+					n = len(lazy)
+				}
+				for k := 0; k < n; k++ {
+					if eager[k] != lazy[k] {
+						t.Fatalf("cfg %d seed %d: first divergence at %d: eager %+v lazy %+v",
+							i, seed, k, eager[k], lazy[k])
+					}
+				}
+				t.Fatalf("cfg %d seed %d: lazy stream length %d, eager %d",
+					i, seed, len(lazy), len(eager))
+			}
+		}
+	}
+}
+
+// TestLazyFaultsRejectsInvalidConfig mirrors the eager validation.
+func TestLazyFaultsRejectsInvalidConfig(t *testing.T) {
+	if _, err := NewSource(Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestMergeRankTieBreak pins the explicit tie contract on Merge: a churn
+// and a fault event at the same timestamp order churn-first in either
+// operand position, and full-key ties keep first-operand-first stability.
+func TestMergeRankTieBreak(t *testing.T) {
+	churn := []workload.Event{{TimeS: 5, Kind: workload.EventArrival, Session: 1, Rank: workload.RankChurn}}
+	fault := []workload.Event{{TimeS: 5, Kind: workload.EventAgentFail, Session: -1, Agent: 2, Incident: 1, Rank: workload.RankFaults}}
+	ab := Merge(churn, fault)
+	ba := Merge(fault, churn)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("rank tie-break is operand-dependent: %+v vs %+v", ab, ba)
+	}
+	if ab[0].Kind != workload.EventArrival || ab[1].Kind != workload.EventAgentFail {
+		t.Fatalf("churn must precede faults on equal timestamps, got %+v", ab)
+	}
+	// Same rank, same time: first operand wins (stable merge).
+	x := []workload.Event{{TimeS: 5, Kind: workload.EventArrival, Session: 1}}
+	y := []workload.Event{{TimeS: 5, Kind: workload.EventArrival, Session: 2}}
+	xy := Merge(x, y)
+	if xy[0].Session != 1 || xy[1].Session != 2 {
+		t.Fatalf("full-key tie must keep first operand first, got %+v", xy)
+	}
+}

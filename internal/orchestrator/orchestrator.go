@@ -764,7 +764,14 @@ func (o *Orchestrator) Run(events []workload.Event, horizonS float64) ([]EventRe
 		return o.runPipelined(events, horizonS)
 	}
 	reports := make([]EventReport, 0, len(events))
-	for _, e := range events {
+	for i, e := range events {
+		// The schedule contract is non-decreasing time; reject violations
+		// instead of silently regressing the clock (advanceClock would
+		// otherwise just ignore them).
+		if i > 0 && e.TimeS < events[i-1].TimeS {
+			return reports, fmt.Errorf("orchestrator: out-of-order event %d at t=%v after t=%v",
+				i, e.TimeS, events[i-1].TimeS)
+		}
 		if rt := o.runtime(); rt != nil {
 			if dt := e.TimeS - rt.Now(); dt > 1e-9 {
 				if _, err := rt.Tick(dt); err != nil {

@@ -72,12 +72,15 @@ type eventState struct {
 	// sink, when non-nil, receives the finished report at retire (Run's
 	// in-order collection; retires are serialized by the scheduler).
 	sink *[]EventReport
+	// emit, when non-nil, streams the finished report at retire
+	// (RunSource's O(in-flight) alternative to sink; same serialization).
+	emit func(EventReport)
 }
 
 // submitEvent validates e and hands it to the scheduler. The returned
 // state's report is filled in across the event's stages and complete once
 // the channel closes.
-func (o *Orchestrator) submitEvent(e workload.Event, sink *[]EventReport) (*eventState, <-chan struct{}, error) {
+func (o *Orchestrator) submitEvent(e workload.Event, sink *[]EventReport, emit func(EventReport)) (*eventState, <-chan struct{}, error) {
 	if e.Session < 0 || e.Session >= o.sc.NumSessions() {
 		return nil, nil, fmt.Errorf("orchestrator: event session %d outside [0, %d)", e.Session, o.sc.NumSessions())
 	}
@@ -91,6 +94,7 @@ func (o *Orchestrator) submitEvent(e workload.Event, sink *[]EventReport) (*even
 		rep:   &EventReport{Event: e, Admitted: true},
 		tally: eventTally{chosenAgent: -1},
 		sink:  sink,
+		emit:  emit,
 	}
 	// In-flight events overlap, so each gets its own trace lane (reused
 	// modulo pipelineLanes — far above any realistic MaxInFlight, so live
@@ -127,7 +131,7 @@ func (o *Orchestrator) handleEventPipelined(e workload.Event) (EventReport, erro
 		}
 		return o.handleFault(e)
 	}
-	st, ch, err := o.submitEvent(e, nil)
+	st, ch, err := o.submitEvent(e, nil, nil)
 	if err != nil {
 		return EventReport{}, err
 	}
@@ -161,7 +165,12 @@ func (o *Orchestrator) handleEventPipelined(e workload.Event) (EventReport, erro
 // timing relative to overlapping events is approximate by construction).
 func (o *Orchestrator) runPipelined(events []workload.Event, horizonS float64) ([]EventReport, error) {
 	reports := make([]EventReport, 0, len(events))
-	for _, e := range events {
+	for i, e := range events {
+		if i > 0 && e.TimeS < events[i-1].TimeS {
+			o.pipe.Drain()
+			return reports, fmt.Errorf("orchestrator: out-of-order event %d at t=%v after t=%v",
+				i, e.TimeS, events[i-1].TimeS)
+		}
 		if rt := o.runtime(); rt != nil {
 			o.mu.Lock()
 			var err error
@@ -193,7 +202,7 @@ func (o *Orchestrator) runPipelined(events []workload.Event, horizonS float64) (
 			reports = append(reports, rep)
 			continue
 		}
-		if _, _, err := o.submitEvent(e, &reports); err != nil {
+		if _, _, err := o.submitEvent(e, &reports, nil); err != nil {
 			if derr := o.pipe.Drain(); derr != nil {
 				err = derr
 			}
@@ -373,6 +382,9 @@ func (st *eventState) retire() {
 	o.emitRecord(st.rep, &st.tally, st.stalled)
 	if st.sink != nil {
 		*st.sink = append(*st.sink, *st.rep)
+	}
+	if st.emit != nil {
+		st.emit(*st.rep)
 	}
 }
 

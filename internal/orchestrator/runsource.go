@@ -1,0 +1,179 @@
+package orchestrator
+
+// RunSource is the virtual-clock streaming counterpart of Run: instead of a
+// pre-materialized []workload.Event slice, the orchestrator pulls events
+// one at a time from a lazy EventSource (an internal/sim engine over lazy
+// generators, or a trace replayer) and streams finished reports to a
+// callback — memory stays O(in-flight events) however long the virtual
+// horizon. The legacy eager Run([]Event) path is kept verbatim and pinned
+// bit-identical by the differential tests in runsource_test.go: for the
+// same seeds, RunSource over the lazy engine produces the same
+// assignments, objective bits, Stats counters and decision-record stream
+// across the serial, single-lock and pipelined paths.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"vconf/internal/workload"
+)
+
+// EventSource is the pull-based lazy event stream RunSource consumes:
+// events in non-decreasing time order, ok=false at exhaustion, Err for
+// stream failures. sim.Engine, the lazy generators and sim.Replayer all
+// satisfy it; the interface is redeclared here (Go structural typing) so
+// the orchestrator does not depend on the sim package.
+type EventSource interface {
+	Next() (workload.Event, bool)
+	Err() error
+}
+
+// RunSource processes events pulled from src in order until exhaustion.
+// Each finished report is passed to onReport (nil to discard): in schedule
+// order, from a single goroutine, though in pipelined mode that goroutine
+// is the scheduler's retire loop, not the caller's. A non-nil onReport
+// error aborts the run and surfaces from RunSource. With a runtime
+// attached, the data plane ticks across event gaps and to horizonS at the
+// end, exactly like Run.
+func (o *Orchestrator) RunSource(src EventSource, horizonS float64, onReport func(EventReport) error) error {
+	if o.pipe != nil {
+		return o.runSourcePipelined(src, horizonS, onReport)
+	}
+	prev := math.Inf(-1)
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if e.TimeS < prev {
+			return fmt.Errorf("orchestrator: out-of-order event at t=%v after t=%v", e.TimeS, prev)
+		}
+		prev = e.TimeS
+		if rt := o.runtime(); rt != nil {
+			if dt := e.TimeS - rt.Now(); dt > 1e-9 {
+				if _, err := rt.Tick(dt); err != nil {
+					return err
+				}
+			}
+		}
+		rep, err := o.HandleEvent(e)
+		if err != nil {
+			return err
+		}
+		if onReport != nil {
+			if err := onReport(rep); err != nil {
+				return err
+			}
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	if rt := o.runtime(); rt != nil {
+		if dt := horizonS - rt.Now(); dt > 1e-9 {
+			if _, err := rt.Tick(dt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runSourcePipelined streams pulled events into the scheduler, mirroring
+// runPipelined's overlap and fault-barrier semantics. Reports are emitted
+// at retire time (schedule order) on the scheduler's retire goroutine; the
+// first onReport error stops admission of further events and surfaces
+// after the drain.
+func (o *Orchestrator) runSourcePipelined(src EventSource, horizonS float64, onReport func(EventReport) error) error {
+	var cbMu sync.Mutex
+	var cbErr error
+	emit := func(rep EventReport) {
+		cbMu.Lock()
+		defer cbMu.Unlock()
+		if cbErr == nil && onReport != nil {
+			cbErr = onReport(rep)
+		}
+	}
+	takeCbErr := func() error {
+		cbMu.Lock()
+		defer cbMu.Unlock()
+		err := cbErr
+		cbErr = nil
+		return err
+	}
+	prev := math.Inf(-1)
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if e.TimeS < prev {
+			o.pipe.Drain()
+			return fmt.Errorf("orchestrator: out-of-order event at t=%v after t=%v", e.TimeS, prev)
+		}
+		prev = e.TimeS
+		if rt := o.runtime(); rt != nil {
+			o.mu.Lock()
+			var err error
+			if dt := e.TimeS - rt.Now(); dt > 1e-9 {
+				_, err = rt.Tick(dt)
+			}
+			o.mu.Unlock()
+			if err != nil {
+				o.pipe.Drain()
+				return err
+			}
+		}
+		// Worker/runtime and report-sink errors surface mid-stream, like the
+		// serial path's per-event checks — not only after the drain.
+		if err := o.takeRefErr(); err != nil {
+			o.pipe.Drain()
+			return err
+		}
+		if err := takeCbErr(); err != nil {
+			o.pipe.Drain()
+			return err
+		}
+		if e.Kind.IsFault() {
+			// Fault barrier: drain so every prior report has retired (and
+			// been emitted), heal, then emit in order.
+			if err := o.pipe.Drain(); err != nil {
+				return err
+			}
+			rep, err := o.handleFault(e)
+			if err != nil {
+				return err
+			}
+			emit(rep)
+			continue
+		}
+		if _, _, err := o.submitEvent(e, nil, emit); err != nil {
+			if derr := o.pipe.Drain(); derr != nil {
+				err = derr
+			}
+			return err
+		}
+	}
+	if err := o.pipe.Drain(); err != nil {
+		return err
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	if rt := o.runtime(); rt != nil {
+		o.mu.Lock()
+		var err error
+		if dt := horizonS - rt.Now(); dt > 1e-9 {
+			_, err = rt.Tick(dt)
+		}
+		o.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if err := o.takeRefErr(); err != nil {
+		return err
+	}
+	return takeCbErr()
+}

@@ -1,0 +1,367 @@
+package orchestrator
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"vconf/internal/faults"
+	"vconf/internal/sim"
+	"vconf/internal/telemetry"
+	"vconf/internal/workload"
+)
+
+// chaosGenConfigs builds the churn and fault generator configs of the
+// standard chaos mix (same shape as chaosSchedule: churn over the first
+// ~60% of the pool, faults with flash crowds over per-region reserved
+// pools), so eager slices and lazy sources can be constructed from one
+// spec.
+func chaosGenConfigs(seed int64, fc workload.FleetConfig, homes []int, horizonS, rate float64) (workload.ChurnConfig, faults.Config) {
+	nChurn := len(homes) * 3 / 5
+	ccfg := workload.ChurnConfig{
+		Seed:            seed,
+		HorizonS:        horizonS,
+		ArrivalRatePerS: rate,
+		MeanHoldS:       120,
+		NumSessions:     nChurn,
+	}
+	pools := make([][]int, fc.Regions)
+	for s := nChurn; s < len(homes); s++ {
+		pools[homes[s]] = append(pools[homes[s]], s)
+	}
+	fcfg := faults.Config{
+		Seed:           seed + 1,
+		HorizonS:       horizonS,
+		NumAgents:      fc.NumAgents,
+		AgentRegion:    workload.AgentRegions(fc.NumAgents, fc.Regions),
+		AgentMTBFS:     600,
+		AgentMTTRS:     80,
+		RegionMTBFS:    500,
+		RegionMTTRS:    60,
+		DegradeMTBFS:   400,
+		DegradeMTTRS:   70,
+		DegradeFloor:   0.4,
+		FlashMTBFS:     300,
+		FlashIntensity: 3,
+		FlashHoldS:     60,
+		FlashSessions:  pools,
+	}
+	return ccfg, fcfg
+}
+
+// chaosEngine builds the lazy virtual-clock engine for the same spec.
+func chaosEngine(t *testing.T, ccfg workload.ChurnConfig, fcfg faults.Config) *sim.Engine {
+	t.Helper()
+	cs, err := workload.NewChurnSource(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := faults.NewSource(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.New(cs, fs)
+}
+
+// normalizeReport strips the wall-clock and overlap-timing fields that
+// legitimately differ across runs (same convention as coreStats and the
+// telemetry differential).
+func normalizeReport(r EventReport) EventReport {
+	r.Latency = 0
+	r.Conflicts = 0
+	return r
+}
+
+// normalizeRecord strips the wall-clock/timing fields of a decision record;
+// everything else must be bit-identical across eager and lazy runs.
+func normalizeRecord(r telemetry.DecisionRecord) telemetry.DecisionRecord {
+	r.WallNs = 0
+	r.LatencyNs = 0
+	r.SnapshotNs = 0
+	r.WalkNs = 0
+	r.CommitNs = 0
+	r.Conflicts = 0
+	r.Stalled = false
+	return r
+}
+
+// TestRunSourceDifferentialAllPaths is the tentpole proof: driving the
+// orchestrator from the lazy virtual-clock engine is bit-identical to the
+// eager pre-materialized Run — final assignment, objective bits, Stats
+// counters, per-event reports and the telemetry decision-record stream —
+// across the serial, single-lock and pipelined (in-flight 1) paths.
+func TestRunSourceDifferentialAllPaths(t *testing.T) {
+	fc := chaosFleet(61)
+	_, _, homes := chaosStack(t, fc)
+	ccfg, fcfg := chaosGenConfigs(61, fc, homes, 400, 0.15)
+	ch, err := workload.PoissonSchedule(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := faults.Schedule(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := faults.Merge(ch, fl)
+
+	type result struct {
+		enc     string
+		phi     float64
+		stats   Stats
+		reports []EventReport
+		records []telemetry.DecisionRecord
+	}
+	run := func(cfg Config, lazy bool) result {
+		ev, boot, _ := chaosStack(t, fc)
+		cfg.Telemetry = telemetry.New(telemetry.Config{Workers: cfg.Shards, TraceCapacity: len(events) + 8})
+		o, err := New(ev, boot, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer o.Close()
+		var reports []EventReport
+		if lazy {
+			err = o.RunSource(chaosEngine(t, ccfg, fcfg), 1e18, func(rep EventReport) error {
+				reports = append(reports, rep)
+				return nil
+			})
+		} else {
+			reports, err = o.Run(events, 1e18)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return result{o.Assignment().Encode(), o.Objective(), o.Stats(), reports,
+			cfg.Telemetry.Recorder().Records()}
+	}
+
+	paths := []struct {
+		name string
+		tune func(cfg *Config)
+	}{
+		{"serial", func(cfg *Config) {}},
+		{"single-lock", func(cfg *Config) { cfg.LedgerShards = -1 }},
+		{"pipelined", func(cfg *Config) {
+			cfg.Pipeline = true
+			cfg.MaxInFlight = 1
+		}},
+	}
+	for _, tc := range paths {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := chaosConfig(61, fc)
+			tc.tune(&cfg)
+			eager := run(cfg, false)
+			cfg = chaosConfig(61, fc)
+			tc.tune(&cfg)
+			lazy := run(cfg, true)
+
+			if lazy.enc != eager.enc {
+				t.Fatal("final assignment diverged between eager Run and lazy RunSource")
+			}
+			if math.Float64bits(lazy.phi) != math.Float64bits(eager.phi) {
+				t.Fatalf("objective diverged: eager %v lazy %v", eager.phi, lazy.phi)
+			}
+			if coreStats(lazy.stats) != coreStats(eager.stats) {
+				t.Fatalf("stats diverged:\n eager %+v\n lazy  %+v",
+					coreStats(eager.stats), coreStats(lazy.stats))
+			}
+			if len(lazy.reports) != len(eager.reports) {
+				t.Fatalf("report counts diverged: eager %d lazy %d", len(eager.reports), len(lazy.reports))
+			}
+			for i := range eager.reports {
+				a, b := normalizeReport(eager.reports[i]), normalizeReport(lazy.reports[i])
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("report %d diverged:\n eager %+v\n lazy  %+v", i, a, b)
+				}
+			}
+			if len(lazy.records) != len(eager.records) {
+				t.Fatalf("decision-record counts diverged: eager %d lazy %d",
+					len(eager.records), len(lazy.records))
+			}
+			for i := range eager.records {
+				a, b := normalizeRecord(eager.records[i]), normalizeRecord(lazy.records[i])
+				if a != b {
+					t.Fatalf("decision record %d diverged:\n eager %+v\n lazy  %+v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestRunSourceRecordReplay pins the trace loop: record a lazy chaos run,
+// replay it through a fresh orchestrator with the divergence checker
+// engaged, and the decision stream must verify digest-for-digest with the
+// same final state; a second recording of the replay must be byte-identical
+// to the original trace.
+func TestRunSourceRecordReplay(t *testing.T) {
+	fc := chaosFleet(67)
+	_, _, homes := chaosStack(t, fc)
+	ccfg, fcfg := chaosGenConfigs(67, fc, homes, 300, 0.12)
+
+	record := func(src EventSource, rec *sim.Recorder) (string, float64) {
+		ev, boot, _ := chaosStack(t, fc)
+		o, err := New(ev, boot, chaosConfig(67, fc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer o.Close()
+		err = o.RunSource(src, 1e18, func(rep EventReport) error {
+			return rec.Record(rep.Event, sim.Digest{Phi: rep.Objective, Active: rep.ActiveSessions, Commits: rep.Commits})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return o.Assignment().Encode(), o.Objective()
+	}
+
+	var traceA bytes.Buffer
+	recA, err := sim.NewRecorder(&traceA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encA, phiA := record(chaosEngine(t, ccfg, fcfg), recA)
+	if recA.Recorded() == 0 {
+		t.Fatal("empty recording")
+	}
+
+	// Replay with the divergence checker, re-recording as we go.
+	rp, err := sim.NewReplayer(bytes.NewReader(traceA.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, boot, _ := chaosStack(t, fc)
+	o, err := New(ev, boot, chaosConfig(67, fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	var traceB bytes.Buffer
+	recB, err := sim.NewRecorder(&traceB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = o.RunSource(rp, 1e18, func(rep EventReport) error {
+		d := sim.Digest{Phi: rep.Objective, Active: rep.ActiveSessions, Commits: rep.Commits}
+		if div := rp.Check(d); div != nil {
+			return div
+		}
+		return recB.Record(rep.Event, d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recB.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rp.Checked() != recA.Recorded() {
+		t.Fatalf("replay checked %d of %d decisions", rp.Checked(), recA.Recorded())
+	}
+	if enc := o.Assignment().Encode(); enc != encA {
+		t.Fatal("replayed final assignment diverged")
+	}
+	if math.Float64bits(o.Objective()) != math.Float64bits(phiA) {
+		t.Fatalf("replayed objective diverged: %v vs %v", o.Objective(), phiA)
+	}
+	if !bytes.Equal(traceA.Bytes(), traceB.Bytes()) {
+		t.Fatal("re-recorded replay trace is not byte-identical to the original")
+	}
+}
+
+// TestRunHorizonEdgeCases pins Run's boundary behavior: an empty schedule
+// is a no-op success, an event exactly at horizonS is processed, and
+// out-of-order input is rejected (serial and pipelined) instead of
+// silently regressing the clock.
+func TestRunHorizonEdgeCases(t *testing.T) {
+	build := func(pipelined bool) *Orchestrator {
+		ev, boot := testStack(t, workload.Prototype(21))
+		cfg := DefaultConfig(21)
+		cfg.Shards = 2
+		if pipelined {
+			cfg.Pipeline = true
+			cfg.MaxInFlight = 2
+		}
+		o, err := New(ev, boot, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(o.Close)
+		return o
+	}
+	for _, pipelined := range []bool{false, true} {
+		o := build(pipelined)
+		reports, err := o.Run(nil, 100)
+		if err != nil || len(reports) != 0 {
+			t.Fatalf("pipelined=%v: empty schedule: reports=%d err=%v", pipelined, len(reports), err)
+		}
+		// An event exactly at the horizon belongs to the schedule: Run
+		// processes every listed event; horizonS only pads the data plane.
+		reports, err = o.Run([]workload.Event{{TimeS: 100, Kind: workload.EventArrival, Session: 0}}, 100)
+		if err != nil || len(reports) != 1 || !reports[0].Admitted {
+			t.Fatalf("pipelined=%v: horizon-edge event: reports=%+v err=%v", pipelined, reports, err)
+		}
+		if o.Now() != 100 {
+			t.Fatalf("pipelined=%v: clock %v after horizon-edge event", pipelined, o.Now())
+		}
+		bad := []workload.Event{
+			{TimeS: 120, Kind: workload.EventArrival, Session: 1},
+			{TimeS: 110, Kind: workload.EventArrival, Session: 2},
+		}
+		if _, err := o.Run(bad, 200); err == nil {
+			t.Fatalf("pipelined=%v: out-of-order schedule accepted", pipelined)
+		}
+		// The rejection happens before the offending event applies, so the
+		// orchestrator keeps working.
+		if err := o.CheckInvariants(); err != nil {
+			t.Fatalf("pipelined=%v: %v", pipelined, err)
+		}
+		o2 := build(pipelined)
+		if err := o2.RunSource(sim.NewSliceSource(bad), 200, nil); err == nil {
+			t.Fatalf("pipelined=%v: RunSource accepted out-of-order stream", pipelined)
+		}
+	}
+}
+
+// TestRunSourcePipelinedStorm races the streaming path end to end: a lazy
+// chaos engine feeding the pipelined scheduler at in-flight 4, reports
+// counted from the retire goroutine, invariants checked at the end. Run
+// under -race in CI.
+func TestRunSourcePipelinedStorm(t *testing.T) {
+	fc := chaosFleet(71)
+	_, _, homes := chaosStack(t, fc)
+	ccfg, fcfg := chaosGenConfigs(71, fc, homes, 400, 0.2)
+	cfg := chaosConfig(71, fc)
+	cfg.Shards = 4
+	cfg.LedgerShards = 4
+	cfg.Pipeline = true
+	cfg.MaxInFlight = 4
+	ev, boot, _ := chaosStack(t, fc)
+	o, err := New(ev, boot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	var n atomic.Int64
+	if err := o.RunSource(chaosEngine(t, ccfg, fcfg), 1e18, func(rep EventReport) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() == 0 {
+		t.Fatal("storm emitted no reports")
+	}
+	if got := int64(o.Stats().Events); got != n.Load() {
+		t.Fatalf("emitted %d reports for %d events", n.Load(), got)
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package sim is the virtual-clock discrete-event core: a deterministic
+// merge engine over pull-based lazy event sources, plus a versioned trace
+// recorder/replayer. It decouples simulated load from host speed — a
+// virtual day of churn is bounded by CPU, not by wall-clock pacing or by
+// materializing the schedule (memory stays O(in-flight state), however
+// many events the horizon holds).
+//
+// Determinism contract: the merged stream is a pure function of the
+// sources. Events order by (TimeS, Event.Rank, source registration order,
+// per-source sequence) — exactly the order the eager path gets from
+// faults.Merge over pre-sorted slices, pinned by differential tests. The
+// engine's Clock is the single time authority: it advances to each popped
+// event's timestamp and never regresses (a source yielding out of order is
+// an engine error, not a silent reorder).
+package sim
+
+import (
+	"fmt"
+
+	"vconf/internal/workload"
+)
+
+// EventSource is a pull-based, time-ordered lazy event stream. Next
+// returns events in non-decreasing TimeS order and ok=false when the
+// stream is exhausted; Err reports a stream failure after Next returns
+// false (generators are infallible and return nil; trace replayers surface
+// read/decode errors here). workload.ChurnSource, faults.Source, Engine
+// itself and Replayer all satisfy it.
+type EventSource interface {
+	Next() (workload.Event, bool)
+	Err() error
+}
+
+// Clock is the engine's virtual time authority: Now is the timestamp of
+// the last event popped from the merged stream.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// entry is one source's lookahead event.
+type entry struct {
+	src  EventSource
+	ev   workload.Event
+	live bool
+}
+
+// Engine merges registered sources into one deterministic virtual-time
+// stream. It holds exactly one lookahead event per source — the whole of
+// its buffering — and linear-scans for the minimum, which beats a heap for
+// the two-to-three-source shapes this repo merges (churn + faults).
+type Engine struct {
+	clock   Clock
+	entries []entry
+	seq     uint64
+	err     error
+}
+
+// New builds an engine over the given sources. Registration order is the
+// final tie-break rank: on equal (TimeS, Event.Rank) the earlier-registered
+// source's event pops first, so register churn before faults to reproduce
+// the eager merge exactly (their Rank fields already order them; the
+// registration rank only matters between sources of equal Rank).
+func New(sources ...EventSource) *Engine {
+	e := &Engine{entries: make([]entry, len(sources))}
+	for i, src := range sources {
+		ev, ok := src.Next()
+		e.entries[i] = entry{src: src, ev: ev, live: ok}
+		if !ok {
+			if err := src.Err(); err != nil && e.err == nil {
+				e.err = fmt.Errorf("sim: source %d: %w", i, err)
+			}
+		}
+	}
+	return e
+}
+
+// Next pops the next event of the merged stream and advances the clock to
+// its timestamp. ok=false means every source is exhausted (or the engine
+// hit an error — check Err).
+func (e *Engine) Next() (workload.Event, bool) {
+	if e.err != nil {
+		return workload.Event{}, false
+	}
+	min := -1
+	for i := range e.entries {
+		if !e.entries[i].live {
+			continue
+		}
+		if min < 0 || e.entries[i].ev.Before(e.entries[min].ev) {
+			min = i
+		}
+	}
+	if min < 0 {
+		return workload.Event{}, false
+	}
+	ev := e.entries[min].ev
+	if ev.TimeS < e.clock.now {
+		e.err = fmt.Errorf("sim: source %d regressed virtual time: %v after %v",
+			min, ev.TimeS, e.clock.now)
+		return workload.Event{}, false
+	}
+	e.clock.now = ev.TimeS
+	e.seq++
+	next, ok := e.entries[min].src.Next()
+	e.entries[min].ev = next
+	e.entries[min].live = ok
+	if ok {
+		if next.Before(ev) {
+			e.err = fmt.Errorf("sim: source %d emitted out of order: %v(rank %d) after %v(rank %d)",
+				min, next.TimeS, next.Rank, ev.TimeS, ev.Rank)
+		}
+	} else if err := e.entries[min].src.Err(); err != nil {
+		e.err = fmt.Errorf("sim: source %d: %w", min, err)
+	}
+	return ev, true
+}
+
+// Err reports the first engine or source failure.
+func (e *Engine) Err() error { return e.err }
+
+// Clock returns the engine's virtual clock.
+func (e *Engine) Clock() *Clock { return &e.clock }
+
+// Now returns the current virtual time (the last popped event's timestamp).
+func (e *Engine) Now() float64 { return e.clock.now }
+
+// Popped returns how many events the engine has delivered — the merged
+// stream's sequence counter, which trace records index by.
+func (e *Engine) Popped() uint64 { return e.seq }
+
+// SliceSource adapts an eager, pre-sorted event slice to the EventSource
+// contract — the bridge for replay-style consumption of legacy schedules
+// and for tests that pin lazy-vs-eager equivalence at the engine level.
+type SliceSource struct {
+	events []workload.Event
+	i      int
+}
+
+// NewSliceSource wraps a time-ordered slice.
+func NewSliceSource(events []workload.Event) *SliceSource {
+	return &SliceSource{events: events}
+}
+
+// Next returns the next slice element.
+func (s *SliceSource) Next() (workload.Event, bool) {
+	if s.i >= len(s.events) {
+		return workload.Event{}, false
+	}
+	e := s.events[s.i]
+	s.i++
+	return e, true
+}
+
+// Err always returns nil: slices cannot fail.
+func (s *SliceSource) Err() error { return nil }

@@ -1,0 +1,85 @@
+package workload
+
+// Versioned JSON encoding for Event — the wire format of recorded traces
+// (internal/sim). Events do not carry the version themselves (a 10M-line
+// trace would repeat it 10M times); the enclosing container embeds
+// EventSchemaVersion in its header and rejects mismatches. Zero-valued
+// fields are omitted: every omitted field unmarshals back to its zero
+// value, so marshal→unmarshal is an exact round trip (Go emits float64 in
+// shortest round-trippable form), pinned by the golden-file test.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EventSchemaVersion is the version of Event's JSON schema, embedded in
+// trace headers. Bump it on any field or kind-name change.
+const EventSchemaVersion = 1
+
+// eventJSON is the schema-v1 wire shape. Kind travels as its String() name
+// so traces stay greppable and robust to enum renumbering.
+type eventJSON struct {
+	TimeS    float64 `json:"t,omitempty"`
+	Kind     string  `json:"k"`
+	Session  int     `json:"s,omitempty"`
+	Agent    int     `json:"a,omitempty"`
+	Region   int     `json:"r,omitempty"`
+	Scale    float64 `json:"sc,omitempty"`
+	Incident int     `json:"i,omitempty"`
+	Rank     int     `json:"rk,omitempty"`
+}
+
+// kindNames maps the wire names back to kinds (inverse of EventKind.String).
+var kindNames = map[string]EventKind{
+	"arrive":         EventArrival,
+	"depart":         EventDeparture,
+	"agent-fail":     EventAgentFail,
+	"agent-recover":  EventAgentRecover,
+	"region-outage":  EventRegionOutage,
+	"region-recover": EventRegionRecover,
+	"degrade":        EventCapacityDegrade,
+	"flash-crowd":    EventFlashCrowd,
+}
+
+// MarshalJSON encodes the event in the schema-v1 wire shape. Unknown kinds
+// are an error: they would round-trip as "unknown" and decode to nothing.
+func (e Event) MarshalJSON() ([]byte, error) {
+	name := e.Kind.String()
+	if _, ok := kindNames[name]; !ok {
+		return nil, fmt.Errorf("workload: cannot marshal unknown event kind %d", e.Kind)
+	}
+	return json.Marshal(eventJSON{
+		TimeS:    e.TimeS,
+		Kind:     name,
+		Session:  e.Session,
+		Agent:    e.Agent,
+		Region:   e.Region,
+		Scale:    e.Scale,
+		Incident: e.Incident,
+		Rank:     e.Rank,
+	})
+}
+
+// UnmarshalJSON decodes the schema-v1 wire shape.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var w eventJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	k, ok := kindNames[w.Kind]
+	if !ok {
+		return fmt.Errorf("workload: unknown event kind %q", w.Kind)
+	}
+	*e = Event{
+		TimeS:    w.TimeS,
+		Kind:     k,
+		Session:  w.Session,
+		Agent:    w.Agent,
+		Region:   w.Region,
+		Scale:    w.Scale,
+		Incident: w.Incident,
+		Rank:     w.Rank,
+	}
+	return nil
+}

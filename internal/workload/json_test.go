@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents covers every EventKind, incident ids, both merge ranks, a
+// fractional degrade scale and an exact-binary-fraction timestamp — the
+// full schema-v1 surface.
+func goldenEvents() []Event {
+	return []Event{
+		{TimeS: 0.5, Kind: EventArrival, Session: 0},
+		{TimeS: 1.25, Kind: EventDeparture, Session: 3},
+		{TimeS: 2.700000000000001, Kind: EventAgentFail, Session: -1, Agent: 0, Region: 1, Incident: 1, Rank: RankFaults},
+		{TimeS: 3.5, Kind: EventAgentRecover, Session: -1, Agent: 0, Region: 1, Incident: 2, Rank: RankFaults},
+		{TimeS: 4, Kind: EventRegionOutage, Session: -1, Agent: -1, Region: 2, Incident: 3, Rank: RankFaults},
+		{TimeS: 5, Kind: EventRegionRecover, Session: -1, Agent: -1, Region: 2, Incident: 4, Rank: RankFaults},
+		{TimeS: 6.125, Kind: EventCapacityDegrade, Session: -1, Agent: 4, Region: 0, Scale: 0.375, Incident: 5, Rank: RankFaults},
+		{TimeS: 7, Kind: EventFlashCrowd, Session: -1, Agent: -1, Region: 1, Incident: 6, Rank: RankFaults},
+		{TimeS: 7.001, Kind: EventArrival, Session: 20, Region: 1, Rank: RankFaults}, // flash burst arrival
+		{TimeS: 9.25, Kind: EventDeparture, Session: 20, Region: 1, Rank: RankFaults},
+	}
+}
+
+// TestEventJSONRoundTrip pins marshal→unmarshal as an exact identity over
+// the full schema surface, bit-exact floats included.
+func TestEventJSONRoundTrip(t *testing.T) {
+	for i, e := range goldenEvents() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		var got Event
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(e, got) {
+			t.Fatalf("event %d round trip: got %+v want %+v (wire %s)", i, got, e, b)
+		}
+	}
+}
+
+// TestEventJSONGolden pins the schema-v1 wire bytes: any change to the
+// encoding breaks recorded traces, so it must show up as a golden diff and
+// an EventSchemaVersion bump.
+func TestEventJSONGolden(t *testing.T) {
+	if EventSchemaVersion != 1 {
+		t.Fatalf("EventSchemaVersion = %d; update the golden file and this test together", EventSchemaVersion)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i, e := range goldenEvents() {
+		if err := enc.Encode(e); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	path := filepath.Join("testdata", "events_v1.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test -run TestEventJSONGolden -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("schema-v1 wire bytes changed:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// And the committed bytes must decode back to the exact events.
+	dec := json.NewDecoder(bytes.NewReader(want))
+	for i, e := range goldenEvents() {
+		var got Event
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("golden line %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(e, got) {
+			t.Fatalf("golden line %d decodes to %+v, want %+v", i, got, e)
+		}
+	}
+}
+
+// TestEventJSONRejectsUnknownKind pins the error paths: kinds outside the
+// schema fail both directions instead of silently round-tripping garbage.
+func TestEventJSONRejectsUnknownKind(t *testing.T) {
+	if _, err := json.Marshal(Event{Kind: EventKind(99)}); err == nil {
+		t.Fatal("unknown kind marshaled")
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(`{"t":1,"k":"meteor-strike"}`), &e); err == nil {
+		t.Fatal("unknown kind unmarshaled")
+	}
+	if err := json.Unmarshal([]byte(`{"t":1}`), &e); err == nil {
+		t.Fatal("missing kind unmarshaled")
+	}
+}

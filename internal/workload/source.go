@@ -1,0 +1,204 @@
+package workload
+
+// Lazy, pull-based churn generation for the virtual-clock engine
+// (internal/sim): NewChurnSource yields the exact event stream
+// PoissonSchedule would return — byte-identical per seed, pinned by
+// differential tests — without ever materializing the slice, so a
+// 10M-event day holds only O(in-flight sessions) of state.
+//
+// The equivalence hinges on preserving the eager paths' RNG draw order
+// exactly. Homogeneous: inter-arrival gap, then (only when the arrival is
+// admitted) its hold time. Diurnal: gap, region pick, thinning acceptance
+// and hold are drawn as one block per candidate — the eager code draws the
+// hold even for rejected candidates, before flushing the departure heap,
+// and the lazy path must too.
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// ChurnSource is a lazy generator of the churn event stream: each Next call
+// produces the next event in time order, drawing from the RNG only as far
+// as needed. It satisfies the sim.EventSource contract.
+type ChurnSource struct {
+	next func() (Event, bool)
+}
+
+// Next returns the next churn event in time order, or ok=false once the
+// horizon is exhausted.
+func (s *ChurnSource) Next() (Event, bool) { return s.next() }
+
+// Err reports a stream failure. Churn generation is infallible after
+// configuration validation, so it always returns nil; the method exists to
+// satisfy the EventSource contract shared with trace replayers.
+func (s *ChurnSource) Err() error { return nil }
+
+// NewChurnSource builds the lazy equivalent of PoissonSchedule(cfg):
+// the returned source yields exactly the events the eager call would
+// return, in the same order, from the same seed.
+func NewChurnSource(cfg ChurnConfig) (*ChurnSource, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Diurnal != nil {
+		return &ChurnSource{next: newDiurnalState(cfg).next}, nil
+	}
+	return &ChurnSource{next: newPoissonState(cfg).next}, nil
+}
+
+// poissonState is the homogeneous generator's suspended loop: the eager
+// code's locals (rng, idle pool, departure heap, candidate arrival time)
+// lifted into a struct so the loop can return one event at a time.
+type poissonState struct {
+	cfg  ChurnConfig
+	rng  *rand.Rand
+	idle []int
+	deps departureHeap
+	// t is the candidate arrival time; drawn means it is pending (drawn but
+	// not yet emitted or dropped), done means arrivals are exhausted.
+	t     float64
+	drawn bool
+	done  bool
+}
+
+func newPoissonState(cfg ChurnConfig) *poissonState {
+	st := &poissonState{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	st.idle = make([]int, 0, cfg.NumSessions)
+	for s := cfg.InitialActive; s < cfg.NumSessions; s++ {
+		st.idle = append(st.idle, s)
+	}
+	for s := 0; s < cfg.InitialActive; s++ {
+		heap.Push(&st.deps, departure{timeS: st.rng.ExpFloat64() * cfg.MeanHoldS, session: s})
+	}
+	return st
+}
+
+func (st *poissonState) next() (Event, bool) {
+	for {
+		// Advance the candidate arrival if none is pending — the same
+		// single draw the eager loop makes at its top.
+		if !st.done && !st.drawn {
+			st.t += st.rng.ExpFloat64() / st.cfg.ArrivalRatePerS
+			if st.t >= st.cfg.HorizonS {
+				st.done = true
+			} else {
+				st.drawn = true
+			}
+		}
+		// Departures due before the candidate (or before the horizon, once
+		// arrivals are exhausted) come first — the flushUntil of the eager
+		// path, emitted one at a time.
+		limit := st.cfg.HorizonS
+		if !st.done {
+			limit = st.t
+		}
+		if len(st.deps) > 0 && st.deps[0].timeS <= limit {
+			d := heap.Pop(&st.deps).(departure)
+			if d.timeS >= st.cfg.HorizonS {
+				continue
+			}
+			st.idle = append(st.idle, d.session)
+			return Event{TimeS: d.timeS, Kind: EventDeparture, Session: d.session}, true
+		}
+		if st.done {
+			return Event{}, false
+		}
+		// The candidate's turn: admit from the idle pool or drop.
+		st.drawn = false
+		if len(st.idle) == 0 {
+			continue // pool exhausted: drop this arrival
+		}
+		s := st.idle[0]
+		st.idle = st.idle[1:]
+		heap.Push(&st.deps, departure{timeS: st.t + st.rng.ExpFloat64()*st.cfg.MeanHoldS, session: s})
+		return Event{TimeS: st.t, Kind: EventArrival, Session: s}, true
+	}
+}
+
+// diurnalState suspends diurnalSchedule's loop. A candidate is the block
+// (arrival time, region, thinning acceptance, hold) drawn together before
+// any heap flush, exactly as the eager code does.
+type diurnalState struct {
+	cfg         ChurnConfig
+	rng         *rand.Rand
+	drawRegions []int
+	cumShare    []float64
+	maxRate     float64
+	idle        [][]int
+	deps        departureHeap
+
+	t          float64
+	candRegion int
+	candAccept bool
+	candHold   float64
+	drawn      bool
+	done       bool
+}
+
+func newDiurnalState(cfg ChurnConfig) *diurnalState {
+	d := cfg.Diurnal
+	st := &diurnalState{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	R := len(d.PeakFrac)
+	poolSize := make([]int, R)
+	for s := 0; s < cfg.NumSessions; s++ {
+		poolSize[d.SessionRegion[s]]++
+	}
+	st.drawRegions, st.cumShare = diurnalShares(poolSize, cfg.NumSessions)
+	st.idle = make([][]int, R)
+	for s := 0; s < cfg.NumSessions; s++ {
+		if s < cfg.InitialActive {
+			heap.Push(&st.deps, departure{timeS: st.rng.ExpFloat64() * cfg.MeanHoldS, session: s})
+		} else {
+			r := d.SessionRegion[s]
+			st.idle[r] = append(st.idle[r], s)
+		}
+	}
+	st.maxRate = cfg.ArrivalRatePerS * (1 + d.Amplitude)
+	return st
+}
+
+func (st *diurnalState) next() (Event, bool) {
+	d := st.cfg.Diurnal
+	for {
+		if !st.done && !st.drawn {
+			st.t += st.rng.ExpFloat64() / st.maxRate
+			if st.t >= st.cfg.HorizonS {
+				st.done = true
+			} else {
+				// Draw the candidate's region, acceptance and hold before the
+				// flush, so the random sequence is a pure function of the
+				// seed — same order as the eager loop.
+				u := st.rng.Float64()
+				st.candRegion = pickRegion(st.drawRegions, st.cumShare, u)
+				st.candAccept = st.rng.Float64() < d.RegionRate(st.candRegion, st.t)/(1+d.Amplitude)
+				st.candHold = st.rng.ExpFloat64() * st.cfg.MeanHoldS
+				st.drawn = true
+			}
+		}
+		limit := st.cfg.HorizonS
+		if !st.done {
+			limit = st.t
+		}
+		if len(st.deps) > 0 && st.deps[0].timeS <= limit {
+			dep := heap.Pop(&st.deps).(departure)
+			if dep.timeS >= st.cfg.HorizonS {
+				continue
+			}
+			r := d.SessionRegion[dep.session]
+			st.idle[r] = append(st.idle[r], dep.session)
+			return Event{TimeS: dep.timeS, Kind: EventDeparture, Session: dep.session}, true
+		}
+		if st.done {
+			return Event{}, false
+		}
+		st.drawn = false
+		if !st.candAccept || len(st.idle[st.candRegion]) == 0 {
+			continue // thinned out, or the region's pool is exhausted
+		}
+		s := st.idle[st.candRegion][0]
+		st.idle[st.candRegion] = st.idle[st.candRegion][1:]
+		heap.Push(&st.deps, departure{timeS: st.t + st.candHold, session: s})
+		return Event{TimeS: st.t, Kind: EventArrival, Session: s}, true
+	}
+}

@@ -1,0 +1,71 @@
+package vconf
+
+import (
+	"io"
+
+	"vconf/internal/faults"
+	"vconf/internal/sim"
+	"vconf/internal/workload"
+)
+
+// Virtual-clock discrete-event core (see internal/sim). Instead of
+// materializing a whole churn+fault schedule up front, lazy pull-based
+// sources generate events on demand and the engine merges them in
+// deterministic order (time, then event rank, then source registration
+// order) under a virtual clock — memory stays O(in-flight) however long
+// the horizon, and the stream is bit-identical to the eager
+// GenerateChurn/GenerateFaults/MergeSchedules path for the same configs.
+// Orchestrator.RunSource consumes an engine (or a TraceReplayer) directly.
+
+// SimEventSource is the pull contract lazy generators satisfy: events in
+// non-decreasing time order, ok=false at exhaustion.
+type SimEventSource = sim.EventSource
+
+// SimEngine merges any number of lazy sources into one deterministic
+// time-ordered stream under a virtual clock.
+type SimEngine = sim.Engine
+
+// NewSimEngine builds an engine over the given sources. Registration order
+// is the final tie-breaker for simultaneous events of equal rank.
+func NewSimEngine(sources ...SimEventSource) *SimEngine { return sim.New(sources...) }
+
+// NewChurnEventSource is the lazy counterpart of GenerateChurn: it yields
+// the exact same event stream without materializing it.
+func NewChurnEventSource(cfg ChurnConfig) (SimEventSource, error) {
+	return workload.NewChurnSource(cfg)
+}
+
+// NewFaultEventSource is the lazy counterpart of GenerateFaults.
+func NewFaultEventSource(cfg FaultConfig) (SimEventSource, error) { return faults.NewSource(cfg) }
+
+// NewSliceEventSource adapts an eager, time-ordered []ChurnEvent slice to
+// the source contract, so recorded or hand-built schedules feed the engine.
+func NewSliceEventSource(events []ChurnEvent) SimEventSource { return sim.NewSliceSource(events) }
+
+// TraceDigest is the per-event decision fingerprint carried in a trace:
+// the post-event objective Φ (bit-exact), active sessions and commits.
+type TraceDigest = sim.Digest
+
+// TraceRecorder tees a merged event stream plus decision digests to a
+// versioned JSONL trace (vcsim -record-trace writes one).
+type TraceRecorder = sim.Recorder
+
+// NewTraceRecorder writes the trace header and returns the recorder.
+func NewTraceRecorder(w io.Writer) (*TraceRecorder, error) { return sim.NewRecorder(w) }
+
+// TraceReplayer feeds a recorded trace back as a SimEventSource and checks
+// each retiring decision digest against the recording; the first mismatch
+// is reported as a TraceDivergence.
+type TraceReplayer = sim.Replayer
+
+// NewTraceReplayer validates the trace header and returns the replayer.
+func NewTraceReplayer(r io.Reader) (*TraceReplayer, error) { return sim.NewReplayer(r) }
+
+// TraceDivergence is the first decision mismatch of a replay or a
+// trace-vs-trace comparison; it satisfies error.
+type TraceDivergence = sim.Divergence
+
+// CompareTraces reads two recorded traces in lockstep (O(1) memory) and
+// returns the first divergence (nil when equivalent) plus the number of
+// records compared.
+func CompareTraces(a, b io.Reader) (*TraceDivergence, uint64, error) { return sim.CompareTraces(a, b) }
